@@ -1,0 +1,114 @@
+"""Ablation benchmarks for the design decisions DESIGN.md calls out.
+
+Each ablation toggles exactly one mechanism on the bubble-sort workload
+(the most branch-heavy Table I program) and measures full exploration:
+
+* concrete fast path (terms only on symbolic dataflow) vs claripy-style
+  always-build-terms,
+* algebraic term simplification on/off,
+* address concretization policy PIN vs FREE,
+* DFS vs BFS vs random path selection,
+* DBA block cache and VEX lift cache on/off.
+
+Path counts are asserted equal across each toggle: the knobs trade
+speed, never soundness (except PIN/FREE, whose counts agree on these
+workloads because their addresses never depend on symbolic data).
+"""
+
+import pytest
+
+from repro.baselines.dba import DbaEngine
+from repro.baselines.vexir import VexEngine
+from repro.core import BinSymExecutor, ConcretizationPolicy, Explorer
+from repro.eval.workloads import WORKLOADS
+from repro.smt import terms
+from repro.spec import rv32im
+
+_EXPECTED_PATHS = 24  # bubble-sort at scale 4
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return rv32im()
+
+
+@pytest.fixture(scope="module")
+def image():
+    return WORKLOADS["bubble-sort"].image(4)
+
+
+def explore_paths(executor, **kwargs):
+    return Explorer(executor, **kwargs).explore()
+
+
+@pytest.mark.parametrize("force_terms", [False, True], ids=["fastpath", "always-terms"])
+def test_ablation_concrete_fastpath(benchmark, isa, image, force_terms):
+    benchmark.group = "ablation:fastpath"
+    result = benchmark.pedantic(
+        lambda: explore_paths(BinSymExecutor(isa, image, force_terms=force_terms)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_paths == _EXPECTED_PATHS
+
+
+@pytest.mark.parametrize("simplify", [True, False], ids=["simplify", "no-simplify"])
+def test_ablation_simplification(benchmark, isa, image, simplify):
+    benchmark.group = "ablation:simplify"
+
+    def run():
+        previous = terms.set_simplification(simplify)
+        try:
+            return explore_paths(BinSymExecutor(isa, image))
+        finally:
+            terms.set_simplification(previous)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.num_paths == _EXPECTED_PATHS
+
+
+@pytest.mark.parametrize(
+    "policy", [ConcretizationPolicy.PIN, ConcretizationPolicy.FREE],
+    ids=["pin", "free"],
+)
+def test_ablation_concretization(benchmark, isa, image, policy):
+    benchmark.group = "ablation:concretize"
+    result = benchmark.pedantic(
+        lambda: explore_paths(BinSymExecutor(isa, image, concretization=policy)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_paths == _EXPECTED_PATHS
+
+
+@pytest.mark.parametrize("strategy", ["dfs", "bfs", "random"])
+def test_ablation_search_strategy(benchmark, isa, image, strategy):
+    benchmark.group = "ablation:search"
+    result = benchmark.pedantic(
+        lambda: explore_paths(BinSymExecutor(isa, image), strategy=strategy),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_paths == _EXPECTED_PATHS
+
+
+@pytest.mark.parametrize("cache", [True, False], ids=["cache", "no-cache"])
+def test_ablation_dba_block_cache(benchmark, isa, image, cache):
+    benchmark.group = "ablation:dba-cache"
+    result = benchmark.pedantic(
+        lambda: explore_paths(DbaEngine(isa, image, block_cache=cache)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_paths == _EXPECTED_PATHS
+
+
+@pytest.mark.parametrize("cache", [True, False], ids=["cache", "no-cache"])
+def test_ablation_vex_lift_cache(benchmark, isa, image, cache):
+    benchmark.group = "ablation:vex-cache"
+    result = benchmark.pedantic(
+        lambda: explore_paths(VexEngine(isa, image, lift_cache=cache)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.num_paths == _EXPECTED_PATHS

@@ -1,0 +1,59 @@
+"""Fig. 5 + Sect. V-A benchmark: accuracy experiments under timing.
+
+Times the three accuracy experiments (five-bug witnesses, the Fig. 5
+false-positive/negative program, and differential lifter testing) while
+asserting their outcomes, so a regression in either speed or accuracy
+shows up here.
+"""
+
+import pytest
+
+from repro.baselines.vexir import FIVE_ANGR_BUGS, VexEngine
+from repro.eval.bugs import run_bug_witnesses, run_divu_edgecase, run_fig5
+from repro.eval.difftest import bug_classes_for, difftest_engine
+
+
+def test_bug_witnesses(benchmark):
+    benchmark.group = "accuracy"
+    outcomes = benchmark(run_bug_witnesses)
+    assert all(o.bug_reproduced for o in outcomes)
+
+
+def test_fig5_parse_word(benchmark):
+    benchmark.group = "accuracy"
+    outcomes = benchmark(lambda: {o.engine: o for o in run_fig5()})
+    assert outcomes["binsym"].ne_assert_failures == 1
+    assert outcomes["angr-buggy"].false_positive
+    assert outcomes["angr-buggy"].false_negative
+
+
+def test_divu_edgecase(benchmark):
+    benchmark.group = "accuracy"
+    result, witness = benchmark(run_divu_edgecase)
+    assert witness is not None and witness["y"] == 0
+
+
+def test_difftest_buggy_lifter(benchmark):
+    benchmark.group = "difftest"
+    divergences = benchmark.pedantic(
+        lambda: difftest_engine(
+            lambda isa, img: VexEngine(isa, img, bugs=FIVE_ANGR_BUGS),
+            iterations=300,
+            seed=11,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert bug_classes_for(divergences) == FIVE_ANGR_BUGS
+
+
+def test_difftest_fixed_lifter(benchmark):
+    benchmark.group = "difftest"
+    divergences = benchmark.pedantic(
+        lambda: difftest_engine(
+            lambda isa, img: VexEngine(isa, img), iterations=300, seed=11
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert divergences == []

@@ -1,0 +1,56 @@
+"""Fig. 6 benchmark: engine wall-clock comparison per workload.
+
+One benchmark per (workload, engine) pair with the *fixed* angr lifter
+(the paper's performance configuration).  pytest-benchmark's comparison
+output groups by workload, so the per-group ranking reproduces the
+figure's bar ordering: BINSEC fastest, BinSym next, then SymEx-VP, angr
+slowest.  ``test_fig6_ordering`` asserts the headline ordering claims.
+"""
+
+import pytest
+
+from repro.eval.engines import explore_with
+from repro.eval.fig6 import run_fig6
+from repro.eval.workloads import TABLE1_WORKLOADS, WORKLOADS
+from repro.spec import rv32im
+
+_ENGINES = ("binsec", "binsym", "symex-vp", "angr")
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return rv32im()
+
+
+@pytest.fixture(scope="module", params=TABLE1_WORKLOADS)
+def workload_image(request):
+    workload = WORKLOADS[request.param]
+    return request.param, workload.image(workload.fig6_scale)
+
+
+@pytest.mark.parametrize("engine", _ENGINES)
+def test_fig6_engine_time(benchmark, workload_image, engine, isa):
+    name, image = workload_image
+    benchmark.group = f"fig6:{name}"
+    result = benchmark.pedantic(
+        lambda: explore_with(engine, image, isa=isa), rounds=1, iterations=1
+    )
+    assert result.num_paths > 0
+
+
+def test_fig6_ordering(benchmark):
+    """The paper's ordering claims on the sort benchmarks (largest
+    workloads, where engine overhead dominates): BINSEC is the fastest
+    engine and angr the slowest; BinSym beats SymEx-VP and angr."""
+    benchmark.group = "fig6:ordering"
+    result = benchmark.pedantic(
+        lambda: run_fig6(repeats=1, benchmarks=("bubble-sort", "insertion-sort")),
+        rounds=1,
+        iterations=1,
+    )
+    for bench in result.benchmarks:
+        ordering = result.ordering_for(bench)
+        assert ordering[0] == "binsec", (bench, ordering)
+        assert ordering[-1] == "angr", (bench, ordering)
+        index = {key: i for i, key in enumerate(ordering)}
+        assert index["binsym"] < index["symex-vp"], (bench, ordering)

@@ -1,0 +1,93 @@
+"""Interpreter throughput: decode, emulate, and per-engine step cost.
+
+Separates the translation-methodology overhead (the paper's Fig. 1
+paths) from exploration: all engines execute the same fully *concrete*
+loop, so no solver is involved — what remains is fetch/translate/
+interpret cost per instruction.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.baselines.dba import DbaEngine
+from repro.baselines.vexir import VexEngine
+from repro.baselines.vp import VpExecutor
+from repro.concrete import ConcreteInterpreter
+from repro.core import BinSymExecutor, Explorer, InputAssignment
+from repro.spec import rv32im
+
+LOOP = """\
+_start:
+    li t0, 2000
+    li t1, 0
+loop:
+    addi t1, t1, 3
+    xor t2, t1, t0
+    slli t3, t2, 1
+    sub t4, t3, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return rv32im()
+
+
+@pytest.fixture(scope="module")
+def image():
+    return assemble(LOOP)
+
+
+def test_decoder_throughput(benchmark, isa):
+    benchmark.group = "frontend"
+    words = [0x002081B3, 0xFFF10093, 0x00832283, 0x027302B3, 0x00C59533]
+
+    def decode_many():
+        decoder = isa.decoder
+        for _ in range(200):
+            for word in words:
+                decoder.decode(word)
+
+    benchmark(decode_many)
+
+
+def test_assembler_throughput(benchmark):
+    benchmark.group = "frontend"
+    source = "_start:\n" + " addi t0, t0, 1\n" * 300
+    benchmark(lambda: assemble(source))
+
+
+def test_concrete_emulator(benchmark, isa, image):
+    benchmark.group = "interp"
+
+    def run():
+        interp = ConcreteInterpreter(isa)
+        interp.load_image(image)
+        return interp.run().instret
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 10_000
+
+
+@pytest.mark.parametrize(
+    "engine_name,factory",
+    [
+        ("binsym", lambda isa, image: BinSymExecutor(isa, image)),
+        ("binsec", lambda isa, image: DbaEngine(isa, image)),
+        ("angr", lambda isa, image: VexEngine(isa, image)),
+        ("symex-vp", lambda isa, image: VpExecutor(isa, image)),
+    ],
+)
+def test_engine_concrete_throughput(benchmark, isa, image, engine_name, factory):
+    """Per-engine instruction throughput on concrete-only code."""
+    benchmark.group = "interp"
+
+    def run():
+        executor = factory(isa, image)
+        return executor.execute(InputAssignment()).instret
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 10_000

@@ -1,0 +1,103 @@
+"""SMT substrate microbenchmarks: terms, bit-blasting, CDCL search.
+
+These locate where solving time goes (the paper's future-work question
+about SMT query complexity): term construction with/without interning
+payoff, bit-blasting cost per operation class, and CDCL behaviour on
+structured instances.
+"""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.sat import SatSolver
+from repro.smt.solver import Result, Solver
+
+
+def build_chain(width, depth):
+    x = T.bv_var("x", width)
+    term = x
+    for i in range(depth):
+        term = T.add(T.xor(term, T.bv(i + 1, width)), x)
+    return term
+
+
+def test_term_construction_chain(benchmark):
+    benchmark.group = "terms"
+    benchmark(lambda: build_chain(32, 200))
+
+
+def test_term_interning_hit_rate(benchmark):
+    benchmark.group = "terms"
+    build_chain(32, 200)  # warm
+
+    def rebuild():
+        return build_chain(32, 200)  # every node is an interner hit
+
+    benchmark(rebuild)
+
+
+def bitblast_and_solve(width, op):
+    solver = Solver()
+    a = T.bv_var("a", width)
+    b = T.bv_var("b", width)
+    out = T.bv_var("out", width)
+    solver.add(T.eq(out, op(a, b)))
+    solver.add(T.eq(a, T.bv(0x1234 & ((1 << width) - 1), width)))
+    solver.add(T.eq(b, T.bv(0x0056, width)))
+    assert solver.check() is Result.SAT
+    return solver
+
+
+@pytest.mark.parametrize("op_name", ["add", "mul", "udiv", "shl"])
+def test_bitblast_op_32(benchmark, op_name):
+    benchmark.group = "bitblast"
+    op = {"add": T.add, "mul": T.mul, "udiv": T.udiv, "shl": T.shl}[op_name]
+    benchmark.pedantic(
+        lambda: bitblast_and_solve(32 if op_name != "udiv" else 16, op),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_sat_pigeonhole(benchmark):
+    """UNSAT proof of PHP(5 -> 4): CDCL learning workout."""
+    benchmark.group = "sat"
+
+    def php():
+        solver = SatSolver()
+        holes, pigeons = 4, 5
+        var = {
+            (p, h): solver.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            solver.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[p1, h], -var[p2, h]])
+        assert solver.solve() is False
+        return solver
+
+    benchmark.pedantic(php, rounds=3, iterations=1)
+
+
+def test_incremental_assumption_queries(benchmark):
+    """The explorer's workhorse pattern: one solver, many queries."""
+    benchmark.group = "sat"
+
+    def run():
+        solver = Solver()
+        x = T.bv_var("x", 32)
+        conditions = [
+            T.ult(x, T.bv(bound, 32)) for bound in range(1000, 1030)
+        ]
+        sat_count = 0
+        for i, condition in enumerate(conditions):
+            prefix = conditions[:i]
+            if solver.check(prefix + [T.bnot(condition)]) is Result.SAT:
+                sat_count += 1
+        return sat_count
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run at the *default* workload scales (seconds, not hours);
+``--paper-scale`` reproduction is done through the module drivers
+(``python -m repro.eval.table1 --paper-scale``), see EXPERIMENTS.md.
+Every benchmark resets the global term interner first so measurements
+do not depend on execution order.
+"""
+
+import pytest
+
+from repro.smt import terms
+
+
+@pytest.fixture(autouse=True)
+def fresh_interner():
+    terms.reset_interner()
+    yield

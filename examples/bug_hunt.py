@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Hunting lifter bugs: Fig. 5 and automatic differential testing.
+
+Part 1 replays the paper's Fig. 5: the ``parse_word`` function analysed
+with an angr-style engine whose lifter has the historical shamt-signed
+bug produces one *false positive* (a spurious assertion failure) and one
+*false negative* (the real failure is missed), while BinSym — deriving
+its semantics from the formal specification — reports exactly the real
+failure.
+
+Part 2 shows how such bugs are found *automatically*: random
+single-instruction differential testing of the lifter against the
+specification-derived emulator rediscovers all five historical angr
+bugs in seconds and certifies the fixed lifter clean.
+
+Run:  python examples/bug_hunt.py
+"""
+
+from repro.baselines.vexir import VexEngine
+from repro.baselines.vexir.lifter import BUG_DESCRIPTIONS, FIVE_ANGR_BUGS
+from repro.eval.bugs import run_fig5
+from repro.eval.difftest import bug_classes_for, difftest_engine
+
+def part1_fig5() -> None:
+    print("=" * 64)
+    print("Part 1 — Fig. 5: parse_word(x) under symbolic x")
+    print("=" * 64)
+    for outcome in run_fig5(engines=("binsym", "angr", "angr-buggy")):
+        flags = []
+        if outcome.false_positive:
+            flags.append("FALSE POSITIVE (spurious assert on x==1 path)")
+        if outcome.false_negative:
+            flags.append("FALSE NEGATIVE (real failure missed)")
+        verdict = "; ".join(flags) if flags else "correct result"
+        print(f"  {outcome.engine:12s} paths={outcome.paths}  {verdict}")
+    print()
+
+
+def part2_difftest() -> None:
+    print("=" * 64)
+    print("Part 2 — differential testing vs the formal specification")
+    print("=" * 64)
+
+    print("\nbuggy lifter (all five bugs seeded), 400 random instructions:")
+    buggy = difftest_engine(
+        lambda isa, img: VexEngine(isa, img, bugs=FIVE_ANGR_BUGS),
+        iterations=400,
+        seed=7,
+    )
+    print(f"  {len(buggy)} divergences observed; example findings:")
+    seen = set()
+    for divergence in buggy:
+        if divergence.mnemonic not in seen:
+            seen.add(divergence.mnemonic)
+            print(f"    {divergence.describe()}")
+    found = bug_classes_for(buggy)
+    print(f"\n  bug classes rediscovered ({len(found)}/5):")
+    for bug in sorted(found):
+        print(f"    - {bug}: {BUG_DESCRIPTIONS[bug]}")
+
+    print("\nfixed lifter, same 400 instructions:")
+    fixed = difftest_engine(
+        lambda isa, img: VexEngine(isa, img),
+        iterations=400,
+        seed=7,
+    )
+    print(f"  {len(fixed)} divergences (expected 0 — the fixed lifter "
+          "agrees with the spec)")
+
+
+if __name__ == "__main__":
+    part1_fig5()
+    part2_difftest()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Sect. IV case study: adding a custom MADD instruction.
+
+Reproduces the paper's extensibility experiment end to end:
+
+* the *encoding* comes from 7 lines of riscv-opcodes YAML (Fig. 3),
+* the *semantics* are 7 lines over existing DSL primitives (Fig. 4),
+* **zero** lines of the symbolic engine change — BinSym picks the new
+  instruction up through the specification, symbolically executes it,
+  and the solver reasons about it.
+
+Run:  python examples/custom_instruction.py
+"""
+
+from repro.asm import Assembler, encode_instruction
+from repro.core import BinSymExecutor, Explorer
+from repro.spec import rv32im, rv32im_zimadd
+from repro.spec.zimadd import MADD_YAML
+
+# A program using MADD: y = (a * b) + c, then branch on the result.
+# The .word form emits the instruction through its encoding directly,
+# proving the decoder derives everything from the YAML table entry.
+SOURCE_TEMPLATE = """\
+_start:
+    li a0, 0x20000
+    li a1, 1
+    li a7, 1337
+    ecall                   # one symbolic byte: the multiplier
+
+    li t0, 0x20000
+    lbu t1, 0(t0)           # a (symbolic)
+    li t2, 7                # b
+    li t3, 5                # c
+    .word {madd_word}       # madd t4, t1, t2, t3  ->  t4 = a*7 + 5
+    li t5, 26
+    beq t4, t5, hit         # reachable iff a == 3
+    li a0, 0
+    li a7, 93
+    ecall
+hit:
+    li a0, 1
+    li a7, 93
+    ecall
+"""
+
+
+def main() -> None:
+    print("Fig. 3 — the 7-line YAML encoding description:")
+    print(MADD_YAML)
+
+    # The ISA with the Zimadd extension; the engine is *unchanged*.
+    isa = rv32im_zimadd()
+    madd = isa.decoder.by_name("madd")
+    print(f"decoded from YAML: mask={madd.mask:#x} match={madd.match:#x} "
+          f"fmt={madd.fmt} fields={madd.fields}")
+
+    # t4=x29, t1=x6, t2=x7, t3=x28
+    word = encode_instruction(madd, rd=29, rs1=6, rs2=7, rs3=28)
+    source = SOURCE_TEMPLATE.format(madd_word=f"{word:#010x}")
+
+    image = Assembler(isa=isa).assemble(source)
+    result = Explorer(BinSymExecutor(isa, image)).explore()
+
+    print(f"\nsymbolic exploration over MADD: {result.summary()}")
+    hits = [p for p in result.paths if p.exit_code == 1]
+    assert len(hits) == 1
+    executor_inputs = hits[0].assignment.values
+    value = next(iter(executor_inputs.values()))
+    print(f"solver found the multiplier satisfying a*7 + 5 == 26: a = {value}")
+    assert value == 3
+
+    # The baseline ISA must NOT know the instruction.
+    base = rv32im()
+    assert "madd" not in base.decoder
+    print("\nbase RV32IM decoder rejects the word; only the extended ISA "
+          "accepts it — no BinSym code was modified for this instruction.")
+
+
+if __name__ == "__main__":
+    main()

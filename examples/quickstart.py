@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a tiny RV32 program and explore all of its paths.
+
+Demonstrates the complete BinSym pipeline on a password check:
+
+1. assemble RV32 assembly into a loadable image (no toolchain needed),
+2. mark a 4-byte buffer as symbolic program input,
+3. run the offline (concolic) explorer until every feasible path is
+   found,
+4. inspect the inputs the solver produced — including the one that
+   reaches the "unlock" branch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asm import assemble
+from repro.core import BinSymExecutor, Explorer
+from repro.spec import rv32im
+
+SOURCE = """\
+# Check a 4-byte PIN against a secret (byte-by-byte, early exit).
+_start:
+    li a0, 0x30000          # input buffer
+    li a1, 4
+    li a7, 1337
+    ecall                   # make_symbolic(buffer, 4)
+
+    li s0, 0x30000          # input
+    la s1, secret           # expected PIN
+    li t0, 0                # index
+check:
+    li t1, 4
+    beq t0, t1, unlocked    # all bytes matched (concrete)
+    add t2, s0, t0
+    lbu t3, 0(t2)
+    add t2, s1, t0
+    lbu t4, 0(t2)
+    bne t3, t4, locked      # symbolic compare per byte
+    addi t0, t0, 1
+    j check
+unlocked:
+    li a0, 1                # exit code 1: PIN accepted
+    li a7, 93
+    ecall
+locked:
+    li a0, 0                # exit code 0: PIN rejected
+    li a7, 93
+    ecall
+
+.data
+secret:
+    .byte 0x13, 0x37, 0x42, 0x99
+"""
+
+
+def main() -> None:
+    image = assemble(SOURCE)
+    isa = rv32im()
+
+    executor = BinSymExecutor(isa, image)
+    result = Explorer(executor).explore()
+
+    print(f"exploration: {result.summary()}")
+    print()
+    for path in result.paths:
+        sym_inputs = sorted(
+            executor.interpreter.inputs.values(), key=lambda i: i.address
+        )
+        pin = path.assignment.as_bytes(sym_inputs)
+        verdict = "ACCEPTED" if path.exit_code == 1 else "rejected"
+        print(f"  path {path.index}: input={pin.hex()}  ->  {verdict}")
+
+    accepted = [p for p in result.paths if p.exit_code == 1]
+    assert len(accepted) == 1, "exactly one input should unlock"
+    print()
+    print("The solver recovered the secret PIN from the binary alone:")
+    sym_inputs = sorted(
+        executor.interpreter.inputs.values(), key=lambda i: i.address
+    )
+    print(f"  {accepted[0].assignment.as_bytes(sym_inputs).hex()} == 13374299")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Modular interpreters: the same spec, three analyses.
+
+The paper's architecture (Sect. III) separates the formal ISA
+specification from its interpreters.  This example runs one binary
+through three of them:
+
+1. the concrete interpreter (just executes),
+2. the DIFT interpreter (tracks which control-flow decisions depend on
+   untrusted input — the analysis the LibRISCV prior work shipped),
+3. BinSym (turns the same information flow into SMT queries and finds
+   the input that reaches the dangerous branch).
+
+None of the three contains instruction-specific code; all behaviour
+flows from `repro.spec`.
+
+Run:  python examples/taint_tracking.py
+"""
+
+from repro.asm import assemble
+from repro.concrete import ConcreteInterpreter
+from repro.concrete.dift import DiftInterpreter
+from repro.concrete.tracer import TracingInterpreter
+from repro.core import BinSymExecutor, Explorer
+from repro.spec import rv32im
+
+# A message router: the first input byte selects an output queue; the
+# value 0xFF routes into the "admin" queue (the dangerous branch).
+SOURCE = """\
+_start:
+    li a0, 0x30000
+    li a1, 2
+    li a7, 1337
+    ecall                   # make_symbolic(input, 2): untrusted input
+
+    li t0, 0x30000
+    lbu t1, 0(t0)           # queue selector (untrusted)
+    lbu t2, 1(t0)           # payload (untrusted)
+    li t3, 0xff
+    beq t1, t3, admin_queue # tainted branch #1
+    andi t4, t1, 3          # queue index 0..3
+    la t5, queues
+    add t5, t5, t4
+    sb t2, 0(t5)
+    li a0, 0
+    li a7, 93
+    ecall
+admin_queue:
+    sb t2, 0(t5)            # payload lands in the admin queue
+    li a0, 1
+    li a7, 93
+    ecall
+
+.data
+    .org 0x20100
+queues:
+    .space 4
+"""
+
+
+def main() -> None:
+    isa = rv32im()
+    image = assemble(SOURCE)
+
+    print("1) concrete interpreter — just runs (input bytes default 0):")
+    concrete = ConcreteInterpreter(isa)
+    concrete.load_image(image)
+    hart = concrete.run()
+    print(f"   exit code {hart.exit_code} after {hart.instret} instructions")
+
+    print("\n2) DIFT interpreter — which decisions depend on input?")
+    dift = DiftInterpreter(isa)
+    dift.load_image(image)
+    dift.run()
+    for branch in dift.tainted_branches:
+        print(f"   tainted control flow at pc={branch.pc:#x} "
+              f"(taken={branch.taken})")
+    assert len(dift.tainted_branches) == 1
+
+    print("\n3) BinSym — can untrusted input actually reach admin_queue?")
+    executor = BinSymExecutor(isa, image)
+    result = Explorer(executor).explore()
+    admin = [p for p in result.paths if p.exit_code == 1]
+    assert len(admin) == 1
+    print(f"   {result.num_paths} paths; admin queue reachable with "
+          f"selector byte = "
+          f"{next(iter(admin[0].assignment.values.values())):#04x}")
+
+    print("\nBonus: instruction trace of the admin path "
+          "(tracer, a fourth interpreter):")
+    tracer = TracingInterpreter(isa)
+    tracer.load_image(image)
+    tracer.memory.write_byte(0x30000, 0xFF)
+    tracer.run()
+    print("\n".join("   " + line for line in tracer.render(limit=8).splitlines()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which need ``bdist_wheel``) are unavailable.
+Keeping a classic ``setup.py`` lets ``pip install -e .`` take the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

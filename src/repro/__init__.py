@@ -1,0 +1,21 @@
+"""BinSym reproduction: symbolic execution of RISC-V binaries from formal ISA semantics.
+
+Reproduction of "Accurate and Extensible Symbolic Execution of Binary
+Code based on Formal ISA Semantics" (DATE 2025).  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Layering (bottom up):
+
+* :mod:`repro.smt` — QF_BV terms + bit-blasting + CDCL SAT (Z3 stand-in)
+* :mod:`repro.spec` — executable formal ISA specification (LibRISCV analogue)
+* :mod:`repro.arch` — value-type-generic hardware state components
+* :mod:`repro.asm` / :mod:`repro.loader` — RV32IM assembler and ELF32 loader
+* :mod:`repro.concrete` — concrete modular interpreter (emulator)
+* :mod:`repro.core` — BinSym: the symbolic modular interpreter + explorer
+* :mod:`repro.baselines` — angr-, BINSEC- and SymEx-VP-style engines
+* :mod:`repro.eval` — Table I / Fig. 5 / Fig. 6 experiment drivers
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

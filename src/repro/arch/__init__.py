@@ -1,0 +1,23 @@
+"""Generic hardware-state components, parameterized over the value type.
+
+The reusable pieces the paper highlights as a major benefit of building
+on an executable formal specification: the register file, memory and
+hart state are written once and instantiated by each modular interpreter
+at its own value domain (ints for the emulator, concolic values for
+BinSym and the baseline engines).
+"""
+
+from .hart import HaltReason, Hart
+from .memory import ByteMemory, MemoryFault, ShadowMemory
+from .regfile import ABI_NAMES, RegisterFile, register_index
+
+__all__ = [
+    "Hart",
+    "HaltReason",
+    "ByteMemory",
+    "ShadowMemory",
+    "MemoryFault",
+    "RegisterFile",
+    "ABI_NAMES",
+    "register_index",
+]

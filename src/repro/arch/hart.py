@@ -1,0 +1,53 @@
+"""Hart (hardware thread) state container.
+
+Bundles the program counter with the generic register file.  Interpreters
+instantiate it at their own value type; the exit/trap bookkeeping is
+shared across engines so the exploration driver can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from .regfile import RegisterFile
+
+V = TypeVar("V")
+
+__all__ = ["Hart", "HaltReason"]
+
+
+class HaltReason:
+    """Why a hart stopped executing (string constants, not an enum, so
+    engine-specific reasons can be added without touching this module)."""
+
+    EXIT = "exit"  # ecall exit
+    EBREAK = "ebreak"  # breakpoint / assertion failure
+    ILLEGAL = "illegal-instruction"
+    OUT_OF_FUEL = "out-of-fuel"  # instruction budget exhausted
+    MEMORY_FAULT = "memory-fault"
+
+
+class Hart(Generic[V]):
+    """Program counter + register file + halt bookkeeping."""
+
+    __slots__ = ("pc", "regs", "halted", "halt_reason", "exit_code", "instret")
+
+    def __init__(self, zero_value: V, pc: int = 0):
+        self.pc = pc
+        self.regs: RegisterFile[V] = RegisterFile(zero_value)
+        self.halted = False
+        self.halt_reason: Optional[str] = None
+        self.exit_code: Optional[int] = None
+        self.instret = 0  # retired instruction counter
+
+    def halt(self, reason: str, exit_code: Optional[int] = None) -> None:
+        self.halted = True
+        self.halt_reason = reason
+        self.exit_code = exit_code
+
+    def reset(self, pc: int) -> None:
+        self.pc = pc
+        self.halted = False
+        self.halt_reason = None
+        self.exit_code = None
+        self.instret = 0

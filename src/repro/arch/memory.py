@@ -1,0 +1,125 @@
+"""Byte-addressable memory components.
+
+Two layers, matching how the interpreters use memory:
+
+* :class:`ByteMemory` — the concrete backing store shared by every
+  engine: a sparse, page-granular bytearray heap with little-endian
+  multi-byte accessors (RISC-V is little-endian).
+* :class:`ShadowMemory` — a sparse overlay used by the symbolic
+  interpreters to attach a shadow value (an SMT term) to individual
+  bytes; bytes without shadow entries are concrete-only.  Keeping
+  symbolic state as a sparse overlay over a concrete store is what makes
+  the concolic fast path cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Optional, TypeVar
+
+__all__ = ["ByteMemory", "ShadowMemory", "MemoryFault"]
+
+S = TypeVar("S")
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+_ADDR_MASK = 0xFFFFFFFF
+
+
+class MemoryFault(Exception):
+    """Raised on invalid-width accesses (alignment is not enforced)."""
+
+
+class ByteMemory:
+    """Sparse paged byte memory with little-endian word accessors."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+
+    def _page_for(self, addr: int) -> bytearray:
+        page_number = addr >> _PAGE_BITS
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    def read_byte(self, addr: int) -> int:
+        addr &= _ADDR_MASK
+        page = self._pages.get(addr >> _PAGE_BITS)
+        if page is None:
+            return 0
+        return page[addr & _PAGE_MASK]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        addr &= _ADDR_MASK
+        self._page_for(addr)[addr & _PAGE_MASK] = value & 0xFF
+
+    def read(self, addr: int, width_bits: int) -> int:
+        """Little-endian read of 8/16/32 bits."""
+        if width_bits not in (8, 16, 32):
+            raise MemoryFault(f"unsupported access width {width_bits}")
+        value = 0
+        for i in range(width_bits // 8):
+            value |= self.read_byte(addr + i) << (8 * i)
+        return value
+
+    def write(self, addr: int, value: int, width_bits: int) -> None:
+        """Little-endian write of 8/16/32 bits."""
+        if width_bits not in (8, 16, 32):
+            raise MemoryFault(f"unsupported access width {width_bits}")
+        for i in range(width_bits // 8):
+            self.write_byte(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.write_byte(addr + i, byte)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return bytes(self.read_byte(addr + i) for i in range(length))
+
+    def read_cstring(self, addr: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated string (diagnostics / syscalls)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.read_byte(addr + i)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)
+
+    def clone(self) -> "ByteMemory":
+        copy = ByteMemory()
+        copy._pages = {number: bytearray(page) for number, page in self._pages.items()}
+        return copy
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of allocated backing store (diagnostics)."""
+        return len(self._pages) * _PAGE_SIZE
+
+
+class ShadowMemory(Generic[S]):
+    """Sparse per-byte shadow values over a concrete store."""
+
+    def __init__(self) -> None:
+        self._shadow: dict[int, S] = {}
+
+    def get(self, addr: int) -> Optional[S]:
+        return self._shadow.get(addr & _ADDR_MASK)
+
+    def set(self, addr: int, value: Optional[S]) -> None:
+        addr &= _ADDR_MASK
+        if value is None:
+            self._shadow.pop(addr, None)
+        else:
+            self._shadow[addr] = value
+
+    def clear(self) -> None:
+        self._shadow.clear()
+
+    def tainted_addresses(self) -> Iterable[int]:
+        return self._shadow.keys()
+
+    def __len__(self) -> int:
+        return len(self._shadow)

@@ -1,0 +1,14 @@
+"""RV32IM(+custom) assembler.
+
+A two-pass assembler replacing the GNU binutils cross toolchain (not
+available offline): GNU-as-style syntax, standard pseudo-instructions,
+``%hi``/``%lo`` relocations and data directives.  Encodings come from
+the same riscv-opcodes tables the decoder uses, so assembler and
+disassembler cannot drift apart.
+"""
+
+from .assembler import Assembler, assemble
+from .encoder import encode_instruction
+from .parser import AsmError, parse_source
+
+__all__ = ["Assembler", "assemble", "encode_instruction", "AsmError", "parse_source"]

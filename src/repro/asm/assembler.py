@@ -1,0 +1,361 @@
+"""Two-pass RV32 assembler producing loadable images.
+
+Pass 1 expands pseudo-instructions, lays out sections and binds labels;
+pass 2 resolves symbols/relocations and encodes instruction words via
+the shared riscv-opcodes tables.  The output is an
+:class:`repro.loader.image.Image`, directly loadable by every engine or
+writable to an ELF file via :mod:`repro.loader.elf`.
+
+Supported source constructs are documented in :mod:`repro.asm.parser`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..loader.image import Image
+from ..spec.isa import ISA, rv32im
+from .encoder import encode_instruction
+from .parser import (
+    AsmError,
+    DirectiveStmt,
+    HiLo,
+    Immediate,
+    InstructionStmt,
+    LabelStmt,
+    MemOperand,
+    Register,
+    Symbol,
+    parse_source,
+)
+from .pseudo import expand_pseudo
+
+__all__ = ["Assembler", "assemble"]
+
+_DEFAULT_TEXT_BASE = 0x0001_0000
+_DEFAULT_DATA_BASE = 0x0002_0000
+
+
+@dataclass
+class _Section:
+    name: str
+    base: int
+    data: bytearray
+
+    @property
+    def cursor(self) -> int:
+        return self.base + len(self.data)
+
+    def pad_to(self, address: int, line: Optional[int] = None) -> None:
+        if address < self.cursor:
+            raise AsmError(
+                f".org/.align going backwards ({address:#x} < {self.cursor:#x})",
+                line,
+            )
+        self.data.extend(b"\x00" * (address - self.cursor))
+
+    def append(self, payload: bytes) -> None:
+        self.data.extend(payload)
+
+
+class Assembler:
+    """Assembler bound to an ISA (defaults to RV32IM)."""
+
+    def __init__(
+        self,
+        isa: Optional[ISA] = None,
+        text_base: int = _DEFAULT_TEXT_BASE,
+        data_base: int = _DEFAULT_DATA_BASE,
+    ):
+        self.isa = isa if isa is not None else rv32im()
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str, entry_symbol: str = "_start") -> Image:
+        """Assemble source text into an Image.
+
+        The entry point is the ``entry_symbol`` label if defined, else
+        the start of the text section.
+        """
+        statements = parse_source(source)
+        symbols, placed = self._layout(statements)
+        image = self._emit(placed, symbols)
+        image.entry = symbols.get(entry_symbol, self.text_base)
+        return image
+
+    # ------------------------------------------------------------------
+    # Pass 1: layout
+    # ------------------------------------------------------------------
+
+    def _layout(self, statements):
+        """Bind labels and compute per-statement addresses."""
+        text = _Section("text", self.text_base, bytearray())
+        data = _Section("data", self.data_base, bytearray())
+        sections = {"text": text, "data": data}
+        current = text
+        symbols: dict[str, int] = {}
+        placed: list[tuple[int, str, Union[InstructionStmt, DirectiveStmt]]] = []
+
+        def define(name: str, value: int, line: int) -> None:
+            if name in symbols:
+                raise AsmError(f"duplicate symbol {name!r}", line)
+            symbols[name] = value
+
+        for stmt in statements:
+            if isinstance(stmt, LabelStmt):
+                define(stmt.name, current.cursor, stmt.line)
+            elif isinstance(stmt, DirectiveStmt):
+                current = self._layout_directive(
+                    stmt, current, sections, symbols, define, placed
+                )
+            elif isinstance(stmt, InstructionStmt):
+                for real in expand_pseudo(stmt):
+                    placed.append((current.cursor, current.name, real))
+                    current.append(b"\x00\x00\x00\x00")  # patched in pass 2
+            else:  # pragma: no cover - parser produces only these
+                raise AsmError(f"unexpected statement {stmt!r}")
+        return symbols, (placed, sections)
+
+    def _layout_directive(self, stmt, current, sections, symbols, define, placed):
+        name = stmt.name
+        if name == ".text":
+            return sections["text"]
+        if name == ".data":
+            return sections["data"]
+        if name in (".globl", ".global", ".type", ".size", ".section"):
+            return current  # accepted and ignored
+        if name == ".org":
+            (target,) = stmt.args
+            if not isinstance(target, Immediate):
+                raise AsmError(".org expects an address", stmt.line)
+            current.pad_to(target.value, stmt.line)
+            return current
+        if name in (".align", ".p2align"):
+            (power,) = stmt.args
+            alignment = 1 << power.value
+            remainder = current.cursor % alignment
+            if remainder:
+                current.pad_to(current.cursor + alignment - remainder, stmt.line)
+            return current
+        if name == ".balign":
+            (alignment,) = stmt.args
+            remainder = current.cursor % alignment.value
+            if remainder:
+                current.pad_to(current.cursor + alignment.value - remainder, stmt.line)
+            return current
+        if name in (".equ", ".set"):
+            label, value = stmt.args
+            if not isinstance(label, Symbol) or not isinstance(value, Immediate):
+                raise AsmError(f"{name} expects symbol, immediate", stmt.line)
+            define(label.name, value.value, stmt.line)
+            return current
+        if name in (".word", ".half", ".byte", ".ascii", ".asciz", ".string",
+                    ".space", ".zero"):
+            placed.append((current.cursor, current.name, stmt))
+            current.append(b"\x00" * self._directive_size(stmt))
+            return current
+        raise AsmError(f"unknown directive {name}", stmt.line)
+
+    @staticmethod
+    def _directive_size(stmt: DirectiveStmt) -> int:
+        name = stmt.name
+        if name == ".word":
+            return 4 * len(stmt.args)
+        if name == ".half":
+            return 2 * len(stmt.args)
+        if name == ".byte":
+            return len(stmt.args)
+        if name == ".ascii":
+            return sum(len(a) for a in stmt.args)
+        if name in (".asciz", ".string"):
+            return sum(len(a) + 1 for a in stmt.args)
+        # .space / .zero
+        (count,) = stmt.args
+        return count.value
+
+    # ------------------------------------------------------------------
+    # Pass 2: resolve + encode
+    # ------------------------------------------------------------------
+
+    def _emit(self, placed_and_sections, symbols) -> Image:
+        placed, sections = placed_and_sections
+        for address, section_name, stmt in placed:
+            section = sections[section_name]
+            offset = address - section.base
+            if isinstance(stmt, InstructionStmt):
+                word = self._encode(stmt, address, symbols)
+                section.data[offset : offset + 4] = struct.pack("<I", word)
+            else:
+                payload = self._directive_bytes(stmt, symbols)
+                section.data[offset : offset + len(payload)] = payload
+        image = Image(symbols=dict(symbols))
+        for section in sections.values():
+            image.add_segment(section.base, bytes(section.data))
+        return image
+
+    def _directive_bytes(self, stmt: DirectiveStmt, symbols) -> bytes:
+        name = stmt.name
+        out = bytearray()
+        if name in (".word", ".half", ".byte"):
+            size = {".word": 4, ".half": 2, ".byte": 1}[name]
+            for arg in stmt.args:
+                value = self._resolve_data_value(arg, symbols, stmt.line)
+                out.extend(value.to_bytes(size, "little", signed=False))
+        elif name == ".ascii":
+            for arg in stmt.args:
+                out.extend(arg)
+        elif name in (".asciz", ".string"):
+            for arg in stmt.args:
+                out.extend(arg)
+                out.append(0)
+        else:  # .space / .zero
+            out.extend(b"\x00" * stmt.args[0].value)
+        return bytes(out)
+
+    @staticmethod
+    def _resolve_data_value(arg, symbols, line) -> int:
+        if isinstance(arg, Immediate):
+            return arg.value & 0xFFFFFFFF
+        if isinstance(arg, Symbol):
+            try:
+                return (symbols[arg.name] + arg.addend) & 0xFFFFFFFF
+            except KeyError:
+                raise AsmError(f"undefined symbol {arg.name!r}", line) from None
+        raise AsmError(f"bad data value {arg!r}", line)
+
+    def _encode(self, stmt: InstructionStmt, address: int, symbols) -> int:
+        mnemonic = stmt.mnemonic
+        try:
+            encoding = self.isa.decoder.by_name(mnemonic)
+        except KeyError:
+            raise AsmError(f"unknown instruction {mnemonic!r}", stmt.line) from None
+        fmt = encoding.fmt
+        ops = list(stmt.operands)
+
+        def reg(op) -> int:
+            if not isinstance(op, Register):
+                raise AsmError(
+                    f"{mnemonic}: expected register, got {op!r}", stmt.line
+                )
+            return op.index
+
+        def imm_value(op, pc_relative: bool) -> int:
+            if isinstance(op, Immediate):
+                return op.value
+            if isinstance(op, Symbol):
+                try:
+                    target = symbols[op.name] + op.addend
+                except KeyError:
+                    raise AsmError(
+                        f"undefined symbol {op.name!r}", stmt.line
+                    ) from None
+                return (target - address) if pc_relative else target
+            if isinstance(op, HiLo):
+                try:
+                    target = (symbols[op.symbol] + op.addend) & 0xFFFFFFFF
+                except KeyError:
+                    raise AsmError(
+                        f"undefined symbol {op.symbol!r}", stmt.line
+                    ) from None
+                if op.kind == "hi":
+                    return ((target + 0x800) >> 12) & 0xFFFFF
+                low = target & 0xFFF
+                return low - 0x1000 if low & 0x800 else low
+            raise AsmError(f"{mnemonic}: bad immediate {op!r}", stmt.line)
+
+        if fmt == "r":
+            if len(ops) != 3:
+                raise AsmError(f"{mnemonic} expects rd, rs1, rs2", stmt.line)
+            return encode_instruction(
+                encoding, rd=reg(ops[0]), rs1=reg(ops[1]), rs2=reg(ops[2]),
+                line=stmt.line,
+            )
+        if fmt == "r4":
+            if len(ops) != 4:
+                raise AsmError(f"{mnemonic} expects rd, rs1, rs2, rs3", stmt.line)
+            return encode_instruction(
+                encoding, rd=reg(ops[0]), rs1=reg(ops[1]), rs2=reg(ops[2]),
+                rs3=reg(ops[3]), line=stmt.line,
+            )
+        if fmt in ("i", "shift"):
+            # jalr also accepts `jalr rd, offset(rs1)`.
+            if len(ops) == 2 and isinstance(ops[1], MemOperand):
+                mem = ops[1]
+                return encode_instruction(
+                    encoding, rd=reg(ops[0]), rs1=mem.base.index,
+                    imm=imm_value(mem.offset, pc_relative=False), line=stmt.line,
+                )
+            if len(ops) != 3:
+                raise AsmError(f"{mnemonic} expects rd, rs1, imm", stmt.line)
+            return encode_instruction(
+                encoding, rd=reg(ops[0]), rs1=reg(ops[1]),
+                imm=imm_value(ops[2], pc_relative=False), line=stmt.line,
+            )
+        if fmt == "load":
+            if len(ops) == 2 and isinstance(ops[1], MemOperand):
+                mem = ops[1]
+                return encode_instruction(
+                    encoding, rd=reg(ops[0]), rs1=mem.base.index,
+                    imm=imm_value(mem.offset, pc_relative=False), line=stmt.line,
+                )
+            if len(ops) == 3:
+                return encode_instruction(
+                    encoding, rd=reg(ops[0]), rs1=reg(ops[1]),
+                    imm=imm_value(ops[2], pc_relative=False), line=stmt.line,
+                )
+            raise AsmError(f"{mnemonic} expects rd, offset(rs1)", stmt.line)
+        if fmt == "s":
+            if len(ops) == 2 and isinstance(ops[1], MemOperand):
+                mem = ops[1]
+                return encode_instruction(
+                    encoding, rs2=reg(ops[0]), rs1=mem.base.index,
+                    imm=imm_value(mem.offset, pc_relative=False), line=stmt.line,
+                )
+            if len(ops) == 3:
+                return encode_instruction(
+                    encoding, rs2=reg(ops[0]), rs1=reg(ops[1]),
+                    imm=imm_value(ops[2], pc_relative=False), line=stmt.line,
+                )
+            raise AsmError(f"{mnemonic} expects rs2, offset(rs1)", stmt.line)
+        if fmt == "b":
+            if len(ops) != 3:
+                raise AsmError(f"{mnemonic} expects rs1, rs2, target", stmt.line)
+            return encode_instruction(
+                encoding, rs1=reg(ops[0]), rs2=reg(ops[1]),
+                imm=imm_value(ops[2], pc_relative=True), line=stmt.line,
+            )
+        if fmt == "u":
+            if len(ops) != 2:
+                raise AsmError(f"{mnemonic} expects rd, imm", stmt.line)
+            return encode_instruction(
+                encoding, rd=reg(ops[0]),
+                imm=imm_value(ops[1], pc_relative=False), line=stmt.line,
+            )
+        if fmt == "j":
+            if len(ops) != 2:
+                raise AsmError(f"{mnemonic} expects rd, target", stmt.line)
+            return encode_instruction(
+                encoding, rd=reg(ops[0]),
+                imm=imm_value(ops[1], pc_relative=True), line=stmt.line,
+            )
+        if fmt in ("fence", "sys"):
+            if ops:
+                raise AsmError(f"{mnemonic} takes no operands", stmt.line)
+            return encode_instruction(encoding, line=stmt.line)
+        raise AsmError(f"unsupported format {fmt!r} for {mnemonic}", stmt.line)
+
+
+def assemble(
+    source: str,
+    isa: Optional[ISA] = None,
+    entry_symbol: str = "_start",
+    **kwargs,
+) -> Image:
+    """Convenience one-shot assembly (see :class:`Assembler`)."""
+    return Assembler(isa=isa, **kwargs).assemble(source, entry_symbol=entry_symbol)

@@ -1,0 +1,139 @@
+"""Disassembler: instruction words back to assembly text.
+
+Generated from the same riscv-opcodes tables as the decoder and the
+assembler-encoder, completing the repository's single-source-of-truth
+loop: ``disassemble(assemble(text))`` round-trips modulo formatting,
+which the test-suite checks for every instruction.
+
+Used by the execution tracer (:mod:`repro.concrete.tracer`) and handy
+for debugging workload programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.regfile import ABI_NAMES
+from ..loader.image import Image
+from ..spec import fields
+from ..spec.decoder import Decoder, IllegalInstruction
+from ..spec.isa import ISA, rv32im
+
+__all__ = ["disassemble_word", "disassemble_image", "Disassembler"]
+
+
+def _reg(index: int) -> str:
+    return ABI_NAMES[index]
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class Disassembler:
+    """Table-driven disassembler for one ISA."""
+
+    def __init__(self, isa: Optional[ISA] = None):
+        self.isa = isa if isa is not None else rv32im()
+        self.decoder: Decoder = self.isa.decoder
+
+    def disassemble(self, word: int, pc: Optional[int] = None) -> str:
+        """Render one instruction word as assembly text.
+
+        For PC-relative instructions the resolved absolute target is
+        appended as a comment when ``pc`` is known.
+        """
+        try:
+            decoded = self.decoder.decode(word, pc)
+        except IllegalInstruction:
+            return f".word {word:#010x}"
+        name = decoded.name
+        fmt = decoded.encoding.fmt
+        if fmt == "r":
+            return (
+                f"{name} {_reg(fields.rd(word))}, {_reg(fields.rs1(word))}, "
+                f"{_reg(fields.rs2(word))}"
+            )
+        if fmt == "r4":
+            return (
+                f"{name} {_reg(fields.rd(word))}, {_reg(fields.rs1(word))}, "
+                f"{_reg(fields.rs2(word))}, {_reg(fields.rs3(word))}"
+            )
+        if fmt == "i":
+            return (
+                f"{name} {_reg(fields.rd(word))}, {_reg(fields.rs1(word))}, "
+                f"{_signed(fields.imm_i(word))}"
+            )
+        if fmt == "shift":
+            return (
+                f"{name} {_reg(fields.rd(word))}, {_reg(fields.rs1(word))}, "
+                f"{fields.shamt(word)}"
+            )
+        if fmt == "load":
+            return (
+                f"{name} {_reg(fields.rd(word))}, "
+                f"{_signed(fields.imm_i(word))}({_reg(fields.rs1(word))})"
+            )
+        if fmt == "s":
+            return (
+                f"{name} {_reg(fields.rs2(word))}, "
+                f"{_signed(fields.imm_s(word))}({_reg(fields.rs1(word))})"
+            )
+        if fmt == "b":
+            offset = _signed(fields.imm_b(word))
+            suffix = f"  # -> {pc + offset:#x}" if pc is not None else ""
+            return (
+                f"{name} {_reg(fields.rs1(word))}, {_reg(fields.rs2(word))}, "
+                f"{offset}{suffix}"
+            )
+        if fmt == "u":
+            return f"{name} {_reg(fields.rd(word))}, {fields.imm_u(word) >> 12:#x}"
+        if fmt == "j":
+            offset = _signed(fields.imm_j(word))
+            suffix = f"  # -> {pc + offset:#x}" if pc is not None else ""
+            return f"{name} {_reg(fields.rd(word))}, {offset}{suffix}"
+        # fence / sys
+        return name
+
+    def disassemble_range(
+        self, image: Image, start: int, count: int
+    ) -> list[tuple[int, int, str]]:
+        """Disassemble ``count`` words starting at ``start``.
+
+        Returns (address, word, text) triples.
+        """
+        from ..arch.memory import ByteMemory
+
+        memory = ByteMemory()
+        image.load_into(memory)
+        out = []
+        for i in range(count):
+            address = start + 4 * i
+            word = memory.read(address, 32)
+            out.append((address, word, self.disassemble(word, address)))
+        return out
+
+
+def disassemble_word(word: int, pc: Optional[int] = None, isa=None) -> str:
+    """One-shot disassembly of a single instruction word."""
+    return Disassembler(isa).disassemble(word, pc)
+
+
+def disassemble_image(image: Image, isa=None) -> str:
+    """Disassemble the text segment of an image (linear sweep).
+
+    Symbol names are printed as labels where they match addresses.
+    """
+    disassembler = Disassembler(isa)
+    by_address = {addr: name for name, addr in sorted(image.symbols.items())}
+    lines = []
+    text_segment = min(image.segments, key=lambda s: s.base)
+    listing = disassembler.disassemble_range(
+        image, text_segment.base, len(text_segment.data) // 4
+    )
+    for address, word, text in listing:
+        label = by_address.get(address)
+        if label:
+            lines.append(f"{label}:")
+        lines.append(f"  {address:#010x}:  {word:08x}  {text}")
+    return "\n".join(lines)

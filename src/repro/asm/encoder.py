@@ -1,0 +1,102 @@
+"""Instruction word encoding from the riscv-opcodes tables.
+
+The encoder is the write-direction twin of :mod:`repro.spec.decoder`:
+it starts from the same :class:`repro.spec.opcodes.Encoding` entry and
+deposits operand fields into the match word.  Because both directions
+share one table, ``decode(encode(x)) == x`` holds by construction — a
+property the test-suite checks for every instruction.
+"""
+
+from __future__ import annotations
+
+from ..spec.opcodes import Encoding
+from .parser import AsmError
+
+__all__ = ["encode_instruction", "check_signed_range", "check_unsigned_range"]
+
+
+def check_signed_range(value: int, bits: int, what: str, line=None) -> int:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise AsmError(f"{what} {value} out of signed {bits}-bit range", line)
+    return value & ((1 << bits) - 1)
+
+
+def check_unsigned_range(value: int, bits: int, what: str, line=None) -> int:
+    if not 0 <= value < (1 << bits):
+        raise AsmError(f"{what} {value} out of unsigned {bits}-bit range", line)
+    return value
+
+
+def _encode_b_imm(offset: int) -> int:
+    imm = offset & 0x1FFF
+    return (
+        (((imm >> 12) & 0x1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 0x1) << 7)
+    )
+
+
+def _encode_j_imm(offset: int) -> int:
+    imm = offset & 0x1FFFFF
+    return (
+        (((imm >> 20) & 0x1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 0x1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+    )
+
+
+def encode_instruction(
+    encoding: Encoding,
+    rd: int = 0,
+    rs1: int = 0,
+    rs2: int = 0,
+    rs3: int = 0,
+    imm: int = 0,
+    line=None,
+) -> int:
+    """Encode one instruction; ``imm`` is interpreted per format."""
+    word = encoding.match
+    fmt = encoding.fmt
+    if fmt in ("r", "r4", "i", "shift", "load", "u", "j"):
+        word |= (rd & 0x1F) << 7
+    if fmt in ("r", "r4", "i", "shift", "load", "s", "b"):
+        word |= (rs1 & 0x1F) << 15
+    if fmt in ("r", "r4", "s", "b"):
+        word |= (rs2 & 0x1F) << 20
+    if fmt == "r4":
+        word |= (rs3 & 0x1F) << 27
+    if fmt in ("i", "load"):
+        # Accept -2048..4095: negative two's complement or raw unsigned.
+        if imm < 0:
+            value = check_signed_range(imm, 12, "immediate", line)
+        elif imm < (1 << 12):
+            value = imm
+        else:
+            raise AsmError(f"immediate {imm} out of 12-bit range", line)
+        word |= value << 20
+    elif fmt == "shift":
+        word |= check_unsigned_range(imm, 5, "shift amount", line) << 20
+    elif fmt == "s":
+        value = check_signed_range(imm, 12, "store offset", line)
+        word |= ((value >> 5) & 0x7F) << 25
+        word |= (value & 0x1F) << 7
+    elif fmt == "b":
+        if imm % 2:
+            raise AsmError(f"branch offset {imm} is odd", line)
+        check_signed_range(imm, 13, "branch offset", line)
+        word |= _encode_b_imm(imm)
+    elif fmt == "u":
+        # The operand is the raw 20-bit field value (GNU as semantics for
+        # `lui`); %hi() resolution already produces the field value.
+        if not -(1 << 19) <= imm < (1 << 20):
+            raise AsmError(f"U-type immediate {imm} out of range", line)
+        word |= (imm & 0xFFFFF) << 12
+    elif fmt == "j":
+        if imm % 2:
+            raise AsmError(f"jump offset {imm} is odd", line)
+        check_signed_range(imm, 21, "jump offset", line)
+        word |= _encode_j_imm(imm)
+    return word & 0xFFFFFFFF

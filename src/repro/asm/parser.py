@@ -1,0 +1,297 @@
+"""Lexer and parser for RV32 assembly source.
+
+Supports the subset of GNU-as syntax the repository's programs use:
+
+* labels (``name:``), comments (``#``, ``//``, ``;``),
+* instructions with register/immediate/symbol operands,
+* memory operands ``offset(base)`` with symbolic or numeric offsets,
+* relocation operators ``%hi(sym)`` and ``%lo(sym)``,
+* directives: ``.text``, ``.data``, ``.org``, ``.align``, ``.globl``,
+  ``.word``, ``.half``, ``.byte``, ``.asciz``/``.string``, ``.ascii``,
+  ``.space``/``.zero``, ``.equ``/``.set``.
+
+The parser produces a flat statement list; layout and symbol resolution
+happen in :mod:`repro.asm.assembler`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..arch.regfile import register_index
+
+__all__ = [
+    "AsmError",
+    "Register",
+    "Immediate",
+    "Symbol",
+    "MemOperand",
+    "HiLo",
+    "Operand",
+    "LabelStmt",
+    "DirectiveStmt",
+    "InstructionStmt",
+    "Statement",
+    "parse_source",
+]
+
+
+class AsmError(ValueError):
+    """Assembly syntax or semantics error, annotated with a location."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+@dataclass(frozen=True)
+class Register:
+    index: int
+
+
+@dataclass(frozen=True)
+class Immediate:
+    value: int
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str
+    addend: int = 0
+
+
+@dataclass(frozen=True)
+class HiLo:
+    """%hi(sym+addend) / %lo(sym+addend) relocation operand."""
+
+    kind: str  # "hi" | "lo"
+    symbol: str
+    addend: int = 0
+
+
+@dataclass(frozen=True)
+class MemOperand:
+    """``offset(base)`` memory operand."""
+
+    offset: Union[Immediate, Symbol, HiLo]
+    base: Register
+
+
+Operand = Union[Register, Immediate, Symbol, HiLo, MemOperand]
+
+
+@dataclass
+class LabelStmt:
+    name: str
+    line: int
+
+
+@dataclass
+class DirectiveStmt:
+    name: str
+    args: list
+    line: int
+
+
+@dataclass
+class InstructionStmt:
+    mnemonic: str
+    operands: list
+    line: int
+
+
+Statement = Union[LabelStmt, DirectiveStmt, InstructionStmt]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)$")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_CHAR_RE = re.compile(r"^'(\\?.)'$")
+_MEM_RE = re.compile(r"^(.*)\(\s*([\w.$]+)\s*\)$")
+_HILO_RE = re.compile(r"^%(hi|lo)\(\s*([A-Za-z_.$][\w.$]*)\s*([+-]\s*\d+)?\s*\)$")
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote = None  # '"' inside strings, "'" inside char literals
+    i = 0
+    while i < len(line):
+        char = line[i]
+        if quote:
+            out.append(char)
+            if char == "\\" and i + 1 < len(line):
+                out.append(line[i + 1])
+                i += 2
+                continue
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            out.append(char)
+        elif char == "#" or char == ";":
+            break
+        elif char == "/" and i + 1 < len(line) and line[i + 1] == "/":
+            break
+        else:
+            out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _parse_char_literal(text: str) -> Optional[int]:
+    match = _CHAR_RE.match(text)
+    if not match:
+        return None
+    body = match.group(1)
+    if body.startswith("\\"):
+        escaped = body[1]
+        if escaped not in _ESCAPES:
+            raise AsmError(f"unknown escape {body!r}")
+        return _ESCAPES[escaped]
+    return ord(body)
+
+
+def parse_operand(text: str, line: int) -> Operand:
+    text = text.strip()
+    if not text:
+        raise AsmError("empty operand", line)
+    # Memory operand offset(base)?  (A bare %hi(sym) also matches the
+    # regex, but its "base" is not a register, so it falls through.)
+    mem_match = _MEM_RE.match(text)
+    if mem_match:
+        offset_text = mem_match.group(1).strip() or "0"
+        base_text = mem_match.group(2)
+        try:
+            base = Register(register_index(base_text))
+        except ValueError:
+            base = None
+        if base is not None:
+            offset = parse_operand(offset_text, line)
+            if isinstance(offset, (Immediate, Symbol, HiLo)):
+                return MemOperand(offset, base)
+            raise AsmError(f"bad memory offset {offset_text!r}", line)
+    # %hi/%lo relocation (possibly wrapping a mem operand handled above).
+    hilo_match = _HILO_RE.match(text)
+    if hilo_match:
+        addend_text = hilo_match.group(3)
+        addend = int(addend_text.replace(" ", "")) if addend_text else 0
+        return HiLo(hilo_match.group(1), hilo_match.group(2), addend)
+    # Register?
+    try:
+        return Register(register_index(text))
+    except ValueError:
+        pass
+    # Integer literal?
+    if _INT_RE.match(text):
+        return Immediate(int(text, 0))
+    char_value = _parse_char_literal(text)
+    if char_value is not None:
+        return Immediate(char_value)
+    # symbol +/- addend
+    for sign in ("+", "-"):
+        if sign in text[1:]:
+            head, _, tail = text.rpartition(sign)
+            head, tail = head.strip(), tail.strip()
+            if _SYMBOL_RE.match(head) and _INT_RE.match(tail):
+                addend = int(tail, 0)
+                return Symbol(head, addend if sign == "+" else -addend)
+    if _SYMBOL_RE.match(text):
+        return Symbol(text)
+    raise AsmError(f"cannot parse operand {text!r}", line)
+
+
+def _split_operands(text: str, line: int) -> list[str]:
+    """Split on commas not inside parentheses or quotes."""
+    parts = []
+    depth = 0
+    quote = None
+    current = []
+    for char in text:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char == "(":
+            depth += 1
+            current.append(char)
+        elif char == ")":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if quote:
+        raise AsmError("unterminated string", line)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_directive_arg(text: str, line: int):
+    text = text.strip()
+    if text.startswith('"'):
+        if not text.endswith('"') or len(text) < 2:
+            raise AsmError("unterminated string literal", line)
+        body = text[1:-1]
+        out = bytearray()
+        i = 0
+        while i < len(body):
+            char = body[i]
+            if char == "\\" and i + 1 < len(body):
+                escaped = body[i + 1]
+                if escaped not in _ESCAPES:
+                    raise AsmError(f"unknown escape \\{escaped}", line)
+                out.append(_ESCAPES[escaped])
+                i += 2
+            else:
+                out.append(ord(char))
+                i += 1
+        return bytes(out)
+    return parse_operand(text, line)
+
+
+def parse_source(source: str) -> list[Statement]:
+    """Parse assembly source into a statement list."""
+    statements: list[Statement] = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        # Peel off any leading labels (several per line are legal).
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            statements.append(LabelStmt(match.group(1), line_number))
+            line = line[match.end():].strip()
+        if not line:
+            continue
+        head, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if head.startswith("."):
+            args = (
+                [_parse_directive_arg(p, line_number) for p in _split_operands(rest, line_number)]
+                if rest
+                else []
+            )
+            statements.append(DirectiveStmt(head.lower(), args, line_number))
+        else:
+            operands = (
+                [parse_operand(p, line_number) for p in _split_operands(rest, line_number)]
+                if rest
+                else []
+            )
+            statements.append(InstructionStmt(head.lower(), operands, line_number))
+    return statements

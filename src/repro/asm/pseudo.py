@@ -1,0 +1,160 @@
+"""Pseudo-instruction expansion (RISC-V assembler conventions).
+
+Expands the standard pseudo-instructions (Unprivileged spec, Chapter 25
+"RISC-V Assembly Programmer's Handbook") into base instructions before
+encoding.  Expansion happens per-statement and may produce one or two
+real instructions; symbol-valued ``li``/``la`` always reserve two words
+(``lui``+``addi``) so that layout is stable across assembler passes.
+"""
+
+from __future__ import annotations
+
+from .parser import (
+    AsmError,
+    HiLo,
+    Immediate,
+    InstructionStmt,
+    MemOperand,
+    Register,
+    Symbol,
+)
+
+__all__ = ["expand_pseudo", "PSEUDO_MNEMONICS"]
+
+_ZERO = Register(0)
+_RA = Register(1)
+
+
+def _ins(mnemonic: str, operands, line: int) -> InstructionStmt:
+    return InstructionStmt(mnemonic, list(operands), line)
+
+
+def _expand_li(stmt: InstructionStmt) -> list[InstructionStmt]:
+    rd, value = stmt.operands
+    if isinstance(value, (Symbol, HiLo)):
+        return _expand_la(stmt)
+    if not isinstance(value, Immediate):
+        raise AsmError("li expects an immediate", stmt.line)
+    imm = value.value & 0xFFFFFFFF
+    signed = imm - (1 << 32) if imm & 0x80000000 else imm
+    if -2048 <= signed <= 2047:
+        return [_ins("addi", [rd, _ZERO, Immediate(signed)], stmt.line)]
+    upper = (imm + 0x800) >> 12  # round so the addi part fits
+    lower = (imm - (upper << 12)) & 0xFFFFFFFF
+    lower_signed = lower - (1 << 32) if lower & 0x80000000 else lower
+    out = [_ins("lui", [rd, Immediate(upper & 0xFFFFF)], stmt.line)]
+    if lower_signed != 0:
+        out.append(_ins("addi", [rd, rd, Immediate(lower_signed)], stmt.line))
+    return out
+
+
+def _expand_la(stmt: InstructionStmt) -> list[InstructionStmt]:
+    rd, target = stmt.operands
+    if isinstance(target, Immediate):
+        return _expand_li(stmt)
+    if not isinstance(target, Symbol):
+        raise AsmError("la expects a symbol", stmt.line)
+    # Absolute addressing: lui %hi(sym); addi rd, rd, %lo(sym).
+    return [
+        _ins("lui", [rd, HiLo("hi", target.name, target.addend)], stmt.line),
+        _ins("addi", [rd, rd, HiLo("lo", target.name, target.addend)], stmt.line),
+    ]
+
+
+def _unary(mnemonic, build):
+    def expand(stmt: InstructionStmt) -> list[InstructionStmt]:
+        if len(stmt.operands) != 2:
+            raise AsmError(f"{mnemonic} expects 2 operands", stmt.line)
+        rd, rs = stmt.operands
+        return [build(rd, rs, stmt.line)]
+
+    return expand
+
+
+def _branch_zero(real: str, swap: bool = False):
+    def expand(stmt: InstructionStmt) -> list[InstructionStmt]:
+        if len(stmt.operands) != 2:
+            raise AsmError("branch pseudo expects rs, label", stmt.line)
+        rs, target = stmt.operands
+        operands = [_ZERO, rs] if swap else [rs, _ZERO]
+        return [_ins(real, operands + [target], stmt.line)]
+
+    return expand
+
+
+def _branch_swapped(real: str):
+    def expand(stmt: InstructionStmt) -> list[InstructionStmt]:
+        if len(stmt.operands) != 3:
+            raise AsmError("branch pseudo expects rs, rt, label", stmt.line)
+        rs, rt, target = stmt.operands
+        return [_ins(real, [rt, rs, target], stmt.line)]
+
+    return expand
+
+
+def _expand_jump(stmt: InstructionStmt) -> list[InstructionStmt]:
+    (target,) = stmt.operands
+    return [_ins("jal", [_ZERO, target], stmt.line)]
+
+
+def _expand_jal_short(stmt: InstructionStmt) -> list[InstructionStmt]:
+    return [_ins("jal", [_RA, stmt.operands[0]], stmt.line)]
+
+
+def _expand_jr(stmt: InstructionStmt) -> list[InstructionStmt]:
+    (rs,) = stmt.operands
+    return [_ins("jalr", [_ZERO, rs, Immediate(0)], stmt.line)]
+
+
+def _expand_jalr_short(stmt: InstructionStmt) -> list[InstructionStmt]:
+    (rs,) = stmt.operands
+    if isinstance(rs, MemOperand):
+        return [_ins("jalr", [_RA, rs], stmt.line)]
+    return [_ins("jalr", [_RA, rs, Immediate(0)], stmt.line)]
+
+
+_PSEUDO_TABLE = {
+    "nop": lambda s: [_ins("addi", [_ZERO, _ZERO, Immediate(0)], s.line)],
+    "li": _expand_li,
+    "la": _expand_la,
+    "mv": _unary("mv", lambda rd, rs, ln: _ins("addi", [rd, rs, Immediate(0)], ln)),
+    "not": _unary("not", lambda rd, rs, ln: _ins("xori", [rd, rs, Immediate(-1)], ln)),
+    "neg": _unary("neg", lambda rd, rs, ln: _ins("sub", [rd, _ZERO, rs], ln)),
+    "seqz": _unary("seqz", lambda rd, rs, ln: _ins("sltiu", [rd, rs, Immediate(1)], ln)),
+    "snez": _unary("snez", lambda rd, rs, ln: _ins("sltu", [rd, _ZERO, rs], ln)),
+    "sltz": _unary("sltz", lambda rd, rs, ln: _ins("slt", [rd, rs, _ZERO], ln)),
+    "sgtz": _unary("sgtz", lambda rd, rs, ln: _ins("slt", [rd, _ZERO, rs], ln)),
+    "beqz": _branch_zero("beq"),
+    "bnez": _branch_zero("bne"),
+    "bltz": _branch_zero("blt"),
+    "bgez": _branch_zero("bge"),
+    "blez": _branch_zero("bge", swap=True),
+    "bgtz": _branch_zero("blt", swap=True),
+    "bgt": _branch_swapped("blt"),
+    "ble": _branch_swapped("bge"),
+    "bgtu": _branch_swapped("bltu"),
+    "bleu": _branch_swapped("bgeu"),
+    "j": _expand_jump,
+    "jr": _expand_jr,
+    "ret": lambda s: [_ins("jalr", [_ZERO, _RA, Immediate(0)], s.line)],
+    "call": _expand_jal_short,
+    "tail": _expand_jump,
+}
+
+PSEUDO_MNEMONICS = frozenset(_PSEUDO_TABLE)
+
+
+def expand_pseudo(stmt: InstructionStmt) -> list[InstructionStmt]:
+    """Expand a (possibly pseudo) instruction into real instructions.
+
+    Single-operand ``jal``/``jalr`` shorthands are normalized here too.
+    """
+    mnemonic = stmt.mnemonic
+    if mnemonic == "jal" and len(stmt.operands) == 1:
+        return _expand_jal_short(stmt)
+    if mnemonic == "jalr" and len(stmt.operands) == 1:
+        return _expand_jalr_short(stmt)
+    expander = _PSEUDO_TABLE.get(mnemonic)
+    if expander is None:
+        return [stmt]
+    return expander(stmt)

@@ -1,0 +1,22 @@
+"""Baseline SE engines for the experimental comparison (Table I, Fig. 6).
+
+Three engines model the comparison systems of the paper's evaluation:
+
+* :mod:`repro.baselines.vexir` — angr-like: indirect IR-based via a
+  VEX-style IR with a hand-written lifter (the five historical angr
+  RISC-V lifter bugs can be seeded).
+* :mod:`repro.baselines.dba` — BINSEC-like: DBA IR with an optimized,
+  block-cached engine.
+* :mod:`repro.baselines.vp` — SymEx-VP-like: execution-based inside a
+  SystemC/TLM-style virtual prototype.
+
+All engines share the explorer, solver and concolic state plumbing so
+the comparison isolates the translation methodology.
+"""
+
+from .common import ConcolicMachine
+from .dba import DbaEngine
+from .vexir import FIVE_ANGR_BUGS, VexEngine
+from .vp import VpExecutor
+
+__all__ = ["ConcolicMachine", "DbaEngine", "VexEngine", "VpExecutor", "FIVE_ANGR_BUGS"]

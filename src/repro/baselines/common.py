@@ -1,0 +1,219 @@
+"""Shared concolic machinery for the IR-based baseline engines.
+
+The angr-style (VEX IR) and BINSEC-style (DBA IR) engines differ from
+BinSym in their *translation* methodology — they lift binary code to an
+IR and symbolize the IR — but they share the run/state plumbing: byte
+memory with shadow terms, symbolic input management, the ecall ABI and
+path-trace recording.  Keeping that plumbing identical (and driving all
+engines with the same :class:`repro.core.explorer.Explorer` and the same
+SMT solver) isolates the translation step, mirroring the paper's
+experimental setup ("all tested SE engines have been configured to use
+the same version of Z3").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..arch.hart import HaltReason
+from ..arch.memory import ByteMemory, ShadowMemory
+from ..concrete.syscalls import SYS_EXIT, SYS_MAKE_SYMBOLIC, SYS_WRITE
+from ..loader.image import Image
+from ..smt import terms as T
+from ..spec.isa import ISA
+from ..core.concretize import ConcretizationPolicy, concretize_address
+from ..core.executor import RunResult
+from ..core.state import InputAssignment, PathTrace, SymbolicInput
+from ..core.symvalue import SymDomain, SymValue
+
+__all__ = ["ConcolicMachine"]
+
+_WORD = 0xFFFFFFFF
+
+
+class ConcolicMachine:
+    """Base class: concolic machine state + executor interface.
+
+    Subclasses implement :meth:`step` (fetch/translate/interpret one
+    unit of work) and may override :meth:`on_reset`.
+    """
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        isa: ISA,
+        image: Image,
+        symbolic_memory: Iterable[tuple[int, int]] = (),
+        symbolic_registers: Iterable[int] = (),
+        concretization: ConcretizationPolicy = ConcretizationPolicy.PIN,
+        force_terms: bool = False,
+        max_steps: int = 1_000_000,
+    ):
+        self.isa = isa
+        self.image = image
+        self.symbolic_memory = tuple(symbolic_memory)
+        self.symbolic_registers = tuple(symbolic_registers)
+        self.concretization = concretization
+        self.domain = SymDomain(force_terms=force_terms)
+        self.max_steps = max_steps
+        self.inputs: dict[int, SymbolicInput] = {}
+        self._register_vars: dict[int, T.Term] = {
+            index: T.bv_var(f"reg_{index}", 32) for index in self.symbolic_registers
+        }
+        # Per-run state:
+        self.memory = ByteMemory()
+        self.shadow: ShadowMemory[T.Term] = ShadowMemory()
+        self.regs: list[SymValue] = [SymValue(0, 32)] * 32
+        self.pc = 0
+        self.trace = PathTrace()
+        self.assignment = InputAssignment()
+        self.stdout = bytearray()
+        self.halted = False
+        self.halt_reason: Optional[str] = None
+        self.exit_code: Optional[int] = None
+        self.instret = 0
+
+    # ------------------------------------------------------------------
+    # Executor interface
+    # ------------------------------------------------------------------
+
+    def execute(self, assignment: InputAssignment) -> RunResult:
+        self._reset(assignment)
+        for _ in range(self.max_steps):
+            if self.halted:
+                break
+            self.step()
+        else:
+            self._halt(HaltReason.OUT_OF_FUEL)
+        return RunResult(
+            trace=self.trace,
+            halt_reason=self.halt_reason,
+            exit_code=self.exit_code,
+            instret=self.instret,
+            assignment=assignment,
+            stdout=bytes(self.stdout),
+            final_pc=self.pc,
+        )
+
+    def input_variables(self) -> list[T.Term]:
+        variables = [sym_input.variable for sym_input in self.inputs.values()]
+        variables.extend(self._register_vars.values())
+        return variables
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def on_reset(self) -> None:
+        """Subclass hook invoked after per-run state initialization."""
+
+    # ------------------------------------------------------------------
+    # Per-run state management
+    # ------------------------------------------------------------------
+
+    def _reset(self, assignment: InputAssignment) -> None:
+        self.memory = ByteMemory()
+        self.image.load_into(self.memory)
+        self.shadow = ShadowMemory()
+        self.regs = [SymValue(0, 32)] * 32
+        self.pc = self.image.entry
+        self.trace = PathTrace()
+        self.assignment = assignment
+        self.stdout = bytearray()
+        self.halted = False
+        self.halt_reason = None
+        self.exit_code = None
+        self.instret = 0
+        for sym_input in self.inputs.values():
+            value = assignment.value_for(sym_input)
+            self.memory.write_byte(sym_input.address, value)
+            self.shadow.set(sym_input.address, sym_input.variable)
+        for base, length in self.symbolic_memory:
+            self.make_symbolic(base, length)
+        for index, variable in self._register_vars.items():
+            concrete = assignment.values.get(variable, 0)
+            self.write_reg(index, SymValue(concrete, 32, variable))
+        self.on_reset()
+
+    def _halt(self, reason: str, exit_code: Optional[int] = None) -> None:
+        self.halted = True
+        self.halt_reason = reason
+        self.exit_code = exit_code
+
+    # ------------------------------------------------------------------
+    # Register file semantics (x0 hardwired)
+    # ------------------------------------------------------------------
+
+    def read_reg(self, index: int) -> SymValue:
+        if index == 0:
+            return SymValue(0, 32)
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: SymValue) -> None:
+        if index != 0:
+            self.regs[index] = value
+
+    # ------------------------------------------------------------------
+    # Symbolic input + memory
+    # ------------------------------------------------------------------
+
+    def make_symbolic(self, base: int, length: int) -> None:
+        for offset in range(length):
+            address = (base + offset) & _WORD
+            sym_input = self.inputs.get(address)
+            if sym_input is None:
+                variable = T.bv_var(f"in_{address:08x}", 8)
+                sym_input = SymbolicInput(
+                    address, variable, self.memory.read_byte(address)
+                )
+                self.inputs[address] = sym_input
+            value = self.assignment.value_for(sym_input)
+            self.memory.write_byte(address, value)
+            self.shadow.set(address, sym_input.variable)
+
+    def load_value(self, address: SymValue, width: int) -> SymValue:
+        concrete_addr = concretize_address(
+            address, self.concretization, self.trace, self.pc
+        )
+        parts = []
+        for i in range(width // 8):
+            byte_addr = (concrete_addr + i) & _WORD
+            concrete = self.memory.read_byte(byte_addr)
+            parts.append(SymValue(concrete, 8, self.shadow.get(byte_addr)))
+        return self.domain.concat_bytes(parts)
+
+    def store_value(self, address: SymValue, value: SymValue, width: int) -> None:
+        concrete_addr = concretize_address(
+            address, self.concretization, self.trace, self.pc
+        )
+        for i in range(width // 8):
+            byte_addr = (concrete_addr + i) & _WORD
+            self.memory.write_byte(byte_addr, (value.concrete >> (8 * i)) & 0xFF)
+            if value.term is None:
+                self.shadow.set(byte_addr, None)
+            else:
+                self.shadow.set(byte_addr, T.extract(value.term, 8 * i + 7, 8 * i))
+
+    # ------------------------------------------------------------------
+    # Branch recording + environment calls
+    # ------------------------------------------------------------------
+
+    def record_branch(self, condition: SymValue, taken: bool) -> None:
+        # Constant terms (possible under force_terms, where even pure
+        # constants carry terms) are not symbolic decisions.
+        if condition.term is not None and not condition.term.is_const:
+            self.trace.add_branch(condition.condition_term(), self.pc, taken)
+
+    def do_ecall(self) -> None:
+        number = self.read_reg(17).concrete  # a7
+        if number == SYS_EXIT:
+            self._halt(HaltReason.EXIT, self.read_reg(10).concrete)
+        elif number == SYS_WRITE:
+            base = self.read_reg(11).concrete
+            length = self.read_reg(12).concrete
+            self.stdout.extend(self.memory.read_bytes(base, length))
+            self.write_reg(10, SymValue(length, 32))
+        elif number == SYS_MAKE_SYMBOLIC:
+            self.make_symbolic(self.read_reg(10).concrete, self.read_reg(11).concrete)
+        else:
+            raise ValueError(f"unknown syscall number {number}")

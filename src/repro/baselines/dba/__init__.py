@@ -1,0 +1,6 @@
+"""BINSEC-style baseline: DBA IR, lifter and optimized engine."""
+
+from .engine import DbaEngine
+from .lifter import DbaLifter
+
+__all__ = ["DbaEngine", "DbaLifter"]

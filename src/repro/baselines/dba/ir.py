@@ -1,0 +1,155 @@
+"""A DBA-flavoured intermediate representation (BINSEC's IR).
+
+DBA (Dynamic Bitvector Automata, Djoudi & Bardin, CAV'11/TACAS'15)
+represents instructions as small blocks of assignments and guarded
+jumps over width-annotated bitvector expressions — no temporaries and no
+implicit state.  This module models the subset needed for RV32IM.
+
+Compared to the VEX model, DBA blocks are *compact*: one assignment per
+register update with fully nested expressions.  The corresponding engine
+(:mod:`repro.baselines.dba.engine`) exploits that with a persistent
+lifted-block cache, which is one of the reasons the BINSEC-style engine
+is the fastest in the Fig. 6 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "Cst",
+    "Reg",
+    "Tmp",
+    "Ld",
+    "Un",
+    "Bin",
+    "Ite",
+    "DbaExpr",
+    "Asgn",
+    "AsgnTmp",
+    "St",
+    "If",
+    "Jmp",
+    "DJmp",
+    "Sys",
+    "Stop",
+    "DbaStmt",
+    "DbaBlock",
+]
+
+
+@dataclass(frozen=True)
+class Cst:
+    value: int
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class Reg:
+    index: int
+
+
+@dataclass(frozen=True)
+class Tmp:
+    """The block-local temporary (DBA blocks need at most one)."""
+
+
+@dataclass(frozen=True)
+class Ld:
+    addr: "DbaExpr"
+    width: int
+
+
+@dataclass(frozen=True)
+class Un:
+    """Unary op: ``not``/``neg`` or width ops ``zext``/``sext`` (by
+    ``amount``) and ``restrict`` (bit slice [high:low])."""
+
+    op: str
+    arg: "DbaExpr"
+    amount: int = 0
+    high: int = 0
+    low: int = 0
+
+
+@dataclass(frozen=True)
+class Bin:
+    """Binary op; names match the specification domain ops."""
+
+    op: str
+    lhs: "DbaExpr"
+    rhs: "DbaExpr"
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class Ite:
+    cond: "DbaExpr"
+    then_expr: "DbaExpr"
+    else_expr: "DbaExpr"
+
+
+DbaExpr = Union[Cst, Reg, Tmp, Ld, Un, Bin, Ite]
+
+
+@dataclass(frozen=True)
+class Asgn:
+    reg: int
+    expr: DbaExpr
+
+
+@dataclass(frozen=True)
+class AsgnTmp:
+    """Assign the block-local temporary."""
+
+    expr: DbaExpr
+
+
+@dataclass(frozen=True)
+class St:
+    addr: DbaExpr
+    value: DbaExpr
+    width: int
+
+
+@dataclass(frozen=True)
+class If:
+    """Guarded goto: if cond then pc := target."""
+
+    cond: DbaExpr
+    target: int
+
+
+@dataclass(frozen=True)
+class Jmp:
+    target: int
+
+
+@dataclass(frozen=True)
+class DJmp:
+    """Dynamic jump: pc := expr."""
+
+    expr: DbaExpr
+
+
+@dataclass(frozen=True)
+class Sys:
+    """Environment call."""
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Trap/breakpoint (assertion failure marker)."""
+
+
+DbaStmt = Union[Asgn, AsgnTmp, St, If, Jmp, DJmp, Sys, Stop]
+
+
+@dataclass(frozen=True)
+class DbaBlock:
+    """One instruction's DBA: statements then implicit pc+4 fall-through
+    (unless a Jmp/DJmp/If fired)."""
+
+    pc: int
+    stmts: tuple[DbaStmt, ...]

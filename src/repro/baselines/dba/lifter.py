@@ -1,0 +1,284 @@
+"""RV32IM to DBA lifter (the correct, bug-free baseline translation).
+
+BINSEC's RISC-V front-end found all paths in the paper's Table I, so
+this lifter has no seedable bugs — but it is still a *hand-written*
+translation, structurally independent from the formal specification, and
+the differential test-suite checks it instruction-by-instruction against
+the spec-derived interpreter.
+"""
+
+from __future__ import annotations
+
+from ...spec import fields
+from ...spec.isa import ISA
+from .ir import Asgn, AsgnTmp, Bin, Cst, DJmp, DbaBlock, If, Ite, Jmp, Ld, Reg, St, Stop, Sys, Tmp, Un
+
+__all__ = ["DbaLifter"]
+
+_ZERO = Cst(0)
+_ALL_ONES = Cst(0xFFFFFFFF)
+
+
+class DbaLifter:
+    """Lift one instruction word to a :class:`DbaBlock`."""
+
+    def __init__(self, isa: ISA):
+        self.decoder = isa.decoder
+
+    def lift(self, word: int, pc: int) -> DbaBlock:
+        decoded = self.decoder.decode(word, pc)
+        method = getattr(self, f"_lift_{decoded.name}", None)
+        if method is None:
+            raise NotImplementedError(f"DBA lifter: no translation for {decoded.name}")
+        return DbaBlock(pc, tuple(method(word, pc)))
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _addr_i(word):
+        return Bin("add", Reg(fields.rs1(word)), Cst(fields.imm_i(word)))
+
+    @staticmethod
+    def _addr_s(word):
+        return Bin("add", Reg(fields.rs1(word)), Cst(fields.imm_s(word)))
+
+    # -- U/J types -----------------------------------------------------------
+
+    def _lift_lui(self, word, pc):
+        return [Asgn(fields.rd(word), Cst(fields.imm_u(word)))]
+
+    def _lift_auipc(self, word, pc):
+        return [Asgn(fields.rd(word), Cst((pc + fields.imm_u(word)) & 0xFFFFFFFF))]
+
+    def _lift_jal(self, word, pc):
+        return [
+            Asgn(fields.rd(word), Cst((pc + 4) & 0xFFFFFFFF)),
+            Jmp((pc + fields.imm_j(word)) & 0xFFFFFFFF),
+        ]
+
+    def _lift_jalr(self, word, pc):
+        # The target must be computed *before* the link write: rs1 may
+        # be the same register as rd.  (Getting this ordering wrong is
+        # exactly the kind of lifter bug the differential test-suite
+        # exists to catch — it found an earlier version of this code.)
+        target = Bin("and", self._addr_i(word), Cst(0xFFFFFFFE))
+        return [
+            AsgnTmp(target),
+            Asgn(fields.rd(word), Cst((pc + 4) & 0xFFFFFFFF)),
+            DJmp(Tmp()),
+        ]
+
+    # -- branches --------------------------------------------------------------
+
+    def _branch(self, word, pc, op, swapped=False):
+        rs1, rs2 = Reg(fields.rs1(word)), Reg(fields.rs2(word))
+        if swapped:
+            rs1, rs2 = rs2, rs1
+        cond = Bin(op, rs1, rs2, width=1)
+        return [If(cond, (pc + fields.imm_b(word)) & 0xFFFFFFFF)]
+
+    def _lift_beq(self, word, pc):
+        return self._branch(word, pc, "eq")
+
+    def _lift_bne(self, word, pc):
+        return self._branch(word, pc, "ne")
+
+    def _lift_blt(self, word, pc):
+        return self._branch(word, pc, "slt")
+
+    def _lift_bge(self, word, pc):
+        return self._branch(word, pc, "sle", swapped=True)
+
+    def _lift_bltu(self, word, pc):
+        return self._branch(word, pc, "ult")
+
+    def _lift_bgeu(self, word, pc):
+        return self._branch(word, pc, "ule", swapped=True)
+
+    # -- loads/stores ---------------------------------------------------------
+
+    def _load(self, word, width, kind):
+        value = Ld(self._addr_i(word), width)
+        if width < 32:
+            value = Un(kind, value, amount=32 - width)
+        return [Asgn(fields.rd(word), value)]
+
+    def _lift_lb(self, word, pc):
+        return self._load(word, 8, "sext")
+
+    def _lift_lh(self, word, pc):
+        return self._load(word, 16, "sext")
+
+    def _lift_lw(self, word, pc):
+        return self._load(word, 32, "zext")
+
+    def _lift_lbu(self, word, pc):
+        return self._load(word, 8, "zext")
+
+    def _lift_lhu(self, word, pc):
+        return self._load(word, 16, "zext")
+
+    def _store(self, word, width):
+        value = Reg(fields.rs2(word))
+        if width < 32:
+            value = Un("restrict", value, high=width - 1, low=0)
+        return [St(self._addr_s(word), value, width)]
+
+    def _lift_sb(self, word, pc):
+        return self._store(word, 8)
+
+    def _lift_sh(self, word, pc):
+        return self._store(word, 16)
+
+    def _lift_sw(self, word, pc):
+        return self._store(word, 32)
+
+    # -- OP-IMM ------------------------------------------------------------------
+
+    def _op_imm(self, word, op):
+        expr = Bin(op, Reg(fields.rs1(word)), Cst(fields.imm_i(word)))
+        return [Asgn(fields.rd(word), expr)]
+
+    def _lift_addi(self, word, pc):
+        return self._op_imm(word, "add")
+
+    def _lift_xori(self, word, pc):
+        return self._op_imm(word, "xor")
+
+    def _lift_ori(self, word, pc):
+        return self._op_imm(word, "or")
+
+    def _lift_andi(self, word, pc):
+        return self._op_imm(word, "and")
+
+    def _lift_slti(self, word, pc):
+        cond = Bin("slt", Reg(fields.rs1(word)), Cst(fields.imm_i(word)), width=1)
+        return [Asgn(fields.rd(word), Un("zext", cond, amount=31))]
+
+    def _lift_sltiu(self, word, pc):
+        cond = Bin("ult", Reg(fields.rs1(word)), Cst(fields.imm_i(word)), width=1)
+        return [Asgn(fields.rd(word), Un("zext", cond, amount=31))]
+
+    def _shift_imm(self, word, op):
+        expr = Bin(op, Reg(fields.rs1(word)), Cst(fields.shamt(word)))
+        return [Asgn(fields.rd(word), expr)]
+
+    def _lift_slli(self, word, pc):
+        return self._shift_imm(word, "shl")
+
+    def _lift_srli(self, word, pc):
+        return self._shift_imm(word, "lshr")
+
+    def _lift_srai(self, word, pc):
+        return self._shift_imm(word, "ashr")
+
+    # -- OP ---------------------------------------------------------------------
+
+    def _op(self, word, op):
+        expr = Bin(op, Reg(fields.rs1(word)), Reg(fields.rs2(word)))
+        return [Asgn(fields.rd(word), expr)]
+
+    def _lift_add(self, word, pc):
+        return self._op(word, "add")
+
+    def _lift_sub(self, word, pc):
+        return self._op(word, "sub")
+
+    def _lift_xor(self, word, pc):
+        return self._op(word, "xor")
+
+    def _lift_or(self, word, pc):
+        return self._op(word, "or")
+
+    def _lift_and(self, word, pc):
+        return self._op(word, "and")
+
+    def _lift_slt(self, word, pc):
+        cond = Bin("slt", Reg(fields.rs1(word)), Reg(fields.rs2(word)), width=1)
+        return [Asgn(fields.rd(word), Un("zext", cond, amount=31))]
+
+    def _lift_sltu(self, word, pc):
+        cond = Bin("ult", Reg(fields.rs1(word)), Reg(fields.rs2(word)), width=1)
+        return [Asgn(fields.rd(word), Un("zext", cond, amount=31))]
+
+    def _shift_reg(self, word, op):
+        amount = Bin("and", Reg(fields.rs2(word)), Cst(0x1F))
+        return [Asgn(fields.rd(word), Bin(op, Reg(fields.rs1(word)), amount))]
+
+    def _lift_sll(self, word, pc):
+        return self._shift_reg(word, "shl")
+
+    def _lift_srl(self, word, pc):
+        return self._shift_reg(word, "lshr")
+
+    def _lift_sra(self, word, pc):
+        return self._shift_reg(word, "ashr")
+
+    # -- M extension ---------------------------------------------------------------
+
+    def _lift_mul(self, word, pc):
+        return self._op(word, "mul")
+
+    def _mulh(self, word, lhs_kind, rhs_kind):
+        lhs = Un(lhs_kind, Reg(fields.rs1(word)), amount=32)
+        rhs = Un(rhs_kind, Reg(fields.rs2(word)), amount=32)
+        product = Bin("mul", lhs, rhs, width=64)
+        return [Asgn(fields.rd(word), Un("restrict", product, high=63, low=32))]
+
+    def _lift_mulh(self, word, pc):
+        return self._mulh(word, "sext", "sext")
+
+    def _lift_mulhu(self, word, pc):
+        return self._mulh(word, "zext", "zext")
+
+    def _lift_mulhsu(self, word, pc):
+        return self._mulh(word, "sext", "zext")
+
+    def _lift_divu(self, word, pc):
+        rs1, rs2 = Reg(fields.rs1(word)), Reg(fields.rs2(word))
+        zero = Bin("eq", rs2, _ZERO, width=1)
+        return [Asgn(fields.rd(word), Ite(zero, _ALL_ONES, Bin("udiv", rs1, rs2)))]
+
+    def _lift_div(self, word, pc):
+        rs1, rs2 = Reg(fields.rs1(word)), Reg(fields.rs2(word))
+        zero = Bin("eq", rs2, _ZERO, width=1)
+        overflow = Bin(
+            "and",
+            Un("zext", Bin("eq", rs1, Cst(0x80000000), width=1), amount=31),
+            Un("zext", Bin("eq", rs2, _ALL_ONES, width=1), amount=31),
+        )
+        inner = Ite(
+            Bin("ne", overflow, _ZERO, width=1),
+            Cst(0x80000000),
+            Bin("sdiv", rs1, rs2),
+        )
+        return [Asgn(fields.rd(word), Ite(zero, _ALL_ONES, inner))]
+
+    def _lift_remu(self, word, pc):
+        rs1, rs2 = Reg(fields.rs1(word)), Reg(fields.rs2(word))
+        zero = Bin("eq", rs2, _ZERO, width=1)
+        return [Asgn(fields.rd(word), Ite(zero, rs1, Bin("urem", rs1, rs2)))]
+
+    def _lift_rem(self, word, pc):
+        rs1, rs2 = Reg(fields.rs1(word)), Reg(fields.rs2(word))
+        zero = Bin("eq", rs2, _ZERO, width=1)
+        overflow = Bin(
+            "and",
+            Un("zext", Bin("eq", rs1, Cst(0x80000000), width=1), amount=31),
+            Un("zext", Bin("eq", rs2, _ALL_ONES, width=1), amount=31),
+        )
+        inner = Ite(
+            Bin("ne", overflow, _ZERO, width=1), _ZERO, Bin("srem", rs1, rs2)
+        )
+        return [Asgn(fields.rd(word), Ite(zero, rs1, inner))]
+
+    # -- system -----------------------------------------------------------------------
+
+    def _lift_fence(self, word, pc):
+        return []
+
+    def _lift_ecall(self, word, pc):
+        return [Sys()]
+
+    def _lift_ebreak(self, word, pc):
+        return [Stop()]

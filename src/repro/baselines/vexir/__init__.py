@@ -1,0 +1,7 @@
+"""angr-style baseline: VEX-like IR, hand-written lifter, IR engine."""
+
+from .engine import VexEngine
+from .ir import IRSB, JumpKind
+from .lifter import BUG_DESCRIPTIONS, FIVE_ANGR_BUGS, VexLifter
+
+__all__ = ["VexEngine", "VexLifter", "FIVE_ANGR_BUGS", "BUG_DESCRIPTIONS", "IRSB", "JumpKind"]

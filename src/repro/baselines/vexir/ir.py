@@ -1,0 +1,184 @@
+"""A VEX-flavoured intermediate representation.
+
+Models the structure angr inherits from Valgrind's VEX: single-entry IR
+super-blocks (here: one guest instruction per block, which is how the
+RISC-V gymrat lifter in angr-platforms works too) over temporaries in
+SSA form, ``Get``/``Put`` register accesses, expression trees with
+explicitly sized operations, conditional side-``Exit`` statements and a
+block-final ``next`` expression with a jump kind.
+
+Only the RV32-relevant subset is modelled; operation names follow VEX
+(``Iop_Add32`` is spelled ``Add32`` etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "Const",
+    "RdTmp",
+    "Get",
+    "Binop",
+    "Unop",
+    "Load",
+    "ITE",
+    "IRExpr",
+    "WrTmp",
+    "Put",
+    "Store",
+    "Exit",
+    "IMark",
+    "IRStmt",
+    "IRSB",
+    "JumpKind",
+    "BINOP_WIDTHS",
+    "UNOP_WIDTHS",
+]
+
+
+class JumpKind:
+    """VEX jump kinds used by the RV32 lifter."""
+
+    BORING = "Ijk_Boring"
+    CALL = "Ijk_Call"
+    RET = "Ijk_Ret"
+    SYSCALL = "Ijk_Sys_syscall"
+    TRAP = "Ijk_SigTRAP"
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class RdTmp:
+    tmp: int
+
+
+@dataclass(frozen=True)
+class Get:
+    """Guest register read (register index, not byte offset)."""
+
+    reg: int
+
+
+@dataclass(frozen=True)
+class Binop:
+    op: str
+    lhs: "IRExpr"
+    rhs: "IRExpr"
+
+
+@dataclass(frozen=True)
+class Unop:
+    op: str
+    arg: "IRExpr"
+
+
+@dataclass(frozen=True)
+class Load:
+    addr: "IRExpr"
+    width: int
+
+
+@dataclass(frozen=True)
+class ITE:
+    cond: "IRExpr"
+    iftrue: "IRExpr"
+    iffalse: "IRExpr"
+
+
+IRExpr = Union[Const, RdTmp, Get, Binop, Unop, Load, ITE]
+
+
+@dataclass(frozen=True)
+class WrTmp:
+    tmp: int
+    expr: IRExpr
+
+
+@dataclass(frozen=True)
+class Put:
+    reg: int
+    expr: IRExpr
+
+
+@dataclass(frozen=True)
+class Store:
+    addr: IRExpr
+    value: IRExpr
+    width: int
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Conditional side exit to a constant target."""
+
+    guard: IRExpr
+    target: int
+
+
+@dataclass(frozen=True)
+class IMark:
+    """Instruction boundary marker (address, length)."""
+
+    addr: int
+    length: int = 4
+
+
+IRStmt = Union[WrTmp, Put, Store, Exit, IMark]
+
+
+@dataclass(frozen=True)
+class IRSB:
+    """An IR (super-)block: statements + fall-through continuation."""
+
+    stmts: tuple[IRStmt, ...]
+    next: IRExpr
+    jumpkind: str = JumpKind.BORING
+
+
+#: Result widths of binary operations (operands are the same width
+#: unless noted; Mull* take 32-bit operands and produce 64 bits).
+BINOP_WIDTHS = {
+    "Add32": 32,
+    "Sub32": 32,
+    "Mul32": 32,
+    "MullS32": 64,
+    "MullU32": 64,
+    "MullSU32": 64,
+    "DivU32": 32,
+    "DivS32": 32,
+    "ModU32": 32,
+    "ModS32": 32,
+    "And32": 32,
+    "Or32": 32,
+    "Xor32": 32,
+    "Shl32": 32,
+    "Shr32": 32,
+    "Sar32": 32,
+    "CmpEQ32": 1,
+    "CmpNE32": 1,
+    "CmpLT32U": 1,
+    "CmpLE32U": 1,
+    "CmpLT32S": 1,
+    "CmpLE32S": 1,
+}
+
+#: (operand width, result width) of unary operations.
+UNOP_WIDTHS = {
+    "Not32": (32, 32),
+    "8Uto32": (8, 32),
+    "8Sto32": (8, 32),
+    "16Uto32": (16, 32),
+    "16Sto32": (16, 32),
+    "32to8": (32, 8),
+    "32to16": (32, 16),
+    "64to32": (64, 32),
+    "64HIto32": (64, 32),
+    "1Uto32": (1, 32),
+}

@@ -1,0 +1,383 @@
+"""Hand-written RV32IM-to-VEX lifter, with the five angr bugs seedable.
+
+This module deliberately reimplements instruction semantics *by hand*,
+independently from the formal specification — the methodology the paper
+critiques.  The five historical angr RISC-V lifter bugs (Sect. V-A,
+reported and fixed in angr-platforms PR #64) can be re-introduced
+individually via the ``bugs`` parameter:
+
+``sra-logical``
+    (1) arithmetic shifts (SRA/SRAI) modelled as logical shifts.
+``shift-amount-index``
+    (2) R-type shifts use low bits of the rs2 *register index* instead
+    of the rs2 register *value* as the shift amount.
+``load-extension``
+    (3) loads zero/sign-extend incorrectly (extensions swapped).
+``shamt-signed``
+    (4) the I-type shift amount treated as a *signed* 5-bit value, so
+    ``x << 31`` becomes ``x << -1`` (Fig. 5's false positive/negative).
+``signed-compare-unsigned``
+    (5) signed comparisons (SLT/SLTI/BLT/BGE) compare unsigned.
+
+With ``bugs=frozenset()`` the lifter is the *fixed* (post-PR) version:
+its behaviour must agree with the formal specification, which the
+differential test-suite verifies instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...spec import fields
+from ...spec.decoder import Decoder
+from ...spec.isa import ISA
+from .ir import (
+    IRSB,
+    Binop,
+    Const,
+    Exit,
+    Get,
+    IMark,
+    ITE,
+    JumpKind,
+    Load,
+    Put,
+    RdTmp,
+    Store,
+    Unop,
+    WrTmp,
+)
+
+__all__ = ["VexLifter", "FIVE_ANGR_BUGS", "BUG_DESCRIPTIONS"]
+
+BUG_SRA = "sra-logical"
+BUG_SHIFT_INDEX = "shift-amount-index"
+BUG_LOAD_EXT = "load-extension"
+BUG_SHAMT_SIGNED = "shamt-signed"
+BUG_SIGNED_CMP = "signed-compare-unsigned"
+
+FIVE_ANGR_BUGS = frozenset(
+    {BUG_SRA, BUG_SHIFT_INDEX, BUG_LOAD_EXT, BUG_SHAMT_SIGNED, BUG_SIGNED_CMP}
+)
+
+BUG_DESCRIPTIONS = {
+    BUG_SRA: "arithmetic shift (SRA) modelled as logical shift",
+    BUG_SHIFT_INDEX: "R-type shift amount taken from register index, not value",
+    BUG_LOAD_EXT: "load instructions zero-/sign-extend incorrectly",
+    BUG_SHAMT_SIGNED: "I-type shift amount treated as signed integer",
+    BUG_SIGNED_CMP: "signed comparisons compare unsigned",
+}
+
+_ALL_ONES = Const(0xFFFFFFFF)
+_ZERO = Const(0)
+
+
+class VexLifter:
+    """Lift one RV32IM instruction word into a single-instruction IRSB."""
+
+    def __init__(self, isa: ISA, bugs: frozenset = frozenset()):
+        unknown = bugs - FIVE_ANGR_BUGS
+        if unknown:
+            raise ValueError(f"unknown bug flags: {sorted(unknown)}")
+        self.decoder: Decoder = isa.decoder
+        self.bugs = frozenset(bugs)
+
+    # ------------------------------------------------------------------
+
+    def lift(self, word: int, pc: int) -> IRSB:
+        decoded = self.decoder.decode(word, pc)
+        method = getattr(self, f"_lift_{decoded.name}", None)
+        if method is None:
+            raise NotImplementedError(f"lifter: no translation for {decoded.name}")
+        return method(word, pc)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _fallthrough(stmts, pc, jumpkind=JumpKind.BORING) -> IRSB:
+        return IRSB(tuple([IMark(pc)] + stmts), Const((pc + 4) & 0xFFFFFFFF), jumpkind)
+
+    def _slt_op(self) -> str:
+        return "CmpLT32U" if BUG_SIGNED_CMP in self.bugs else "CmpLT32S"
+
+    def _sge_op(self) -> str:
+        return "CmpLE32U" if BUG_SIGNED_CMP in self.bugs else "CmpLE32S"
+
+    def _sar_op(self) -> str:
+        return "Shr32" if BUG_SRA in self.bugs else "Sar32"
+
+    def _shamt_const(self, word: int) -> Const:
+        shamt = fields.shamt(word)
+        if BUG_SHAMT_SIGNED in self.bugs:
+            # Sign-extend the 5-bit field: 31 becomes -1 == 0xffffffff.
+            shamt = fields.sign_extend(shamt, 5)
+        return Const(shamt)
+
+    def _reg_shift_amount(self, word: int) -> "IRExpr":
+        if BUG_SHIFT_INDEX in self.bugs:
+            # The historical bug: use the *index* bits of rs2.
+            return Const(fields.rs2(word) & 0x1F)
+        return Binop("And32", Get(fields.rs2(word)), Const(0x1F))
+
+    # -- U-type ----------------------------------------------------------
+
+    def _lift_lui(self, word, pc):
+        return self._fallthrough([Put(fields.rd(word), Const(fields.imm_u(word)))], pc)
+
+    def _lift_auipc(self, word, pc):
+        value = (pc + fields.imm_u(word)) & 0xFFFFFFFF
+        return self._fallthrough([Put(fields.rd(word), Const(value))], pc)
+
+    # -- jumps -----------------------------------------------------------
+
+    def _lift_jal(self, word, pc):
+        target = (pc + fields.imm_j(word)) & 0xFFFFFFFF
+        stmts = [IMark(pc), Put(fields.rd(word), Const((pc + 4) & 0xFFFFFFFF))]
+        return IRSB(tuple(stmts), Const(target), JumpKind.CALL)
+
+    def _lift_jalr(self, word, pc):
+        target = Binop(
+            "And32",
+            Binop("Add32", Get(fields.rs1(word)), Const(fields.imm_i(word))),
+            Const(0xFFFFFFFE),
+        )
+        stmts = [
+            IMark(pc),
+            WrTmp(0, target),
+            Put(fields.rd(word), Const((pc + 4) & 0xFFFFFFFF)),
+        ]
+        return IRSB(tuple(stmts), RdTmp(0), JumpKind.RET)
+
+    # -- branches ---------------------------------------------------------
+
+    def _lift_branch(self, word, pc, cond) -> IRSB:
+        target = (pc + fields.imm_b(word)) & 0xFFFFFFFF
+        stmts = [IMark(pc), WrTmp(0, cond), Exit(RdTmp(0), target)]
+        return IRSB(tuple(stmts), Const((pc + 4) & 0xFFFFFFFF), JumpKind.BORING)
+
+    def _lift_beq(self, word, pc):
+        cond = Binop("CmpEQ32", Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._lift_branch(word, pc, cond)
+
+    def _lift_bne(self, word, pc):
+        cond = Binop("CmpNE32", Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._lift_branch(word, pc, cond)
+
+    def _lift_blt(self, word, pc):
+        cond = Binop(self._slt_op(), Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._lift_branch(word, pc, cond)
+
+    def _lift_bge(self, word, pc):
+        cond = Binop(self._sge_op(), Get(fields.rs2(word)), Get(fields.rs1(word)))
+        return self._lift_branch(word, pc, cond)
+
+    def _lift_bltu(self, word, pc):
+        cond = Binop("CmpLT32U", Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._lift_branch(word, pc, cond)
+
+    def _lift_bgeu(self, word, pc):
+        cond = Binop("CmpLE32U", Get(fields.rs2(word)), Get(fields.rs1(word)))
+        return self._lift_branch(word, pc, cond)
+
+    # -- loads / stores ----------------------------------------------------
+
+    def _load_addr(self, word):
+        return Binop("Add32", Get(fields.rs1(word)), Const(fields.imm_i(word)))
+
+    def _lift_load(self, word, pc, width: int, signed: bool) -> IRSB:
+        if BUG_LOAD_EXT in self.bugs:
+            signed = not signed  # the extensions were swapped
+        ext = {
+            (8, False): "8Uto32",
+            (8, True): "8Sto32",
+            (16, False): "16Uto32",
+            (16, True): "16Sto32",
+        }.get((width, signed))
+        stmts = [WrTmp(0, Load(self._load_addr(word), width))]
+        value = RdTmp(0) if ext is None else Unop(ext, RdTmp(0))
+        stmts.append(Put(fields.rd(word), value))
+        return self._fallthrough(stmts, pc)
+
+    def _lift_lb(self, word, pc):
+        return self._lift_load(word, pc, 8, signed=True)
+
+    def _lift_lh(self, word, pc):
+        return self._lift_load(word, pc, 16, signed=True)
+
+    def _lift_lw(self, word, pc):
+        return self._lift_load(word, pc, 32, signed=True)
+
+    def _lift_lbu(self, word, pc):
+        return self._lift_load(word, pc, 8, signed=False)
+
+    def _lift_lhu(self, word, pc):
+        return self._lift_load(word, pc, 16, signed=False)
+
+    def _lift_store(self, word, pc, width: int) -> IRSB:
+        addr = Binop("Add32", Get(fields.rs1(word)), Const(fields.imm_s(word)))
+        value = Get(fields.rs2(word))
+        if width == 8:
+            value = Unop("32to8", value)
+        elif width == 16:
+            value = Unop("32to16", value)
+        return self._fallthrough([Store(addr, value, width)], pc)
+
+    def _lift_sb(self, word, pc):
+        return self._lift_store(word, pc, 8)
+
+    def _lift_sh(self, word, pc):
+        return self._lift_store(word, pc, 16)
+
+    def _lift_sw(self, word, pc):
+        return self._lift_store(word, pc, 32)
+
+    # -- OP-IMM ------------------------------------------------------------
+
+    def _lift_op_imm(self, word, pc, op: str) -> IRSB:
+        expr = Binop(op, Get(fields.rs1(word)), Const(fields.imm_i(word)))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_addi(self, word, pc):
+        return self._lift_op_imm(word, pc, "Add32")
+
+    def _lift_xori(self, word, pc):
+        return self._lift_op_imm(word, pc, "Xor32")
+
+    def _lift_ori(self, word, pc):
+        return self._lift_op_imm(word, pc, "Or32")
+
+    def _lift_andi(self, word, pc):
+        return self._lift_op_imm(word, pc, "And32")
+
+    def _lift_slti(self, word, pc):
+        cond = Binop(self._slt_op(), Get(fields.rs1(word)), Const(fields.imm_i(word)))
+        return self._fallthrough([Put(fields.rd(word), Unop("1Uto32", cond))], pc)
+
+    def _lift_sltiu(self, word, pc):
+        cond = Binop("CmpLT32U", Get(fields.rs1(word)), Const(fields.imm_i(word)))
+        return self._fallthrough([Put(fields.rd(word), Unop("1Uto32", cond))], pc)
+
+    def _lift_slli(self, word, pc):
+        expr = Binop("Shl32", Get(fields.rs1(word)), self._shamt_const(word))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_srli(self, word, pc):
+        expr = Binop("Shr32", Get(fields.rs1(word)), self._shamt_const(word))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_srai(self, word, pc):
+        expr = Binop(self._sar_op(), Get(fields.rs1(word)), self._shamt_const(word))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    # -- OP ------------------------------------------------------------------
+
+    def _lift_op(self, word, pc, op: str) -> IRSB:
+        expr = Binop(op, Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_add(self, word, pc):
+        return self._lift_op(word, pc, "Add32")
+
+    def _lift_sub(self, word, pc):
+        return self._lift_op(word, pc, "Sub32")
+
+    def _lift_xor(self, word, pc):
+        return self._lift_op(word, pc, "Xor32")
+
+    def _lift_or(self, word, pc):
+        return self._lift_op(word, pc, "Or32")
+
+    def _lift_and(self, word, pc):
+        return self._lift_op(word, pc, "And32")
+
+    def _lift_slt(self, word, pc):
+        cond = Binop(self._slt_op(), Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._fallthrough([Put(fields.rd(word), Unop("1Uto32", cond))], pc)
+
+    def _lift_sltu(self, word, pc):
+        cond = Binop("CmpLT32U", Get(fields.rs1(word)), Get(fields.rs2(word)))
+        return self._fallthrough([Put(fields.rd(word), Unop("1Uto32", cond))], pc)
+
+    def _lift_sll(self, word, pc):
+        expr = Binop("Shl32", Get(fields.rs1(word)), self._reg_shift_amount(word))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_srl(self, word, pc):
+        expr = Binop("Shr32", Get(fields.rs1(word)), self._reg_shift_amount(word))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_sra(self, word, pc):
+        expr = Binop(self._sar_op(), Get(fields.rs1(word)), self._reg_shift_amount(word))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    # -- M extension ----------------------------------------------------------
+
+    def _lift_mul(self, word, pc):
+        return self._lift_op(word, pc, "Mul32")
+
+    def _mulh_common(self, word, pc, op: str) -> IRSB:
+        product = Binop(op, Get(fields.rs1(word)), Get(fields.rs2(word)))
+        stmts = [WrTmp(0, product), Put(fields.rd(word), Unop("64HIto32", RdTmp(0)))]
+        return self._fallthrough(stmts, pc)
+
+    def _lift_mulh(self, word, pc):
+        return self._mulh_common(word, pc, "MullS32")
+
+    def _lift_mulhu(self, word, pc):
+        return self._mulh_common(word, pc, "MullU32")
+
+    def _lift_mulhsu(self, word, pc):
+        return self._mulh_common(word, pc, "MullSU32")
+
+    def _lift_divu(self, word, pc):
+        rs1, rs2 = Get(fields.rs1(word)), Get(fields.rs2(word))
+        expr = ITE(Binop("CmpEQ32", rs2, _ZERO), _ALL_ONES, Binop("DivU32", rs1, rs2))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_div(self, word, pc):
+        rs1, rs2 = Get(fields.rs1(word)), Get(fields.rs2(word))
+        overflow = Binop(
+            "And32",
+            Unop("1Uto32", Binop("CmpEQ32", rs1, Const(0x80000000))),
+            Unop("1Uto32", Binop("CmpEQ32", rs2, _ALL_ONES)),
+        )
+        expr = ITE(
+            Binop("CmpEQ32", rs2, _ZERO),
+            _ALL_ONES,
+            ITE(
+                Binop("CmpNE32", overflow, _ZERO),
+                Const(0x80000000),
+                Binop("DivS32", rs1, rs2),
+            ),
+        )
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_remu(self, word, pc):
+        rs1, rs2 = Get(fields.rs1(word)), Get(fields.rs2(word))
+        expr = ITE(Binop("CmpEQ32", rs2, _ZERO), rs1, Binop("ModU32", rs1, rs2))
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    def _lift_rem(self, word, pc):
+        rs1, rs2 = Get(fields.rs1(word)), Get(fields.rs2(word))
+        overflow = Binop(
+            "And32",
+            Unop("1Uto32", Binop("CmpEQ32", rs1, Const(0x80000000))),
+            Unop("1Uto32", Binop("CmpEQ32", rs2, _ALL_ONES)),
+        )
+        expr = ITE(
+            Binop("CmpEQ32", rs2, _ZERO),
+            rs1,
+            ITE(Binop("CmpNE32", overflow, _ZERO), _ZERO, Binop("ModS32", rs1, rs2)),
+        )
+        return self._fallthrough([Put(fields.rd(word), expr)], pc)
+
+    # -- system -----------------------------------------------------------------
+
+    def _lift_fence(self, word, pc):
+        return self._fallthrough([], pc)
+
+    def _lift_ecall(self, word, pc):
+        return self._fallthrough([], pc, jumpkind=JumpKind.SYSCALL)
+
+    def _lift_ebreak(self, word, pc):
+        return self._fallthrough([], pc, jumpkind=JumpKind.TRAP)

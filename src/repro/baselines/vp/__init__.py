@@ -1,0 +1,6 @@
+"""SymEx-VP-style baseline: BinSym semantics inside a TLM virtual prototype."""
+
+from .bus import MemoryTarget, SimulationKernel, TlmBus, Transaction
+from .engine import VpExecutor, VpInterpreter
+
+__all__ = ["VpExecutor", "VpInterpreter", "TlmBus", "SimulationKernel", "MemoryTarget", "Transaction"]

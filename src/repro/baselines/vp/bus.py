@@ -1,0 +1,109 @@
+"""SystemC-TLM-style bus and simulation kernel (SymEx-VP substrate).
+
+SymEx-VP executes software inside a SystemC virtual prototype: memory
+accesses are TLM transactions routed over a bus, and the SystemC kernel
+advances simulated time with delta cycles.  The paper attributes
+SymEx-VP's slowdown relative to BinSym to exactly this simulation
+environment (Sect. V-B), so this module reproduces the *mechanism*: a
+:class:`SimulationKernel` with a real event queue and a :class:`TlmBus`
+that routes blocking transactions through address decoding and kernel
+waits.  The payload values are concolic :class:`SymValue` objects, so
+hardware models could observe symbolic data, which is the feature
+SymEx-VP buys with this overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Transaction", "SimulationKernel", "TlmBus", "MemoryTarget"]
+
+
+@dataclass
+class Transaction:
+    """A generic-payload-style bus transaction."""
+
+    address: int
+    width: int  # bits
+    is_write: bool
+    value: Optional[object] = None  # SymValue for writes / filled on reads
+    response: str = "INCOMPLETE"
+    latency: int = 1  # bus cycles
+
+
+class SimulationKernel:
+    """A miniature delta-cycle event scheduler (the 'SystemC kernel')."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.delta_cycles = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), callback))
+
+    def wait(self, delay: int) -> None:
+        """Advance simulated time, firing all due events (b_transport wait)."""
+        target = self.now + delay
+        while self._queue and self._queue[0][0] <= target:
+            when, _, callback = heapq.heappop(self._queue)
+            self.now = when
+            self.delta_cycles += 1
+            callback()
+        self.now = target
+
+
+@dataclass
+class MemoryTarget:
+    """A TLM target wrapping callbacks into the interpreter's memory."""
+
+    base: int
+    size: int
+    read_fn: Callable[[int, int], object]
+    write_fn: Callable[[int, object, int], None]
+    latency: int = 1
+
+    def covers(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    def transport(self, tx: Transaction, kernel: SimulationKernel) -> None:
+        # The target-side process runs as a scheduled event after the
+        # device latency elapses — the initiator blocks in wait() until
+        # the kernel has delivered it (SystemC b_transport semantics).
+        def deliver() -> None:
+            if tx.is_write:
+                self.write_fn(tx.address, tx.value, tx.width)
+            else:
+                tx.value = self.read_fn(tx.address, tx.width)
+            tx.response = "OK"
+
+        kernel.schedule(self.latency, deliver)
+        kernel.wait(self.latency)
+
+
+class TlmBus:
+    """Address-decoding interconnect with blocking transport."""
+
+    def __init__(self, kernel: SimulationKernel):
+        self.kernel = kernel
+        self.targets: list[MemoryTarget] = []
+        self.transactions = 0
+
+    def attach(self, target: MemoryTarget) -> None:
+        self.targets.append(target)
+
+    def transport(self, tx: Transaction) -> Transaction:
+        """Blocking b_transport: route, wait bus latency, deliver."""
+        self.transactions += 1
+        self.kernel.wait(tx.latency)  # interconnect forwarding delay
+        for target in self.targets:
+            if target.covers(tx.address):
+                target.transport(tx, self.kernel)
+                if tx.response != "OK":
+                    raise RuntimeError(f"bus error at {tx.address:#x}")
+                return tx
+        raise RuntimeError(f"bus decode error: no target at {tx.address:#x}")

@@ -1,0 +1,165 @@
+"""Command-line interface: assemble, run, disassemble and explore.
+
+The downstream-user entry point::
+
+    repro assemble prog.s -o prog.elf     # RV32 assembly -> ELF32
+    repro run prog.s [--trace]            # emulate (spec-derived)
+    repro disasm prog.elf                 # linear-sweep listing
+    repro explore prog.s [--engine E]     # symbolic exploration
+
+`run`/`explore`/`disasm` accept either assembly source (``.s``/``.asm``)
+or an ELF32 executable; assembly is assembled in-memory.  Programs mark
+their symbolic input with the ``make_symbolic`` ecall (a7=1337), or via
+``--symbolic ADDR:LEN`` on the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .asm import assemble
+from .asm.disasm import disassemble_image
+from .concrete import ConcreteInterpreter, HostPlatform, TracingInterpreter
+from .core import Explorer
+from .eval.engines import make_engine
+from .loader import read_elf, write_elf
+from .loader.image import Image
+from .spec import rv32im, rv32im_zbb, rv32im_zimadd
+
+__all__ = ["main"]
+
+_ISA_FACTORIES = {
+    "rv32im": rv32im,
+    "rv32im+zimadd": rv32im_zimadd,
+    "rv32im+zbb": rv32im_zbb,
+}
+
+
+def _load_program(path: str, isa) -> Image:
+    data = Path(path).read_bytes()
+    if data[:4] == b"\x7fELF":
+        return read_elf(data)
+    return assemble(data.decode("utf-8"), isa=isa)
+
+
+def _parse_symbolic(spec: str) -> tuple[int, int]:
+    try:
+        address, length = spec.split(":")
+        return int(address, 0), int(length, 0)
+    except ValueError:
+        raise SystemExit(f"bad --symbolic spec {spec!r}; expected ADDR:LEN")
+
+
+def _cmd_assemble(args) -> int:
+    isa = _ISA_FACTORIES[args.isa]()
+    image = assemble(Path(args.input).read_text(), isa=isa)
+    Path(args.output).write_bytes(write_elf(image))
+    low, high = image.bounds()
+    print(
+        f"{args.output}: entry={image.entry:#x}, "
+        f"{image.total_size()} bytes in [{low:#x}, {high:#x}), "
+        f"{len(image.symbols)} symbols"
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    isa = _ISA_FACTORIES[args.isa]()
+    image = _load_program(args.input, isa)
+    if args.trace:
+        tracer = TracingInterpreter(isa)
+        tracer.load_image(image)
+        hart = tracer.run(args.max_steps)
+        print(tracer.render())
+    else:
+        platform = HostPlatform()
+        interp = ConcreteInterpreter(isa, platform=platform)
+        interp.load_image(image)
+        hart = interp.run(args.max_steps)
+        sys.stdout.write(platform.stdout_text())
+    print(
+        f"halted: {hart.halt_reason} "
+        f"(exit code {hart.exit_code}, {hart.instret} instructions)"
+    )
+    return hart.exit_code or 0
+
+
+def _cmd_disasm(args) -> int:
+    isa = _ISA_FACTORIES[args.isa]()
+    image = _load_program(args.input, isa)
+    print(disassemble_image(image, isa=isa))
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    isa = _ISA_FACTORIES[args.isa]()
+    image = _load_program(args.input, isa)
+    symbolic_memory = [_parse_symbolic(s) for s in args.symbolic or ()]
+    engine = make_engine(args.engine, isa, image, max_steps=args.max_steps)
+    if symbolic_memory:
+        # Configure harness-driven symbolic input on top of any
+        # make_symbolic calls the program itself performs.
+        engine.symbolic_memory = tuple(symbolic_memory)
+    result = Explorer(
+        engine, strategy=args.strategy, max_paths=args.max_paths
+    ).explore()
+    print(result.summary())
+    for path in result.paths[: args.show_paths]:
+        marker = "FAIL" if path.is_assertion_failure else f"exit={path.exit_code}"
+        print(f"  path {path.index:4d}: {marker:10s} {path.assignment}")
+    if result.num_paths > args.show_paths:
+        print(f"  ... and {result.num_paths - args.show_paths} more")
+    failures = result.assertion_failures
+    if failures:
+        print(f"{len(failures)} assertion failure(s) found")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--isa", choices=sorted(_ISA_FACTORIES), default="rv32im",
+        help="instruction set (default rv32im)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_assemble = sub.add_parser("assemble", help="assemble to ELF32")
+    p_assemble.add_argument("input")
+    p_assemble.add_argument("-o", "--output", required=True)
+    p_assemble.set_defaults(func=_cmd_assemble)
+
+    p_run = sub.add_parser("run", help="run concretely (emulator)")
+    p_run.add_argument("input")
+    p_run.add_argument("--trace", action="store_true",
+                       help="print a per-instruction trace")
+    p_run.add_argument("--max-steps", type=int, default=10_000_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_disasm = sub.add_parser("disasm", help="disassemble the text segment")
+    p_disasm.add_argument("input")
+    p_disasm.set_defaults(func=_cmd_disasm)
+
+    p_explore = sub.add_parser("explore", help="symbolic path exploration")
+    p_explore.add_argument("input")
+    p_explore.add_argument(
+        "--engine", default="binsym",
+        choices=["binsym", "binsec", "symex-vp", "angr", "angr-buggy"],
+    )
+    p_explore.add_argument("--strategy", default="dfs",
+                           choices=["dfs", "bfs", "random"])
+    p_explore.add_argument("--symbolic", action="append", metavar="ADDR:LEN",
+                           help="mark a memory region symbolic")
+    p_explore.add_argument("--max-paths", type=int, default=100_000)
+    p_explore.add_argument("--max-steps", type=int, default=1_000_000)
+    p_explore.add_argument("--show-paths", type=int, default=20)
+    p_explore.set_defaults(func=_cmd_explore)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

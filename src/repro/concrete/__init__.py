@@ -1,0 +1,34 @@
+"""Concrete-side modular interpreters over the formal specification.
+
+Three interpreters live here, all driven by the same spec:
+
+* :class:`ConcreteInterpreter` — the RV32 emulator,
+* :class:`DiftInterpreter` — dynamic information flow (taint) tracking,
+* :class:`TracingInterpreter` — per-instruction execution logging.
+"""
+
+from .dift import DiftInterpreter, TaintDomain, TaintedValue
+from .interpreter import ConcreteInterpreter, IntDomain
+from .syscalls import (
+    SYS_EXIT,
+    SYS_MAKE_SYMBOLIC,
+    SYS_WRITE,
+    HostPlatform,
+    Platform,
+)
+from .tracer import TraceEntry, TracingInterpreter
+
+__all__ = [
+    "ConcreteInterpreter",
+    "IntDomain",
+    "DiftInterpreter",
+    "TaintDomain",
+    "TaintedValue",
+    "TracingInterpreter",
+    "TraceEntry",
+    "HostPlatform",
+    "Platform",
+    "SYS_EXIT",
+    "SYS_WRITE",
+    "SYS_MAKE_SYMBOLIC",
+]

@@ -1,0 +1,261 @@
+"""Concrete modular interpreter: an RV32 emulator derived from the spec.
+
+This interpreter assigns the *integer* meaning to the specification's
+primitives — it is the Python analogue of LibRISCV's concrete
+interpreter and doubles as the differential-testing oracle for the
+symbolic engines: for any program and concrete input, BinSym (and each
+baseline engine) must take exactly the execution path this emulator
+takes.
+
+Nothing in this module knows about individual instructions; all
+behaviour flows from :mod:`repro.spec` through the primitive handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.hart import HaltReason, Hart
+from ..arch.memory import ByteMemory
+from ..loader.image import Image
+from ..smt import bvops
+from ..spec.decoder import IllegalInstruction
+from ..spec.dsl import execute_semantics
+from ..spec.expr import Expr, Val, eval_expr
+from ..spec.isa import ISA
+from ..spec import fields
+from ..spec.primitives import (
+    DecodeAndReadBType,
+    DecodeAndReadIType,
+    DecodeAndReadR4Type,
+    DecodeAndReadRType,
+    DecodeAndReadSType,
+    DecodeAndReadShamt,
+    DecodeJType,
+    DecodeUType,
+    Ebreak,
+    Ecall,
+    Fence,
+    LoadMem,
+    ReadPC,
+    ReadRegister,
+    StoreMem,
+    WritePC,
+    WriteRegister,
+)
+from .syscalls import HostPlatform, Platform
+
+__all__ = ["IntDomain", "ConcreteInterpreter"]
+
+_WORD = 0xFFFFFFFF
+
+
+class IntDomain:
+    """Expression evaluation over plain Python integers."""
+
+    _BINOPS = {
+        "add": bvops.bv_add,
+        "sub": bvops.bv_sub,
+        "mul": bvops.bv_mul,
+        "udiv": bvops.bv_udiv,
+        "sdiv": bvops.bv_sdiv,
+        "urem": bvops.bv_urem,
+        "srem": bvops.bv_srem,
+        "and": bvops.bv_and,
+        "or": bvops.bv_or,
+        "xor": bvops.bv_xor,
+        "shl": bvops.bv_shl,
+        "lshr": bvops.bv_lshr,
+        "ashr": bvops.bv_ashr,
+    }
+
+    _CMPOPS = {
+        "eq": lambda a, b, w: a == b,
+        "ne": lambda a, b, w: a != b,
+        "ult": bvops.bv_ult,
+        "ule": bvops.bv_ule,
+        "ugt": lambda a, b, w: a > b,
+        "uge": lambda a, b, w: a >= b,
+        "slt": bvops.bv_slt,
+        "sle": bvops.bv_sle,
+        "sgt": lambda a, b, w: bvops.bv_slt(b, a, w),
+        "sge": lambda a, b, w: bvops.bv_sle(b, a, w),
+    }
+
+    def const(self, value: int, width: int) -> int:
+        return value & ((1 << width) - 1)
+
+    def from_leaf(self, value, width: int) -> int:
+        return value & ((1 << width) - 1)
+
+    def binop(self, op: str, lhs: int, rhs: int, width: int) -> int:
+        return self._BINOPS[op](lhs, rhs, width)
+
+    def cmpop(self, op: str, lhs: int, rhs: int, width: int) -> int:
+        return 1 if self._CMPOPS[op](lhs, rhs, width) else 0
+
+    def unop(self, op: str, arg: int, width: int) -> int:
+        if op == "not":
+            return bvops.bv_not(arg, width)
+        if op == "neg":
+            return bvops.bv_neg(arg, width)
+        raise ValueError(f"unknown unary op {op}")
+
+    def ext(self, kind: str, arg: int, amount: int, from_width: int) -> int:
+        if kind == "zext":
+            return arg
+        return bvops.bv_sext(arg, from_width, amount)
+
+    def extract(self, arg: int, high: int, low: int) -> int:
+        return bvops.bv_extract(arg, high, low)
+
+    def ite(self, cond: int, then_value: int, else_value: int, width: int) -> int:
+        return then_value if cond else else_value
+
+
+class ConcreteInterpreter:
+    """RV32 emulator; also the `Handler` for the spec's primitives."""
+
+    def __init__(self, isa: ISA, platform: Optional[Platform] = None):
+        self.isa = isa
+        self.domain = IntDomain()
+        self.memory = ByteMemory()
+        self.hart: Hart[int] = Hart(zero_value=0)
+        self.platform = platform if platform is not None else HostPlatform()
+        self._current_word = 0
+        self._next_pc = 0
+
+    # ------------------------------------------------------------------
+    # Program setup and the fetch-decode-execute loop
+    # ------------------------------------------------------------------
+
+    def load_image(self, image: Image) -> None:
+        image.load_into(self.memory)
+        self.hart.reset(image.entry)
+
+    def step(self) -> None:
+        """Fetch, decode and execute a single instruction."""
+        hart = self.hart
+        if hart.halted:
+            return
+        word = self.memory.read(hart.pc, 32)
+        try:
+            decoded = self.isa.decoder.decode(word, hart.pc)
+        except IllegalInstruction:
+            hart.halt(HaltReason.ILLEGAL)
+            raise
+        self._current_word = word
+        self._next_pc = (hart.pc + 4) & _WORD
+        semantics = self.isa.semantics_for(decoded.name)
+        execute_semantics(semantics(), self)
+        hart.instret += 1
+        if not hart.halted:
+            hart.pc = self._next_pc
+
+    def run(self, max_steps: int = 10_000_000) -> Hart:
+        """Run until the hart halts or the step budget is exhausted."""
+        for _ in range(max_steps):
+            if self.hart.halted:
+                return self.hart
+            self.step()
+        self.hart.halt(HaltReason.OUT_OF_FUEL)
+        return self.hart
+
+    # ------------------------------------------------------------------
+    # Platform hooks (see syscalls.HostPlatform)
+    # ------------------------------------------------------------------
+
+    def read_register_int(self, index: int) -> int:
+        return self.hart.regs.read(index)
+
+    def write_register_int(self, index: int, value: int) -> None:
+        self.hart.regs.write(index, value & _WORD)
+
+    def halt_exit(self, code: int) -> None:
+        self.hart.halt(HaltReason.EXIT, exit_code=code)
+
+    def make_symbolic(self, base: int, length: int) -> None:
+        """Concrete execution: symbolic input marking is a no-op."""
+
+    # ------------------------------------------------------------------
+    # Handler interface: the integer meaning of each primitive
+    # ------------------------------------------------------------------
+
+    def _reg_leaf(self, index: int) -> Val:
+        return Val(self.hart.regs.read(index), 32)
+
+    def _eval(self, expr: Expr) -> int:
+        return eval_expr(expr, self.domain)
+
+    def branch(self, cond: Expr) -> bool:
+        return bool(self._eval(cond))
+
+    def handle(self, primitive):
+        word = self._current_word
+        if isinstance(primitive, DecodeAndReadRType):
+            return (
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadR4Type):
+            return (
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+                self._reg_leaf(fields.rs3(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadIType):
+            return (
+                Val(fields.imm_i(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadShamt):
+            return (
+                Val(fields.shamt(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadSType):
+            return (
+                Val(fields.imm_s(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+            )
+        if isinstance(primitive, DecodeAndReadBType):
+            return (
+                Val(fields.imm_b(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+            )
+        if isinstance(primitive, DecodeUType):
+            return Val(fields.imm_u(word), 32), fields.rd(word)
+        if isinstance(primitive, DecodeJType):
+            return Val(fields.imm_j(word), 32), fields.rd(word)
+        if isinstance(primitive, ReadRegister):
+            return self._reg_leaf(primitive.index)
+        if isinstance(primitive, WriteRegister):
+            self.hart.regs.write(primitive.index, self._eval(primitive.value))
+            return None
+        if isinstance(primitive, ReadPC):
+            return Val(self.hart.pc, 32)
+        if isinstance(primitive, WritePC):
+            self._next_pc = self._eval(primitive.value)
+            return None
+        if isinstance(primitive, LoadMem):
+            address = self._eval(primitive.addr)
+            return Val(self.memory.read(address, primitive.width), primitive.width)
+        if isinstance(primitive, StoreMem):
+            address = self._eval(primitive.addr)
+            self.memory.write(address, self._eval(primitive.value), primitive.width)
+            return None
+        if isinstance(primitive, Ecall):
+            self.platform.ecall(self)
+            return None
+        if isinstance(primitive, Ebreak):
+            self.hart.halt(HaltReason.EBREAK)
+            return None
+        if isinstance(primitive, Fence):
+            return None
+        raise NotImplementedError(f"unhandled primitive {primitive!r}")

@@ -1,0 +1,68 @@
+"""Environment-call (ecall) ABI shared by all execution engines.
+
+The benchmark programs are freestanding RV32 binaries; they talk to the
+world through a tiny ecall ABI modelled after RISC-V Linux syscalls plus
+one testing extension in the spirit of SymEx-VP's software interface:
+
+=========  =====  =============================================
+a7         name   behaviour
+=========  =====  =============================================
+93         exit   halt, exit code in a0
+64         write  write(fd=a0, buf=a1, len=a2) -> collected
+1337       make_symbolic(buf=a0, len=a1): mark memory symbolic
+           (no-op under purely concrete execution)
+=========  =====  =============================================
+
+Unknown syscall numbers halt execution with an error so bugs surface
+instead of silently continuing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+__all__ = ["SYS_EXIT", "SYS_WRITE", "SYS_MAKE_SYMBOLIC", "Platform", "HostPlatform"]
+
+SYS_EXIT = 93
+SYS_WRITE = 64
+SYS_MAKE_SYMBOLIC = 1337
+
+_A0, _A1, _A2, _A7 = 10, 11, 12, 17
+
+
+class Platform(Protocol):
+    """Interface interpreters use to delegate ecalls."""
+
+    def ecall(self, machine) -> None:
+        """Handle an environment call; may halt the machine."""
+
+
+class HostPlatform:
+    """Default platform: exit/write/make_symbolic against host state.
+
+    ``machine`` must expose ``read_register_int(i)``, ``memory`` (a
+    ByteMemory) and ``halt_exit(code)``; both the concrete interpreter
+    and the SE engines satisfy this.
+    """
+
+    def __init__(self) -> None:
+        self.stdout = bytearray()
+
+    def ecall(self, machine) -> None:
+        number = machine.read_register_int(_A7)
+        if number == SYS_EXIT:
+            machine.halt_exit(machine.read_register_int(_A0))
+        elif number == SYS_WRITE:
+            base = machine.read_register_int(_A1)
+            length = machine.read_register_int(_A2)
+            self.stdout.extend(machine.memory.read_bytes(base, length))
+            machine.write_register_int(_A0, length)
+        elif number == SYS_MAKE_SYMBOLIC:
+            base = machine.read_register_int(_A0)
+            length = machine.read_register_int(_A1)
+            machine.make_symbolic(base, length)
+        else:
+            raise ValueError(f"unknown syscall number {number}")
+
+    def stdout_text(self) -> str:
+        return self.stdout.decode("utf-8", "replace")

@@ -1,0 +1,89 @@
+"""Execution tracer: a fourth modular interpreter (instruction logging).
+
+Wraps the concrete interpreter with per-instruction records — address,
+disassembly, register writes — without touching the specification or
+the interpreter internals; the hook is composition, not subclass
+surgery.  Mostly a debugging aid for workload development, but also the
+cheapest possible demonstration that interpreters over the formal spec
+compose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..asm.disasm import Disassembler
+from ..loader.image import Image
+from ..spec.isa import ISA
+from .interpreter import ConcreteInterpreter
+
+__all__ = ["TraceEntry", "TracingInterpreter"]
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction."""
+
+    pc: int
+    word: int
+    text: str
+    register_writes: tuple[tuple[int, int], ...] = ()
+
+    def render(self) -> str:
+        writes = "  ".join(
+            f"x{index}={value:#010x}" for index, value in self.register_writes
+        )
+        suffix = f"   [{writes}]" if writes else ""
+        return f"{self.pc:#010x}:  {self.text}{suffix}"
+
+
+class TracingInterpreter:
+    """Concrete interpreter + per-instruction trace log."""
+
+    def __init__(self, isa: ISA, max_entries: int = 100_000):
+        self.interpreter = ConcreteInterpreter(isa)
+        self.disassembler = Disassembler(isa)
+        self.trace: list[TraceEntry] = []
+        self.max_entries = max_entries
+
+    def load_image(self, image: Image) -> None:
+        self.interpreter.load_image(image)
+
+    @property
+    def hart(self):
+        return self.interpreter.hart
+
+    @property
+    def memory(self):
+        return self.interpreter.memory
+
+    def step(self) -> Optional[TraceEntry]:
+        interp = self.interpreter
+        if interp.hart.halted:
+            return None
+        pc = interp.hart.pc
+        word = interp.memory.read(pc, 32)
+        before = interp.hart.regs.snapshot()
+        interp.step()
+        after = interp.hart.regs.snapshot()
+        writes = tuple(
+            (index, after[index])
+            for index in range(32)
+            if after[index] != before[index]
+        )
+        entry = TraceEntry(pc, word, self.disassembler.disassemble(word, pc), writes)
+        if len(self.trace) < self.max_entries:
+            self.trace.append(entry)
+        return entry
+
+    def run(self, max_steps: int = 1_000_000):
+        for _ in range(max_steps):
+            if self.interpreter.hart.halted:
+                break
+            self.step()
+        return self.interpreter.hart
+
+    def render(self, limit: Optional[int] = None) -> str:
+        entries = self.trace if limit is None else self.trace[:limit]
+        return "\n".join(entry.render() for entry in entries)

@@ -1,0 +1,37 @@
+"""BinSym — symbolic execution of RV32 binaries from formal ISA semantics.
+
+The paper's primary contribution: a symbolic *modular interpreter* for
+the executable formal specification in :mod:`repro.spec`, paired with an
+offline (concolic) exploration driver.
+
+* :mod:`repro.core.symvalue` — concolic values (concrete int + SMT term)
+* :mod:`repro.core.interpreter` — the symbolic interpreter (semanticize
+  + encode steps of the paper's Fig. 1)
+* :mod:`repro.core.executor` — one concolic run of the SUT
+* :mod:`repro.core.explorer` — DFS dynamic symbolic execution driver
+* :mod:`repro.core.concretize` — address concretization policies
+* :mod:`repro.core.strategy` — DFS/BFS/random path selection
+"""
+
+from .concretize import ConcretizationPolicy
+from .executor import BinSymExecutor, RunResult
+from .explorer import ExplorationResult, Explorer, PathInfo
+from .interpreter import SymbolicInterpreter
+from .state import BranchRecord, InputAssignment, PathTrace, SymbolicInput
+from .symvalue import SymDomain, SymValue
+
+__all__ = [
+    "BinSymExecutor",
+    "RunResult",
+    "Explorer",
+    "ExplorationResult",
+    "PathInfo",
+    "SymbolicInterpreter",
+    "SymValue",
+    "SymDomain",
+    "PathTrace",
+    "BranchRecord",
+    "InputAssignment",
+    "SymbolicInput",
+    "ConcretizationPolicy",
+]

@@ -1,0 +1,49 @@
+"""Address concretization policies for symbolic memory accesses.
+
+BinSym (like most binary SE engines, see Baldoni et al. Sect. 3.2)
+concretizes symbolic addresses: a load/store whose address term depends
+on symbolic input is executed at the address's *concrete* value under
+the current assignment.  The policies differ in what they record:
+
+* ``PIN`` — additionally record ``address == concrete`` as a path
+  assumption.  Sound for the explored prefix: branch-flipping queries
+  cannot move the access to a different location behind the engine's
+  back.  This is the default.
+* ``FREE`` — record nothing.  Faster, and complete for programs whose
+  addresses never depend on symbolic data (true for all Table I
+  workloads — their indices are loop counters), but in general flipped
+  inputs could alias differently.
+
+The ablation benchmark ``bench_ablation_concretize.py`` measures the
+trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..smt import terms as T
+from .state import PathTrace
+from .symvalue import SymValue
+
+__all__ = ["ConcretizationPolicy", "concretize_address"]
+
+
+class ConcretizationPolicy(enum.Enum):
+    PIN = "pin"
+    FREE = "free"
+
+
+def concretize_address(
+    address: SymValue,
+    policy: ConcretizationPolicy,
+    trace: PathTrace,
+    pc: int,
+) -> int:
+    """Return the concrete address, recording policy-dependent facts."""
+    if address.term is None:
+        return address.concrete
+    if policy is ConcretizationPolicy.PIN:
+        pinned = T.eq(address.term, T.bv(address.concrete, address.width))
+        trace.add_assumption(pinned, pc)
+    return address.concrete

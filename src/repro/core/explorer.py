@@ -1,0 +1,170 @@
+"""Offline dynamic symbolic execution: the path exploration driver.
+
+Implements the paper's exploration configuration (Sect. III-B): an
+*offline executor* that repeatedly restarts the SUT with fresh inputs
+obtained from the solver — dynamic symbolic execution with depth-first
+path selection and address concretization.
+
+The driver is engine-neutral: anything satisfying the executor
+interface (``execute(assignment) -> RunResult``, ``input_variables()``)
+can be explored, which is how the angr-, BINSEC- and SymEx-VP-style
+baseline engines share the exact same search and solver infrastructure
+— the comparison then isolates the *translation* methodology, like the
+paper's evaluation intends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arch.hart import HaltReason
+from ..smt.solver import Result, Solver
+from .executor import RunResult
+from .state import InputAssignment
+from .strategy import Strategy, make_strategy
+
+__all__ = ["PathInfo", "ExplorationResult", "Explorer"]
+
+
+@dataclass
+class PathInfo:
+    """Summary of one fully executed path."""
+
+    index: int
+    halt_reason: Optional[str]
+    exit_code: Optional[int]
+    instret: int
+    trace_length: int
+    assignment: InputAssignment
+    stdout: bytes
+    final_pc: int = 0
+
+    @property
+    def is_assertion_failure(self) -> bool:
+        return self.halt_reason == HaltReason.EBREAK
+
+
+@dataclass
+class ExplorationResult:
+    """All paths found plus exploration statistics."""
+
+    paths: list[PathInfo] = field(default_factory=list)
+    sat_checks: int = 0
+    unsat_checks: int = 0
+    total_instructions: int = 0
+    wall_time: float = 0.0
+    solver_time: float = 0.0
+    truncated: bool = False
+    #: PCs of symbolic branches seen during exploration (branch coverage).
+    covered_branches: set = field(default_factory=set)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def assertion_failures(self) -> list[PathInfo]:
+        return [p for p in self.paths if p.is_assertion_failure]
+
+    @property
+    def exit_codes(self) -> set[int]:
+        return {p.exit_code for p in self.paths if p.exit_code is not None}
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_paths} paths "
+            f"({len(self.assertion_failures)} assertion failures), "
+            f"{self.sat_checks + self.unsat_checks} solver queries "
+            f"({self.sat_checks} sat / {self.unsat_checks} unsat, "
+            f"{self.solver_time:.2f}s in solver), "
+            f"{self.total_instructions} instructions, "
+            f"{self.wall_time:.2f}s"
+        )
+
+
+class Explorer:
+    """Drives an executor through all feasible paths of the SUT."""
+
+    def __init__(
+        self,
+        executor,
+        solver: Optional[Solver] = None,
+        strategy: str = "dfs",
+        max_paths: int = 1_000_000,
+        seed: int = 0,
+    ):
+        self.executor = executor
+        self.solver = solver if solver is not None else Solver()
+        self.strategy_name = strategy
+        self.max_paths = max_paths
+        self.seed = seed
+
+    def explore(self) -> ExplorationResult:
+        """Run the full exploration; returns all discovered paths."""
+        result = ExplorationResult()
+        start = time.perf_counter()
+        worklist: Strategy = make_strategy(self.strategy_name, self.seed)
+        worklist.push((InputAssignment(), 0))
+        while worklist and result.num_paths < self.max_paths:
+            assignment, bound = worklist.pop()
+            run = self.executor.execute(assignment)
+            self._record_path(result, run)
+            self._expand(run, bound, worklist, result)
+        result.truncated = bool(worklist)
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _record_path(self, result: ExplorationResult, run: RunResult) -> None:
+        result.total_instructions += run.instret
+        result.paths.append(
+            PathInfo(
+                index=len(result.paths),
+                halt_reason=run.halt_reason,
+                exit_code=run.exit_code,
+                instret=run.instret,
+                trace_length=len(run.trace),
+                assignment=run.assignment,
+                stdout=run.stdout,
+                final_pc=run.final_pc,
+            )
+        )
+
+    def _expand(
+        self,
+        run: RunResult,
+        bound: int,
+        worklist: Strategy,
+        result: ExplorationResult,
+    ) -> None:
+        """Generate flipped-branch children of a completed run.
+
+        Children are pushed shallow-to-deep, so a LIFO worklist (DFS)
+        explores the deepest unexplored branch first — the classic
+        depth-first concolic schedule.  ``bound`` prevents re-flipping
+        decisions that an ancestor already enumerated.
+        """
+        records = run.trace.records
+        conditions = run.trace.conditions()
+        variables = self.executor.input_variables()
+        for record in records:
+            if record.flippable:
+                result.covered_branches.add(record.pc)
+        for index in range(bound, len(records)):
+            record = records[index]
+            if not record.flippable:
+                continue
+            query = conditions[:index] + [record.negated()]
+            check_start = time.perf_counter()
+            verdict = self.solver.check(query)
+            result.solver_time += time.perf_counter() - check_start
+            if verdict is Result.SAT:
+                result.sat_checks += 1
+                model = self.solver.model()
+                new_assignment = run.assignment.derive(model, variables)
+                worklist.push((new_assignment, index + 1))
+            else:
+                result.unsat_checks += 1

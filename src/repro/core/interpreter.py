@@ -1,0 +1,316 @@
+"""BinSym's symbolic modular interpreter.
+
+This is the paper's core contribution in executable form: a second
+interpreter for the *same* formal ISA specification that
+
+* evaluates the specification's arithmetic/logic primitives in the
+  concolic :class:`SymDomain` (the *encode* step of Fig. 1 — expression
+  DSL ops map 1:1 onto SMT bitvector terms), and
+* gives the stateful primitives a symbolic meaning: the register file
+  holds :class:`SymValue`, memory pairs a concrete store with per-byte
+  shadow terms, and ``RunIf``/``RunIfElse`` conditions are recorded in
+  the path trace before being answered concretely (the *semanticize*
+  step).
+
+No instruction-specific code exists here — supporting a new instruction
+(Sect. IV's MADD) requires zero changes, which the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.hart import HaltReason, Hart
+from ..arch.memory import ByteMemory, ShadowMemory
+from ..loader.image import Image
+from ..smt import terms as T
+from ..spec.decoder import IllegalInstruction
+from ..spec.dsl import execute_semantics
+from ..spec.expr import Expr, Val, eval_expr
+from ..spec.isa import ISA
+from ..spec import fields
+from ..spec.primitives import (
+    DecodeAndReadBType,
+    DecodeAndReadIType,
+    DecodeAndReadR4Type,
+    DecodeAndReadRType,
+    DecodeAndReadSType,
+    DecodeAndReadShamt,
+    DecodeJType,
+    DecodeUType,
+    Ebreak,
+    Ecall,
+    Fence,
+    LoadMem,
+    ReadPC,
+    ReadRegister,
+    StoreMem,
+    WritePC,
+    WriteRegister,
+)
+from .concretize import ConcretizationPolicy, concretize_address
+from .state import InputAssignment, PathTrace, SymbolicInput
+from .symvalue import SymDomain, SymValue
+
+__all__ = ["SymbolicInterpreter"]
+
+_WORD = 0xFFFFFFFF
+
+
+class SymbolicInterpreter:
+    """One concolic execution of an RV32 program.
+
+    The interpreter is reset per run via :meth:`reset`; symbolic input
+    *variables* persist across runs (they identify input bytes), while
+    their concrete values come from the run's :class:`InputAssignment`.
+    """
+
+    def __init__(
+        self,
+        isa: ISA,
+        image: Image,
+        concretization: ConcretizationPolicy = ConcretizationPolicy.PIN,
+        force_terms: bool = False,
+    ):
+        self.isa = isa
+        self.image = image
+        self.domain = SymDomain(force_terms=force_terms)
+        self.concretization = concretization
+        # Stable input variables: (address -> SymbolicInput), shared
+        # across runs so solver models translate into new inputs.
+        self.inputs: dict[int, SymbolicInput] = {}
+        # Per-run state, created in reset():
+        self.memory: ByteMemory = ByteMemory()
+        self.shadow: ShadowMemory[T.Term] = ShadowMemory()
+        self.hart: Hart[SymValue] = Hart(zero_value=SymValue(0, 32))
+        self.trace = PathTrace()
+        self.assignment = InputAssignment()
+        self.stdout = bytearray()
+        self._current_word = 0
+        self._next_pc = 0
+
+    # ------------------------------------------------------------------
+    # Run management
+    # ------------------------------------------------------------------
+
+    def reset(self, assignment: Optional[InputAssignment] = None) -> None:
+        """Prepare a fresh run under the given input assignment."""
+        self.memory = ByteMemory()
+        self.image.load_into(self.memory)
+        self.shadow = ShadowMemory()
+        self.hart = Hart(zero_value=SymValue(0, 32))
+        self.hart.reset(self.image.entry)
+        self.trace = PathTrace()
+        self.assignment = assignment if assignment is not None else InputAssignment()
+        self.stdout = bytearray()
+        # Re-apply previously discovered input regions: inputs persist
+        # across runs even if the program marks them only on the first
+        # execution path that reaches make_symbolic.
+        for sym_input in self.inputs.values():
+            value = self.assignment.value_for(sym_input)
+            self.memory.write_byte(sym_input.address, value)
+            self.shadow.set(sym_input.address, sym_input.variable)
+
+    def run(self, max_steps: int = 1_000_000) -> Hart:
+        """Execute until halt; returns the hart with halt bookkeeping."""
+        for _ in range(max_steps):
+            if self.hart.halted:
+                return self.hart
+            self.step()
+        self.hart.halt(HaltReason.OUT_OF_FUEL)
+        return self.hart
+
+    def step(self) -> None:
+        hart = self.hart
+        if hart.halted:
+            return
+        word = self.memory.read(hart.pc, 32)
+        try:
+            decoded = self.isa.decoder.decode(word, hart.pc)
+        except IllegalInstruction:
+            hart.halt(HaltReason.ILLEGAL)
+            raise
+        self._current_word = word
+        self._next_pc = (hart.pc + 4) & _WORD
+        semantics = self.isa.semantics_for(decoded.name)
+        execute_semantics(semantics(), self)
+        hart.instret += 1
+        if not hart.halted:
+            hart.pc = self._next_pc
+
+    # ------------------------------------------------------------------
+    # Symbolic input marking (the make_symbolic ecall / harness hook)
+    # ------------------------------------------------------------------
+
+    def make_symbolic(self, base: int, length: int) -> None:
+        """Mark ``length`` bytes at ``base`` as symbolic input."""
+        for offset in range(length):
+            address = (base + offset) & _WORD
+            sym_input = self.inputs.get(address)
+            if sym_input is None:
+                variable = T.bv_var(f"in_{address:08x}", 8)
+                sym_input = SymbolicInput(
+                    address, variable, self.memory.read_byte(address)
+                )
+                self.inputs[address] = sym_input
+            value = self.assignment.value_for(sym_input)
+            self.memory.write_byte(address, value)
+            self.shadow.set(address, sym_input.variable)
+
+    def input_variables(self) -> list[T.Term]:
+        return [sym_input.variable for sym_input in self.inputs.values()]
+
+    # ------------------------------------------------------------------
+    # Platform hooks (HostPlatform-compatible, see concrete.syscalls)
+    # ------------------------------------------------------------------
+
+    def read_register_int(self, index: int) -> int:
+        return self.hart.regs.read(index).concrete
+
+    def write_register_int(self, index: int, value: int) -> None:
+        self.hart.regs.write(index, SymValue(value & _WORD, 32))
+
+    def halt_exit(self, code: int) -> None:
+        self.hart.halt(HaltReason.EXIT, exit_code=code)
+
+    def _ecall(self) -> None:
+        from ..concrete.syscalls import SYS_EXIT, SYS_MAKE_SYMBOLIC, SYS_WRITE
+
+        number = self.read_register_int(17)  # a7
+        if number == SYS_EXIT:
+            self.halt_exit(self.read_register_int(10))
+        elif number == SYS_WRITE:
+            base = self.read_register_int(11)
+            length = self.read_register_int(12)
+            self.stdout.extend(self.memory.read_bytes(base, length))
+            self.write_register_int(10, length)
+        elif number == SYS_MAKE_SYMBOLIC:
+            self.make_symbolic(self.read_register_int(10), self.read_register_int(11))
+        else:
+            raise ValueError(f"unknown syscall number {number}")
+
+    # ------------------------------------------------------------------
+    # Symbolic memory
+    # ------------------------------------------------------------------
+
+    def _load(self, address: int, width: int) -> SymValue:
+        parts = []
+        for i in range(width // 8):
+            byte_addr = (address + i) & _WORD
+            concrete = self.memory.read_byte(byte_addr)
+            shadow = self.shadow.get(byte_addr)
+            parts.append(SymValue(concrete, 8, shadow))
+        return self.domain.concat_bytes(parts)
+
+    def _store(self, address: int, value: SymValue, width: int) -> None:
+        for i in range(width // 8):
+            byte_addr = (address + i) & _WORD
+            self.memory.write_byte(byte_addr, (value.concrete >> (8 * i)) & 0xFF)
+            if value.term is None:
+                self.shadow.set(byte_addr, None)
+            else:
+                self.shadow.set(
+                    byte_addr, T.extract(value.term, 8 * i + 7, 8 * i)
+                )
+
+    # ------------------------------------------------------------------
+    # Handler interface
+    # ------------------------------------------------------------------
+
+    def _reg_leaf(self, index: int) -> Val:
+        return Val(self.hart.regs.read(index), 32)
+
+    def _eval(self, expr: Expr) -> SymValue:
+        return eval_expr(expr, self.domain)
+
+    def branch(self, cond: Expr) -> bool:
+        """Record a symbolic branch decision; answer concolically."""
+        value = self._eval(cond)
+        taken = bool(value.concrete)
+        # Constant terms (possible under force_terms) are not symbolic
+        # decisions — only record conditions the solver could flip.
+        if value.term is not None and not value.term.is_const:
+            self.trace.add_branch(value.condition_term(), self.hart.pc, taken)
+        return taken
+
+    def handle(self, primitive):
+        word = self._current_word
+        if isinstance(primitive, DecodeAndReadRType):
+            return (
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadR4Type):
+            return (
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+                self._reg_leaf(fields.rs3(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadIType):
+            return (
+                Val(fields.imm_i(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadShamt):
+            return (
+                Val(fields.shamt(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                fields.rd(word),
+            )
+        if isinstance(primitive, DecodeAndReadSType):
+            return (
+                Val(fields.imm_s(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+            )
+        if isinstance(primitive, DecodeAndReadBType):
+            return (
+                Val(fields.imm_b(word), 32),
+                self._reg_leaf(fields.rs1(word)),
+                self._reg_leaf(fields.rs2(word)),
+            )
+        if isinstance(primitive, DecodeUType):
+            return Val(fields.imm_u(word), 32), fields.rd(word)
+        if isinstance(primitive, DecodeJType):
+            return Val(fields.imm_j(word), 32), fields.rd(word)
+        if isinstance(primitive, ReadRegister):
+            return self._reg_leaf(primitive.index)
+        if isinstance(primitive, WriteRegister):
+            self.hart.regs.write(primitive.index, self._eval(primitive.value))
+            return None
+        if isinstance(primitive, ReadPC):
+            return Val(SymValue(self.hart.pc, 32), 32)
+        if isinstance(primitive, WritePC):
+            target = self._eval(primitive.value)
+            if target.term is not None:
+                # Indirect jump through symbolic data: concretize like a
+                # memory address (pin under the PIN policy).
+                pinned = T.eq(target.term, T.bv(target.concrete, 32))
+                self.trace.add_assumption(pinned, self.hart.pc)
+            self._next_pc = target.concrete
+            return None
+        if isinstance(primitive, LoadMem):
+            address = self._eval(primitive.addr)
+            concrete_addr = concretize_address(
+                address, self.concretization, self.trace, self.hart.pc
+            )
+            return Val(self._load(concrete_addr, primitive.width), primitive.width)
+        if isinstance(primitive, StoreMem):
+            address = self._eval(primitive.addr)
+            concrete_addr = concretize_address(
+                address, self.concretization, self.trace, self.hart.pc
+            )
+            self._store(concrete_addr, self._eval(primitive.value), primitive.width)
+            return None
+        if isinstance(primitive, Ecall):
+            self._ecall()
+            return None
+        if isinstance(primitive, Ebreak):
+            self.hart.halt(HaltReason.EBREAK)
+            return None
+        if isinstance(primitive, Fence):
+            return None
+        raise NotImplementedError(f"unhandled primitive {primitive!r}")

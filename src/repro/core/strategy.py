@@ -1,0 +1,93 @@
+"""Path-selection strategies for the offline executor.
+
+The paper's BinSym uses depth-first search (Sect. III-B); BFS and a
+seeded random strategy are provided for the search-strategy ablation
+(``benchmarks/bench_ablation_search.py``).  A strategy is just a
+worklist policy: ``push`` pending flip candidates, ``pop`` the next one.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Optional
+
+__all__ = ["Strategy", "DepthFirst", "BreadthFirst", "RandomChoice", "make_strategy"]
+
+
+class Strategy:
+    """Worklist interface (items are opaque to the strategy)."""
+
+    def push(self, item: Any) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Any:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class DepthFirst(Strategy):
+    """LIFO worklist — the paper's configuration."""
+
+    def __init__(self) -> None:
+        self._items: list = []
+
+    def push(self, item) -> None:
+        self._items.append(item)
+
+    def pop(self):
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BreadthFirst(Strategy):
+    """FIFO worklist."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+
+    def push(self, item) -> None:
+        self._items.append(item)
+
+    def pop(self):
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class RandomChoice(Strategy):
+    """Uniformly random worklist (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._items: list = []
+        self._rng = random.Random(seed)
+
+    def push(self, item) -> None:
+        self._items.append(item)
+
+    def pop(self):
+        index = self._rng.randrange(len(self._items))
+        self._items[index], self._items[-1] = self._items[-1], self._items[index]
+        return self._items.pop()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def make_strategy(name: str, seed: int = 0) -> Strategy:
+    """Factory: ``dfs`` (default), ``bfs`` or ``random``."""
+    if name == "dfs":
+        return DepthFirst()
+    if name == "bfs":
+        return BreadthFirst()
+    if name == "random":
+        return RandomChoice(seed)
+    raise ValueError(f"unknown strategy {name!r}")

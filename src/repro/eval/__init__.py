@@ -1,0 +1,21 @@
+"""Experiment drivers reproducing the paper's evaluation artifacts.
+
+* :mod:`repro.eval.workloads` — the five Table I programs (+ Fig. 2/5)
+* :mod:`repro.eval.table1` — Table I (path counts per engine)
+* :mod:`repro.eval.fig6` — Fig. 6 (wall-clock comparison, log scale)
+* :mod:`repro.eval.bugs` — five-bug witnesses, Fig. 5 FP/FN, DIVU edge
+* :mod:`repro.eval.difftest` — differential lifter testing vs the spec
+* :mod:`repro.eval.loc_report` — LOC split (Sect. III-B claim)
+"""
+
+from .engines import ENGINE_ORDER, explore_with, make_engine
+from .workloads import TABLE1_WORKLOADS, WORKLOADS, build
+
+__all__ = [
+    "ENGINE_ORDER",
+    "explore_with",
+    "make_engine",
+    "WORKLOADS",
+    "TABLE1_WORKLOADS",
+    "build",
+]

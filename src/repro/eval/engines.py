@@ -1,0 +1,77 @@
+"""Uniform construction of the four SE engines under comparison.
+
+Mirrors the paper's evaluation setup: BINSEC, BinSym, SymEx-VP and angr
+(with the fixed lifter for the Fig. 6 performance comparison, or with
+the five historical bugs for the Table I accuracy experiment).  All
+engines receive identical binaries and are driven by the same explorer
+and solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..baselines.dba import DbaEngine
+from ..baselines.vexir import FIVE_ANGR_BUGS, VexEngine
+from ..baselines.vp import VpExecutor
+from ..core import BinSymExecutor, ExplorationResult, Explorer
+from ..loader.image import Image
+from ..spec.isa import ISA, rv32im
+
+__all__ = ["ENGINE_ORDER", "EngineSpec", "make_engine", "explore_with"]
+
+#: Fig. 6 bar order: BINSEC, BinSym, SymEx-VP, angr.
+ENGINE_ORDER = ("binsec", "binsym", "symex-vp", "angr")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    key: str
+    label: str
+    factory: Callable
+
+
+def make_engine(
+    key: str,
+    isa: ISA,
+    image: Image,
+    symbolic_registers=(),
+    max_steps: int = 1_000_000,
+):
+    """Instantiate an engine by key.
+
+    Keys: ``binsym``, ``binsec``, ``symex-vp``, ``angr`` (fixed lifter)
+    and ``angr-buggy`` (the five historical lifter bugs seeded).
+    """
+    common = dict(symbolic_registers=symbolic_registers, max_steps=max_steps)
+    if key == "binsym":
+        return BinSymExecutor(isa, image, **common)
+    if key == "binsec":
+        return DbaEngine(isa, image, **common)
+    if key == "symex-vp":
+        return VpExecutor(isa, image, **common)
+    if key == "angr":
+        return VexEngine(isa, image, **common)
+    if key == "angr-buggy":
+        return VexEngine(isa, image, bugs=FIVE_ANGR_BUGS, **common)
+    raise ValueError(f"unknown engine key {key!r}")
+
+
+def explore_with(
+    key: str,
+    image: Image,
+    isa: Optional[ISA] = None,
+    symbolic_registers=(),
+    max_paths: int = 1_000_000,
+    max_steps: int = 1_000_000,
+) -> ExplorationResult:
+    """Build an engine, explore the image, return the result."""
+    engine = make_engine(
+        key,
+        isa if isa is not None else rv32im(),
+        image,
+        symbolic_registers=symbolic_registers,
+        max_steps=max_steps,
+    )
+    return Explorer(engine, max_paths=max_paths).explore()

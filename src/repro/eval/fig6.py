@@ -1,0 +1,144 @@
+"""Fig. 6 reproduction: wall-clock comparison of the four SE engines.
+
+Runs every benchmark with each engine ``repeats`` times and reports the
+arithmetic mean, rendered as a log-scale grouped bar chart (the paper's
+Fig. 6 visual) plus a CSV block.  The claim being reproduced is the
+*ordering* — BINSEC fastest, then BinSym, then SymEx-VP, with angr an
+order of magnitude behind — and its mechanism attribution:
+
+* BINSEC-like: persistent lifted-block cache + concrete fast path,
+* BinSym: fast path, but semantics re-interpreted through the formal
+  specification every step,
+* SymEx-VP-like: BinSym semantics plus TLM bus transactions and kernel
+  delta cycles per access,
+* angr-like (fixed lifter): per-visit lifting and claripy-style
+  build-a-term-for-everything evaluation.
+
+Run as a module::
+
+    python -m repro.eval.fig6 [--scale N] [--repeats K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..smt import terms
+from ..spec.isa import rv32im
+from .engines import explore_with
+from .report import csv_lines, log_bar_chart
+from .workloads import TABLE1_WORKLOADS, WORKLOADS
+
+__all__ = ["Fig6Result", "run_fig6", "render_fig6", "main"]
+
+#: Fig. 6 bar order (left to right in the paper's chart).
+_ENGINES = ("binsec", "binsym", "symex-vp", "angr")
+_LABELS = {
+    "binsec": "BinSec",
+    "binsym": "BinSym",
+    "symex-vp": "SymEx-VP",
+    "angr": "angr",
+}
+
+
+@dataclass
+class Fig6Result:
+    benchmarks: list[str]
+    scale_used: dict[str, int]
+    #: engine key -> list of mean seconds (one per benchmark)
+    means: dict[str, list[float]] = field(default_factory=dict)
+    #: engine key -> list of relative std-dev (max across runs)
+    rel_stddev: dict[str, list[float]] = field(default_factory=dict)
+    paths: dict[str, list[int]] = field(default_factory=dict)
+
+    def ordering_for(self, benchmark: str) -> list[str]:
+        """Engine keys sorted fastest-to-slowest on one benchmark."""
+        index = self.benchmarks.index(benchmark)
+        return sorted(self.means, key=lambda key: self.means[key][index])
+
+
+def run_fig6(
+    scale: Optional[int] = None,
+    repeats: int = 3,
+    benchmarks=TABLE1_WORKLOADS,
+    engines=_ENGINES,
+) -> Fig6Result:
+    """Time every engine on every benchmark (mean over ``repeats``)."""
+    isa = rv32im()
+    result = Fig6Result(list(benchmarks), {})
+    for key in engines:
+        result.means[key] = []
+        result.rel_stddev[key] = []
+        result.paths[key] = []
+    for name in benchmarks:
+        workload = WORKLOADS[name]
+        effective_scale = scale or workload.fig6_scale
+        result.scale_used[name] = effective_scale
+        image = workload.image(effective_scale)
+        for key in engines:
+            samples = []
+            paths = 0
+            for _ in range(repeats):
+                # Reset term interning so no engine inherits a warm
+                # cache from a predecessor (fair wall-clock comparison).
+                terms.reset_interner()
+                start = time.perf_counter()
+                exploration = explore_with(key, image, isa=isa)
+                samples.append(time.perf_counter() - start)
+                paths = exploration.num_paths
+            mean = sum(samples) / len(samples)
+            variance = sum((s - mean) ** 2 for s in samples) / len(samples)
+            result.means[key].append(mean)
+            result.rel_stddev[key].append(
+                (variance ** 0.5) / mean if mean > 0 else 0.0
+            )
+            result.paths[key].append(paths)
+    return result
+
+
+def render_fig6(result: Fig6Result) -> str:
+    series = {
+        _LABELS.get(key, key): values for key, values in result.means.items()
+    }
+    chart = log_bar_chart(
+        result.benchmarks,
+        series,
+        unit="s",
+        title="Fig. 6 — total execution time (arithmetic mean)",
+    )
+    headers = ["benchmark", "scale"] + [_LABELS.get(k, k) for k in result.means]
+    rows = []
+    for i, name in enumerate(result.benchmarks):
+        rows.append(
+            [name, result.scale_used[name]]
+            + [f"{result.means[key][i]:.4f}" for key in result.means]
+        )
+    csv_block = "\n".join(csv_lines(headers, rows))
+    max_dev = max(
+        (dev for devs in result.rel_stddev.values() for dev in devs), default=0.0
+    )
+    return (
+        chart
+        + f"\n\nmax relative std-dev across runs: {max_dev * 100:.1f}%"
+        + "\n\nCSV:\n"
+        + csv_block
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--benchmark", action="append", default=None)
+    args = parser.parse_args(argv)
+    benchmarks = tuple(args.benchmark) if args.benchmark else TABLE1_WORKLOADS
+    result = run_fig6(scale=args.scale, repeats=args.repeats, benchmarks=benchmarks)
+    print(render_fig6(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Lines-of-code report (the paper's Sect. III-B complexity claim).
+
+The paper reports "the entire SE engine for RISC-V binary code in only
+1000 LOC in Haskell with 1500 LOC of LibRISCV specification", arguing
+that deriving the engine from an executable formal specification keeps
+it small.  This module reports the analogous split for this repository:
+the BinSym core (:mod:`repro.core`) versus the formal specification
+(:mod:`repro.spec`) versus everything else, counting non-blank,
+non-comment lines.
+
+Run as a module: ``python -m repro.eval.loc_report``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .report import format_table
+
+__all__ = ["count_loc", "package_loc", "main"]
+
+
+def count_loc(path: Path) -> int:
+    """Non-blank, non-comment (``#``) physical lines in one file.
+
+    Docstrings are counted as code (they carry the API contract), which
+    matches how ``cloc`` treats Haskell haddock comments poorly anyway —
+    the *relative* sizes are what matters for the claim.
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                count += 1
+    return count
+
+
+def package_loc(root: Path) -> dict[str, int]:
+    """LOC per top-level subpackage of ``repro``."""
+    totals: dict[str, int] = {}
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = Path(dirpath) / filename
+            relative = path.relative_to(root)
+            top = relative.parts[0] if len(relative.parts) > 1 else "(top)"
+            totals[top] = totals.get(top, 0) + count_loc(path)
+    return totals
+
+
+def main(argv=None) -> int:
+    import repro
+
+    root = Path(repro.__file__).parent
+    totals = package_loc(root)
+    rows = sorted(totals.items(), key=lambda item: -item[1])
+    total = sum(totals.values())
+    print(
+        format_table(
+            ["subpackage", "LOC"],
+            [[name, loc] for name, loc in rows] + [["total", total]],
+            title="Lines of code by subpackage (cf. paper Sect. III-B)",
+        )
+    )
+    core = totals.get("core", 0)
+    spec = totals.get("spec", 0)
+    print(
+        f"\nBinSym core: {core} LOC on top of a {spec} LOC formal "
+        f"specification (paper: ~1000 LOC engine + ~1500 LOC spec)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Plain-text tables and log-scale bar charts for the experiment drivers.
+
+matplotlib is not available offline, so Fig. 6 is rendered as an ASCII
+grouped bar chart with a logarithmic axis plus a CSV dump suitable for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["format_table", "log_bar_chart", "csv_lines"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    unit: str = "s",
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII grouped bar chart with a logarithmic value axis.
+
+    ``groups`` are the x-axis categories (benchmarks); ``series`` maps a
+    series label (engine) to one value per group.
+    """
+    all_values = [v for values in series.values() for v in values if v > 0]
+    if not all_values:
+        return "(no data)"
+    low = min(all_values)
+    high = max(all_values)
+    log_low = math.log10(low) - 0.05
+    log_high = math.log10(high) + 0.05
+    span = max(log_high - log_low, 1e-9)
+
+    def bar(value: float) -> str:
+        if value <= 0:
+            return ""
+        frac = (math.log10(value) - log_low) / span
+        return "#" * max(1, int(frac * width))
+
+    label_width = max(len(label) for label in series)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"(log scale, {low:.3g}{unit} .. {high:.3g}{unit})")
+    for g, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label, values in series.items():
+            value = values[g]
+            lines.append(
+                f"  {label.ljust(label_width)} |{bar(value)} {value:.3g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def csv_lines(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> list[str]:
+    """CSV rendering (no quoting needed for our numeric tables)."""
+    out = [",".join(str(h) for h in headers)]
+    for row in rows:
+        out.append(",".join(str(c) for c in row))
+    return out

@@ -1,0 +1,97 @@
+"""Run every paper experiment and emit a single markdown report.
+
+The one-command reproduction::
+
+    python -m repro.eval.run_all [-o report.md] [--repeats 3] [--scale N]
+
+Sections: Table I, the five lifter bugs, Fig. 5, the DIVU edge case,
+Fig. 6 timings, SMT query complexity and the LOC split.  Runs at the
+default (seconds-scale) workload sizes; see EXPERIMENTS.md for the
+paper-scale record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+
+from . import bugs, fig6, loc_report, query_stats, table1
+
+__all__ = ["generate_report", "main"]
+
+
+def _capture(fn, *args, **kwargs) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        fn(*args, **kwargs)
+    return buffer.getvalue().rstrip()
+
+
+def generate_report(repeats: int = 1, scale=None) -> str:
+    """Run all experiments; returns the markdown report text."""
+    started = time.strftime("%Y-%m-%d %H:%M:%S")
+    sections: list[tuple[str, str]] = []
+
+    rows = table1.run_table1(scale=scale)
+    sections.append(("Table I — path counts", table1.render_table1(rows)))
+
+    sections.append(
+        (
+            "Sect. V-A — lifter bugs, Fig. 5, DIVU edge",
+            _capture(bugs.main, []),
+        )
+    )
+
+    fig6_result = fig6.run_fig6(scale=scale, repeats=repeats)
+    sections.append(("Fig. 6 — execution time", fig6.render_fig6(fig6_result)))
+
+    comparison = query_stats.compare_engines("bubble-sort", scale)
+    sections.append(
+        (
+            "SMT query complexity (Sect. V-B future work)",
+            query_stats.render(comparison, "bubble-sort"),
+        )
+    )
+
+    sections.append(("LOC split (Sect. III-B)", _capture(loc_report.main, [])))
+
+    out = [
+        "# BinSym reproduction — experiment report",
+        "",
+        f"Generated {started}; workload scales: "
+        + ("default" if scale is None else str(scale))
+        + f"; fig6 repeats: {repeats}.",
+        "",
+    ]
+    for title, body in sections:
+        out.append(f"## {title}")
+        out.append("")
+        out.append("```")
+        out.append(body)
+        out.append("```")
+        out.append("")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the report to a file (default: stdout)")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--scale", type=int, default=None)
+    args = parser.parse_args(argv)
+    report = generate_report(repeats=args.repeats, scale=args.scale)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

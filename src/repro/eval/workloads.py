@@ -1,0 +1,484 @@
+"""The evaluation workloads (paper Sect. V + Figs. 2 and 5).
+
+The paper evaluates on three RIOT OS modules (``base64-encode``,
+``clif-parser``, ``uri-parser``) and two synthetic sort benchmarks
+(``bubble-sort``, ``insertion-sort``), compiled for RV32 with a fixed
+amount of symbolic input.  The RIOT sources and the GCC cross toolchain
+are not available offline, so the workloads are re-written in RV32
+assembly with the *same branching structure* (see DESIGN.md):
+
+* the sorts perform data-dependent compare-exchanges, so ``n`` symbolic
+  elements yield exactly ``n!`` feasible paths (720 = 6! and 5040 = 7!
+  in Table I — the paper's sizes are recovered with ``scale=6``/``7``);
+* ``base64-encode`` classifies each 6-bit group with a 4-comparison
+  chain (5 outcomes per full output character); with 4 symbolic input
+  bytes this yields 5^5 * 2 = 6250 paths — exactly the paper's count;
+* ``uri-parser`` validates characters with *signed* comparisons over
+  sign-extended ``char`` loads (``lb``), the combination angr's lifter
+  bugs #3/#5 mistranslate;
+* ``clif-parser`` (CoRE link-format) branches only on equality against
+  delimiters, which none of the five bugs affects — the workload where
+  Table I shows identical counts for every engine.
+
+Every workload obtains its symbolic buffer via the ``make_symbolic``
+ecall and exits through the ``exit`` ecall, so all engines see identical
+binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..asm import assemble
+from ..loader.image import Image
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "TABLE1_WORKLOADS",
+    "build",
+    "bubble_sort_source",
+    "insertion_sort_source",
+    "base64_encode_source",
+    "uri_parser_source",
+    "clif_parser_source",
+    "parse_word_source",
+    "divu_check_source",
+]
+
+_BUF = 0x0002_0000
+
+_PROLOGUE = """\
+_start:
+    li a0, {buf}
+    li a1, {length}
+    li a7, 1337
+    ecall                   # make_symbolic(buf, length)
+"""
+
+_EPILOGUE = """\
+exit_ok:
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+def bubble_sort_source(n: int) -> str:
+    """Full bubble sort (no early exit) over n symbolic bytes."""
+    return (
+        _PROLOGUE.format(buf=_BUF, length=n)
+        + f"""\
+    li s0, {_BUF}           # base
+    li s1, {n}              # n
+    li t0, 0                # i
+outer:
+    addi t6, s1, -1
+    bge t0, t6, exit_ok     # i >= n-1 (concrete)
+    li t1, 0                # j
+inner:
+    sub t5, s1, t0
+    addi t5, t5, -1
+    bge t1, t5, next_i      # j >= n-1-i (concrete)
+    add t2, s0, t1
+    lbu t3, 0(t2)           # a[j]
+    lbu t4, 1(t2)           # a[j+1]
+    bgeu t4, t3, no_swap    # symbolic compare-exchange
+    sb t4, 0(t2)
+    sb t3, 1(t2)
+no_swap:
+    addi t1, t1, 1
+    j inner
+next_i:
+    addi t0, t0, 1
+    j outer
+"""
+        + _EPILOGUE
+    )
+
+
+def insertion_sort_source(n: int) -> str:
+    """Textbook insertion sort over n symbolic bytes."""
+    return (
+        _PROLOGUE.format(buf=_BUF, length=n)
+        + f"""\
+    li s0, {_BUF}
+    li s1, {n}
+    li t0, 1                # i
+outer:
+    bge t0, s1, exit_ok     # concrete
+    mv t1, t0               # j
+inner:
+    beqz t1, next_i         # concrete
+    add t2, s0, t1
+    lbu t3, -1(t2)          # a[j-1]
+    lbu t4, 0(t2)           # a[j]
+    bgeu t4, t3, next_i     # symbolic: stop when a[j] >= a[j-1]
+    sb t4, -1(t2)
+    sb t3, 0(t2)
+    addi t1, t1, -1
+    j inner
+next_i:
+    addi t0, t0, 1
+    j outer
+"""
+        + _EPILOGUE
+    )
+
+
+def base64_encode_source(k: int) -> str:
+    """Base64-encode k symbolic bytes with a comparison-chain alphabet.
+
+    Each emitted character classifies its 6-bit group through the chain
+    ``c < 26 / c < 52 / c < 62 / c == 62 / else`` (5 outcomes), matching
+    the branching structure of a table-free embedded encoder.  Padding
+    groups emit '=' directly.
+    """
+    out_buf = _BUF + 0x100
+    return (
+        _PROLOGUE.format(buf=_BUF, length=k)
+        + f"""\
+    li s0, {_BUF}           # in
+    li s1, {k}              # len
+    li s2, {out_buf}        # out
+    li s3, 0                # consumed
+group:
+    sub t0, s1, s3
+    beqz t0, exit_ok        # all input consumed (concrete)
+    li t1, 3
+    bltu t0, t1, tail       # partial group? (concrete)
+    # full 3-byte group
+    add t2, s0, s3
+    lbu a1, 0(t2)
+    lbu a2, 1(t2)
+    lbu a3, 2(t2)
+    srli a0, a1, 2          # c0 = b0 >> 2
+    jal ra, classify
+    andi a0, a1, 3
+    slli a0, a0, 4
+    srli t3, a2, 4
+    or a0, a0, t3           # c1 = (b0&3)<<4 | b1>>4
+    jal ra, classify
+    andi a0, a2, 15
+    slli a0, a0, 2
+    srli t3, a3, 6
+    or a0, a0, t3           # c2 = (b1&15)<<2 | b2>>6
+    jal ra, classify
+    andi a0, a3, 63         # c3 = b2 & 63
+    jal ra, classify
+    addi s3, s3, 3
+    j group
+tail:
+    add t2, s0, s3
+    lbu a1, 0(t2)
+    srli a0, a1, 2          # c0 = b >> 2
+    jal ra, classify
+    li t1, 1
+    beq t0, t1, tail1       # concrete: 1 or 2 bytes left
+    # two bytes left
+    lbu a2, 1(t2)
+    andi a0, a1, 3
+    slli a0, a0, 4
+    srli t3, a2, 4
+    or a0, a0, t3
+    jal ra, classify
+    andi a0, a2, 15
+    slli a0, a0, 2          # c2 = (b1&15)<<2
+    jal ra, classify
+    li a0, '='
+    jal ra, emit
+    j exit_ok
+tail1:
+    andi a0, a1, 3
+    slli a0, a0, 4          # c1 = (b&3)<<4
+    jal ra, classify
+    li a0, '='
+    jal ra, emit
+    li a0, '='
+    jal ra, emit
+    j exit_ok
+
+# classify(a0: 6-bit group) -> emit alphabet character
+classify:
+    li t4, 26
+    bgeu a0, t4, cls_lower  # symbolic
+    addi a0, a0, 'A'
+    j emit
+cls_lower:
+    li t4, 52
+    bgeu a0, t4, cls_digit  # symbolic
+    addi a0, a0, 71         # 'a' - 26
+    j emit
+cls_digit:
+    li t4, 62
+    bgeu a0, t4, cls_plus   # symbolic
+    addi a0, a0, -4         # '0' - 52
+    j emit
+cls_plus:
+    li t4, 62
+    bne a0, t4, cls_slash   # symbolic
+    li a0, '+'
+    j emit
+cls_slash:
+    li a0, '/'
+emit:
+    sb a0, 0(s2)
+    addi s2, s2, 1
+    ret
+"""
+        + _EPILOGUE
+    )
+
+
+def uri_parser_source(n: int) -> str:
+    """Validate a ``scheme:`` prefix over n *signed char* bytes.
+
+    Mirrors the character-class checks of an embedded URI parser: each
+    character is loaded with ``lb`` (C ``char`` is signed on RISC-V) and
+    range-checked with *signed* comparisons — the code shape angr's
+    signed-comparison and load-extension lifter bugs mistranslate.
+    Exit codes encode the accepting/rejecting state.
+    """
+    return (
+        _PROLOGUE.format(buf=_BUF, length=n)
+        + f"""\
+    li s0, {_BUF}
+    li s1, {n}
+    # first character must be ASCII ((signed char)c >= 0) and lowercase
+    lb t0, 0(s0)
+    bltz t0, reject_bin     # symbolic, signed: non-ASCII byte
+    li t1, 'a'
+    blt t0, t1, reject      # symbolic, signed
+    li t1, 'z'
+    blt t1, t0, reject      # symbolic, signed
+    li s2, 1                # index
+scan:
+    bge s2, s1, reject      # concrete: no colon found
+    add t2, s0, s2
+    lb t0, 0(t2)
+    bltz t0, reject_bin     # symbolic, signed: non-ASCII byte
+    li t1, ':'
+    beq t0, t1, colon       # symbolic
+    li t1, 'a'
+    blt t0, t1, reject      # symbolic, signed
+    li t1, 'z'
+    blt t1, t0, reject      # symbolic, signed
+    addi s2, s2, 1
+    j scan
+colon:
+    # accept: scheme parsed; remaining bytes are opaque
+    j exit_ok
+reject_bin:
+    li a7, 93
+    li a0, 2
+    ecall
+reject:
+    li a7, 93
+    li a0, 1
+    ecall
+"""
+        + _EPILOGUE
+    )
+
+
+def clif_parser_source(n: int) -> str:
+    """CoRE link-format parser skeleton over n symbolic bytes.
+
+    Recognizes ``<path>`` followed by ``;attr`` segments using only
+    equality tests against delimiters — the branch structure on which
+    Table I reports identical path counts for every engine.
+    """
+    return (
+        _PROLOGUE.format(buf=_BUF, length=n)
+        + f"""\
+    li s0, {_BUF}
+    li s1, {n}
+    lbu t0, 0(s0)
+    li t1, '<'
+    bne t0, t1, reject      # symbolic: must start with '<'
+    li s2, 1
+path:
+    bge s2, s1, reject      # concrete: unterminated path
+    add t2, s0, s2
+    lbu t0, 0(t2)
+    addi s2, s2, 1
+    li t1, '>'
+    beq t0, t1, attrs       # symbolic: path ends at '>'
+    j path
+attrs:
+    bge s2, s1, exit_ok     # concrete: end of input, accept
+    add t2, s0, s2
+    lbu t0, 0(t2)
+    addi s2, s2, 1
+    li t1, ';'
+    beq t0, t1, attrs       # symbolic: attribute separator
+    li t1, ','
+    beq t0, t1, next_link   # symbolic: next link
+    j attrs                 # attribute payload byte
+next_link:
+    bge s2, s1, reject      # concrete: dangling comma
+    add t2, s0, s2
+    lbu t0, 0(t2)
+    addi s2, s2, 1
+    li t1, '<'
+    bne t0, t1, reject      # symbolic
+    j path
+reject:
+    li a7, 93
+    li a0, 1
+    ecall
+"""
+        + _EPILOGUE
+    )
+
+
+def parse_word_source() -> str:
+    """The Fig. 5 program: FP + FN under angr's shamt-signed bug.
+
+    ``x`` arrives in a0 (pre-marked symbolic by the harness).  The
+    first ``ebreak`` is the assertion ``mask == 0x80000000`` (spurious
+    failure = false positive under the bug); the second is
+    ``mask != 0x80000000`` (real failure the buggy engine misses =
+    false negative).  Symbol names mark the two assertion sites.
+    """
+    return """\
+_start:
+    slli t0, a0, 31         # mask = x << 31 (I-type shift, shamt = 31)
+    li t1, 1
+    bne a0, t1, else_branch # if (x == 1)
+    li t2, 0x80000
+    slli t2, t2, 12         # 0x80000000
+    beq t0, t2, out         # assert(mask == 0x80000000)
+assert_eq_failed:
+    ebreak
+else_branch:
+    li t2, 0x80000
+    slli t2, t2, 12
+    bne t0, t2, out         # assert(mask != 0x80000000)
+assert_ne_failed:
+    ebreak
+out:
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+def divu_check_source() -> str:
+    """The paper's intro example (Fig. 2): DIVU division-by-zero edge.
+
+    ``x`` in a0 and ``y`` in a1 are symbolic; the ``fail`` branch is
+    reachable *only* because RISC-V defines division by zero to return
+    all-ones (z = 0xffffffff > x).
+
+    The inputs are masked to 8 bits: symbolic 32-bit division bit-blasts
+    to a ~40k-clause multiplier constraint that the pure-Python CDCL
+    solver chews on for minutes, while the 8-bit domain exhibits the
+    identical edge case in well under a second (see EXPERIMENTS.md).
+    """
+    return """\
+foo:
+    andi a0, a0, 255        # keep the solver demo small (see docstring)
+    andi a1, a1, 255
+    divu a1, a0, a1         # z = x / y  (all-ones when y == 0)
+    bltu a0, a1, fail       # if (x < z) goto fail
+    li a7, 93
+    li a0, 0
+    ecall
+fail:
+    ebreak
+"""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark with a scale knob.
+
+    ``default_scale`` keeps the pure-Python default runs quick;
+    ``paper_scale`` recovers the paper's Table I configuration.
+    ``expected_paths`` maps scale -> known-correct path count (None when
+    the count is measured rather than derived).
+    """
+
+    name: str
+    source_builder: Callable[[int], str]
+    default_scale: int
+    paper_scale: int
+    expected_paths: Optional[Callable[[int], int]] = None
+    #: Scale used by the Fig. 6 timing driver (enough work for the
+    #: engine-overhead differences to dominate setup noise).
+    fig6_scale: int = 0
+
+    def __post_init__(self):
+        if self.fig6_scale == 0:
+            object.__setattr__(self, "fig6_scale", self.default_scale + 1)
+
+    def source(self, scale: Optional[int] = None) -> str:
+        return self.source_builder(scale or self.default_scale)
+
+    def image(self, scale: Optional[int] = None) -> Image:
+        return assemble(self.source(scale))
+
+
+def _factorial(n: int) -> int:
+    result = 1
+    for i in range(2, n + 1):
+        result *= i
+    return result
+
+
+def _base64_paths(k: int) -> int:
+    """5 outcomes per full character; partial-group characters have
+    fewer feasible classes (derivation in EXPERIMENTS.md).
+
+    * one trailing byte: c0 spans all 64 values (5 classes), c1 is
+      ``(b & 3) << 4`` in {0,16,32,48} — only the A-Z and a-z classes
+      are reachable (2);
+    * two trailing bytes: c0 and c1 span all values (5 each), c2 is
+      ``(b1 & 15) << 2`` in {0,4,...,60} — A-Z, a-z and 0-9 reachable
+      (3; 62 and 63 cannot be produced).
+    """
+    full_groups, rest = divmod(k, 3)
+    paths = 5 ** (4 * full_groups)
+    if rest == 1:
+        paths *= 5 * 2
+    elif rest == 2:
+        paths *= 5 * 5 * 3
+    return paths
+
+
+WORKLOADS = {
+    "bubble-sort": Workload(
+        "bubble-sort", bubble_sort_source, default_scale=4, paper_scale=6,
+        expected_paths=_factorial,
+    ),
+    "insertion-sort": Workload(
+        "insertion-sort", insertion_sort_source, default_scale=4, paper_scale=7,
+        expected_paths=_factorial,
+    ),
+    "base64-encode": Workload(
+        "base64-encode", base64_encode_source, default_scale=1, paper_scale=4,
+        expected_paths=_base64_paths,
+    ),
+    "uri-parser": Workload(
+        "uri-parser", uri_parser_source, default_scale=3, paper_scale=6,
+    ),
+    "clif-parser": Workload(
+        "clif-parser", clif_parser_source, default_scale=4, paper_scale=7,
+    ),
+}
+
+#: Table I row order.
+TABLE1_WORKLOADS = (
+    "base64-encode",
+    "bubble-sort",
+    "clif-parser",
+    "insertion-sort",
+    "uri-parser",
+)
+
+
+def build(name: str, scale: Optional[int] = None) -> Image:
+    """Assemble a workload by name at the given (or default) scale."""
+    return WORKLOADS[name].image(scale)

@@ -1,0 +1,6 @@
+"""Binary loading: program images and a minimal ELF32 reader/writer."""
+
+from .elf import ElfFormatError, read_elf, write_elf
+from .image import Image, Segment
+
+__all__ = ["Image", "Segment", "read_elf", "write_elf", "ElfFormatError"]

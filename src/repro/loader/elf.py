@@ -1,0 +1,242 @@
+"""Minimal ELF32 writer and reader for RISC-V executables.
+
+pyelftools is not available offline, and the engines only need the
+loadable view of an executable, so this module implements the small ELF
+subset that matters: ELF32 little-endian executables for EM_RISCV with
+PT_LOAD program headers, plus an optional ``.symtab`` so symbol-based
+harness configuration survives a round trip through the file format.
+
+The writer produces files that external readelf/objdump parse fine; the
+reader accepts files produced by standard toolchains as long as they are
+ELF32, little-endian, RISC-V.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .image import Image, Segment
+
+__all__ = ["write_elf", "read_elf", "ElfFormatError"]
+
+_EI_NIDENT = 16
+_ELFCLASS32 = 1
+_ELFDATA2LSB = 1
+_EV_CURRENT = 1
+_ET_EXEC = 2
+_EM_RISCV = 243
+
+_EHDR_FMT = "<16sHHIIIIIHHHHHH"
+_EHDR_SIZE = struct.calcsize(_EHDR_FMT)  # 52
+_PHDR_FMT = "<IIIIIIII"
+_PHDR_SIZE = struct.calcsize(_PHDR_FMT)  # 32
+_SHDR_FMT = "<IIIIIIIIII"
+_SHDR_SIZE = struct.calcsize(_SHDR_FMT)  # 40
+_SYM_FMT = "<IIIBBH"
+_SYM_SIZE = struct.calcsize(_SYM_FMT)  # 16
+
+_PT_LOAD = 1
+_SHT_NULL = 0
+_SHT_PROGBITS = 1
+_SHT_SYMTAB = 2
+_SHT_STRTAB = 3
+_PF_RWX = 7
+
+
+class ElfFormatError(ValueError):
+    """Raised when parsing a file outside the supported ELF subset."""
+
+
+def write_elf(image: Image) -> bytes:
+    """Serialize an Image as an ELF32 RISC-V executable."""
+    segments = sorted(image.segments, key=lambda s: s.base)
+    phnum = len(segments)
+
+    # Layout: ehdr | phdrs | segment data... | symtab | strtab | shdrs
+    offset = _EHDR_SIZE + phnum * _PHDR_SIZE
+    segment_offsets = []
+    blob = bytearray()
+    for segment in segments:
+        # Align segment file offsets to 4 bytes for readability.
+        pad = (-offset) % 4
+        blob.extend(b"\x00" * pad)
+        offset += pad
+        segment_offsets.append(offset)
+        blob.extend(segment.data)
+        offset += len(segment.data)
+
+    # String and symbol tables.
+    strtab = bytearray(b"\x00")
+    symtab = bytearray(b"\x00" * _SYM_SIZE)  # index 0: undefined symbol
+    for name in sorted(image.symbols):
+        name_offset = len(strtab)
+        strtab.extend(name.encode("utf-8") + b"\x00")
+        # st_info = (STB_GLOBAL << 4) | STT_NOTYPE = 0x10
+        symtab.extend(
+            struct.pack(_SYM_FMT, name_offset, image.symbols[name], 0, 0x10, 0, 1)
+        )
+
+    shstrtab = bytearray(b"\x00")
+
+    def shstr(name: str) -> int:
+        pos = len(shstrtab)
+        shstrtab.extend(name.encode() + b"\x00")
+        return pos
+
+    pad = (-offset) % 4
+    blob.extend(b"\x00" * pad)
+    offset += pad
+    symtab_offset = offset
+    blob.extend(symtab)
+    offset += len(symtab)
+    strtab_offset = offset
+    blob.extend(strtab)
+    offset += len(strtab)
+
+    # Section headers: null, one PROGBITS per segment, symtab, strtab, shstrtab.
+    sections = [struct.pack(_SHDR_FMT, 0, _SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0)]
+    for i, segment in enumerate(segments):
+        sections.append(
+            struct.pack(
+                _SHDR_FMT,
+                shstr(f".seg{i}"),
+                _SHT_PROGBITS,
+                0x7,  # SHF_WRITE|ALLOC|EXECINSTR
+                segment.base,
+                segment_offsets[i],
+                len(segment.data),
+                0, 0, 4, 0,
+            )
+        )
+    strtab_index = len(sections) + 1
+    sections.append(
+        struct.pack(
+            _SHDR_FMT, shstr(".symtab"), _SHT_SYMTAB, 0, 0,
+            symtab_offset, len(symtab), strtab_index, 1, 4, _SYM_SIZE,
+        )
+    )
+    sections.append(
+        struct.pack(
+            _SHDR_FMT, shstr(".strtab"), _SHT_STRTAB, 0, 0,
+            strtab_offset, len(strtab), 0, 0, 1, 0,
+        )
+    )
+    shstrtab_name = shstr(".shstrtab")
+    shstrtab_offset = offset
+    blob.extend(shstrtab)
+    offset += len(shstrtab)
+    sections.append(
+        struct.pack(
+            _SHDR_FMT, shstrtab_name, _SHT_STRTAB, 0, 0,
+            shstrtab_offset, len(shstrtab), 0, 0, 1, 0,
+        )
+    )
+    pad = (-offset) % 4
+    blob.extend(b"\x00" * pad)
+    offset += pad
+    shoff = offset
+
+    ident = bytes([0x7F, ord("E"), ord("L"), ord("F"),
+                   _ELFCLASS32, _ELFDATA2LSB, _EV_CURRENT]) + b"\x00" * 9
+    ehdr = struct.pack(
+        _EHDR_FMT,
+        ident,
+        _ET_EXEC,
+        _EM_RISCV,
+        _EV_CURRENT,
+        image.entry,
+        _EHDR_SIZE,  # phoff: right after the header
+        shoff,
+        0,  # flags
+        _EHDR_SIZE,
+        _PHDR_SIZE,
+        phnum,
+        _SHDR_SIZE,
+        len(sections),
+        len(sections) - 1,  # shstrndx: last section
+    )
+
+    phdrs = bytearray()
+    for i, segment in enumerate(segments):
+        phdrs.extend(
+            struct.pack(
+                _PHDR_FMT,
+                _PT_LOAD,
+                segment_offsets[i],
+                segment.base,
+                segment.base,
+                len(segment.data),
+                len(segment.data),
+                _PF_RWX,
+                4,
+            )
+        )
+
+    out = bytearray()
+    out.extend(ehdr)
+    out.extend(phdrs)
+    out.extend(blob)
+    out.extend(b"".join(sections))
+    return bytes(out)
+
+
+def read_elf(data: bytes) -> Image:
+    """Parse an ELF32 RISC-V executable into an Image."""
+    if len(data) < _EHDR_SIZE:
+        raise ElfFormatError("file too small for an ELF header")
+    (
+        ident, e_type, e_machine, _version, e_entry, e_phoff, e_shoff,
+        _flags, _ehsize, e_phentsize, e_phnum, e_shentsize, e_shnum,
+        e_shstrndx,
+    ) = struct.unpack_from(_EHDR_FMT, data, 0)
+    if ident[:4] != b"\x7fELF":
+        raise ElfFormatError("bad ELF magic")
+    if ident[4] != _ELFCLASS32:
+        raise ElfFormatError("only ELF32 is supported")
+    if ident[5] != _ELFDATA2LSB:
+        raise ElfFormatError("only little-endian ELF is supported")
+    if e_machine != _EM_RISCV:
+        raise ElfFormatError(f"not a RISC-V ELF (machine={e_machine})")
+
+    image = Image(entry=e_entry)
+    for i in range(e_phnum):
+        offset = e_phoff + i * e_phentsize
+        (p_type, p_offset, p_vaddr, _paddr, p_filesz, p_memsz, _pflags,
+         _align) = struct.unpack_from(_PHDR_FMT, data, offset)
+        if p_type != _PT_LOAD:
+            continue
+        payload = bytearray(data[p_offset : p_offset + p_filesz])
+        if p_memsz > p_filesz:
+            payload.extend(b"\x00" * (p_memsz - p_filesz))
+        image.add_segment(p_vaddr, bytes(payload))
+
+    image.symbols.update(_read_symbols(data, e_shoff, e_shentsize, e_shnum))
+    return image
+
+
+def _read_symbols(data, shoff, shentsize, shnum) -> dict[str, int]:
+    symbols: dict[str, int] = {}
+    if not shoff:
+        return symbols
+    headers = []
+    for i in range(shnum):
+        headers.append(struct.unpack_from(_SHDR_FMT, data, shoff + i * shentsize))
+    for header in headers:
+        (_name, sh_type, _flags, _addr, sh_offset, sh_size, sh_link,
+         _info, _align, sh_entsize) = header
+        if sh_type != _SHT_SYMTAB or sh_entsize == 0:
+            continue
+        str_header = headers[sh_link]
+        str_offset, str_size = str_header[4], str_header[5]
+        strtab = data[str_offset : str_offset + str_size]
+        count = sh_size // sh_entsize
+        for j in range(1, count):  # skip the null symbol
+            st_name, st_value, _size, _info2, _other, _shndx = struct.unpack_from(
+                _SYM_FMT, data, sh_offset + j * sh_entsize
+            )
+            end = strtab.find(b"\x00", st_name)
+            name = strtab[st_name:end].decode("utf-8", "replace")
+            if name:
+                symbols[name] = st_value
+    return symbols

@@ -1,0 +1,63 @@
+"""Program image: the loadable result of assembling or ELF parsing.
+
+An :class:`Image` is what every execution engine consumes: a list of
+``(base_address, bytes)`` segments, a symbol table, and an entry point.
+It deliberately mirrors the loadable view of an ELF file so that the
+assembler output and the ELF loader output are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Image", "Segment"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous chunk of initialized memory."""
+
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class Image:
+    """Loadable program: segments + symbols + entry point."""
+
+    segments: list[Segment] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def add_segment(self, base: int, data: bytes) -> None:
+        if data:
+            self.segments.append(Segment(base, bytes(data)))
+
+    def symbol(self, name: str) -> int:
+        """Address of a symbol; raises KeyError when undefined."""
+        return self.symbols[name]
+
+    def load_into(self, memory) -> None:
+        """Copy all segments into a ByteMemory-like object."""
+        for segment in self.segments:
+            memory.write_bytes(segment.base, segment.data)
+
+    def total_size(self) -> int:
+        return sum(len(s) for s in self.segments)
+
+    def bounds(self) -> tuple[int, int]:
+        """(lowest, highest) address covered by any segment."""
+        if not self.segments:
+            return (0, 0)
+        return (
+            min(s.base for s in self.segments),
+            max(s.end for s in self.segments),
+        )

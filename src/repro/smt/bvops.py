@@ -1,0 +1,196 @@
+"""Pure-integer reference semantics for SMT-LIB QF_BV operations.
+
+Every function operates on Python ints interpreted as unsigned bitvectors
+of an explicit width and returns the unsigned result truncated to that
+width.  These functions are the single source of truth for bitvector
+behaviour in the repository: the term constructors use them for constant
+folding, :mod:`repro.smt.evalbv` uses them for model evaluation, and the
+test-suite uses them as the oracle for the bit-blaster.
+
+Division and remainder follow the SMT-LIB definitions (``bvudiv x 0`` is
+all-ones, ``bvurem x 0`` is ``x``, signed variants are derived from the
+unsigned ones by sign manipulation).  RISC-V's M-extension edge cases are
+*not* baked in here; the formal ISA specification expresses them with
+explicit if-then-else, exactly like the paper's ``DIVU`` example.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "truncate",
+    "to_signed",
+    "from_signed",
+    "bv_add",
+    "bv_sub",
+    "bv_mul",
+    "bv_udiv",
+    "bv_urem",
+    "bv_sdiv",
+    "bv_srem",
+    "bv_and",
+    "bv_or",
+    "bv_xor",
+    "bv_not",
+    "bv_neg",
+    "bv_shl",
+    "bv_lshr",
+    "bv_ashr",
+    "bv_concat",
+    "bv_extract",
+    "bv_zext",
+    "bv_sext",
+    "bv_ult",
+    "bv_ule",
+    "bv_slt",
+    "bv_sle",
+]
+
+
+def mask(width: int) -> int:
+    """Return the all-ones bitvector of ``width`` bits as an int."""
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit integer."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Reinterpret an unsigned ``width``-bit value as two's complement."""
+    sign_bit = 1 << (width - 1)
+    if value & sign_bit:
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) int as an unsigned ``width``-bit value."""
+    return value & ((1 << width) - 1)
+
+
+def bv_add(a: int, b: int, width: int) -> int:
+    return (a + b) & ((1 << width) - 1)
+
+
+def bv_sub(a: int, b: int, width: int) -> int:
+    return (a - b) & ((1 << width) - 1)
+
+
+def bv_mul(a: int, b: int, width: int) -> int:
+    return (a * b) & ((1 << width) - 1)
+
+
+def bv_udiv(a: int, b: int, width: int) -> int:
+    """Unsigned division; division by zero yields all-ones (SMT-LIB)."""
+    if b == 0:
+        return mask(width)
+    return a // b
+
+
+def bv_urem(a: int, b: int, width: int) -> int:
+    """Unsigned remainder; remainder by zero yields the dividend (SMT-LIB)."""
+    if b == 0:
+        return a
+    return a % b
+
+
+def bv_sdiv(a: int, b: int, width: int) -> int:
+    """Signed division truncating towards zero, SMT-LIB edge cases."""
+    sa = to_signed(a, width)
+    sb = to_signed(b, width)
+    if sb == 0:
+        # bvsdiv x 0 == ite(x >=s 0, all-ones, 1) per SMT-LIB derivation.
+        return mask(width) if sa >= 0 else 1
+    # Python // floors; SMT-LIB truncates towards zero.
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return from_signed(quotient, width)
+
+
+def bv_srem(a: int, b: int, width: int) -> int:
+    """Signed remainder (sign follows dividend), SMT-LIB edge cases."""
+    sa = to_signed(a, width)
+    sb = to_signed(b, width)
+    if sb == 0:
+        return a
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return from_signed(remainder, width)
+
+
+def bv_and(a: int, b: int, width: int) -> int:
+    return a & b
+
+
+def bv_or(a: int, b: int, width: int) -> int:
+    return a | b
+
+
+def bv_xor(a: int, b: int, width: int) -> int:
+    return a ^ b
+
+
+def bv_not(a: int, width: int) -> int:
+    return a ^ ((1 << width) - 1)
+
+
+def bv_neg(a: int, width: int) -> int:
+    return (-a) & ((1 << width) - 1)
+
+
+def bv_shl(a: int, b: int, width: int) -> int:
+    """Logical left shift; shifting by >= width yields zero (SMT-LIB)."""
+    if b >= width:
+        return 0
+    return (a << b) & ((1 << width) - 1)
+
+
+def bv_lshr(a: int, b: int, width: int) -> int:
+    """Logical right shift; shifting by >= width yields zero (SMT-LIB)."""
+    if b >= width:
+        return 0
+    return a >> b
+
+
+def bv_ashr(a: int, b: int, width: int) -> int:
+    """Arithmetic right shift; saturates to the sign fill for b >= width."""
+    sa = to_signed(a, width)
+    if b >= width:
+        return mask(width) if sa < 0 else 0
+    return from_signed(sa >> b, width)
+
+
+def bv_concat(hi: int, lo: int, lo_width: int) -> int:
+    return (hi << lo_width) | lo
+
+
+def bv_extract(a: int, high: int, low: int) -> int:
+    return (a >> low) & ((1 << (high - low + 1)) - 1)
+
+
+def bv_zext(a: int, width: int, extra: int) -> int:
+    return a
+
+
+def bv_sext(a: int, width: int, extra: int) -> int:
+    return from_signed(to_signed(a, width), width + extra)
+
+
+def bv_ult(a: int, b: int, width: int) -> bool:
+    return a < b
+
+
+def bv_ule(a: int, b: int, width: int) -> bool:
+    return a <= b
+
+
+def bv_slt(a: int, b: int, width: int) -> bool:
+    return to_signed(a, width) < to_signed(b, width)
+
+
+def bv_sle(a: int, b: int, width: int) -> bool:
+    return to_signed(a, width) <= to_signed(b, width)

@@ -1,0 +1,491 @@
+"""CDCL SAT solver with two-watched literals, VSIDS and restarts.
+
+This is the decision procedure underneath the QF_BV solver: bitvector
+formulas are bit-blasted (:mod:`repro.smt.bitblast`) into CNF over the
+variables of this solver.
+
+Literals are signed non-zero ints in DIMACS convention: variable ``v``
+appears as ``v`` (positive) or ``-v`` (negated).  The solver supports
+
+* incremental clause addition between ``solve`` calls,
+* solving under *assumptions* (the mechanism used by the SMT layer to
+  implement push/pop and per-query path conditions),
+* first-UIP conflict clause learning with backjumping,
+* VSIDS variable activities with exponential decay,
+* phase saving and Luby-sequence restarts,
+* activity-based learned-clause database reduction.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["SatSolver", "SAT", "UNSAT"]
+
+SAT = True
+UNSAT = False
+
+_UNASSIGNED = 0
+
+
+class _Clause:
+    """A clause; the first two literals are the watched ones."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: list[int], learned: bool):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clause({self.lits}{' L' if self.learned else ''})"
+
+
+class SatSolver:
+    """An incremental CDCL solver.
+
+    Typical use::
+
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve() is SAT
+        assert solver.value(b) is True
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        # Indexed by variable (1-based): +1 true, -1 false, 0 unassigned.
+        self._assign: list[int] = [0]
+        self._level: list[int] = [0]
+        self._reason: list[Optional[_Clause]] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        # Watch lists keyed by literal index (2*v for v, 2*v+1 for -v).
+        self._watches: list[list[_Clause]] = [[], []]
+        self._clauses: list[_Clause] = []
+        self._learned: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._propagate_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 1.0 / 0.999
+        self._ok = True
+        self._model: list[int] = [0]
+        self._order_heap: list[tuple[float, int]] = []
+        self._max_learned = 4000
+        self.statistics = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned_deleted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Variable / clause management
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) literal."""
+        self._num_vars += 1
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @staticmethod
+    def _widx(lit: int) -> int:
+        """Index into the watch table for a literal."""
+        var = lit if lit > 0 else -lit
+        return 2 * var + (0 if lit > 0 else 1)
+
+    def _lit_value(self, lit: int) -> int:
+        """Value of a literal: +1 true, -1 false, 0 unassigned."""
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the instance became trivially UNSAT.
+
+        Must be called at decision level 0 (i.e. between ``solve`` calls).
+        """
+        assert not self._trail_lim, "add_clause called during search"
+        if not self._ok:
+            return False
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            assert lit != 0 and abs(lit) <= self._num_vars, f"bad literal {lit}"
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # already satisfied at level 0
+            if value == -1:
+                continue  # falsified at level 0: drop literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            self._enqueue(out[0], None)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(out, learned=False)
+        self._clauses.append(clause)
+        self._watches[self._widx(out[0])].append(clause)
+        self._watches[self._widx(out[1])].append(clause)
+        return True
+
+    # ------------------------------------------------------------------
+    # Assignment trail
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = abs(lit)
+            self._assign[var] = _UNASSIGNED
+            self._reason[var] = None
+            _heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._propagate_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Unit propagation
+    # ------------------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Propagate all enqueued facts; return a conflicting clause or None."""
+        stats_props = 0
+        while self._propagate_head < len(self._trail):
+            lit = self._trail[self._propagate_head]
+            self._propagate_head += 1
+            stats_props += 1
+            false_lit = -lit
+            watch_list = self._watches[self._widx(false_lit)]
+            new_list: list[_Clause] = []
+            conflict: Optional[_Clause] = None
+            index = 0
+            count = len(watch_list)
+            while index < count:
+                clause = watch_list[index]
+                index += 1
+                lits = clause.lits
+                # Ensure the falsified literal is in slot 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == 1:
+                    new_list.append(clause)
+                    continue
+                # Search for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._widx(lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_list.append(clause)
+                if self._lit_value(first) == -1:
+                    # Conflict: keep remaining watches, signal conflict.
+                    new_list.extend(watch_list[index:])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause)
+            watch_list[:] = new_list
+            if conflict is not None:
+                self.statistics["propagations"] += stats_props
+                return conflict
+        self.statistics["propagations"] += stats_props
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """Derive a 1-UIP learned clause and its backjump level."""
+        learned: list[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        lit = 0
+        index = len(self._trail) - 1
+        clause: Optional[_Clause] = conflict
+        current_level = self._decision_level()
+        while True:
+            assert clause is not None
+            if clause.learned:
+                self._bump_clause(clause)
+            start = 1 if lit != 0 else 0
+            for q in clause.lits[start:]:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Select next literal to expand from the trail.
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reason[var]
+            # Reorder reason clause so the propagated literal is first.
+            if clause is not None and clause.lits[0] != lit:
+                pos = clause.lits.index(lit)
+                clause.lits[0], clause.lits[pos] = clause.lits[pos], clause.lits[0]
+        learned[0] = -lit
+        # Clause minimization: drop literals implied by the rest.
+        minimized = [learned[0]]
+        for q in learned[1:]:
+            reason = self._reason[abs(q)]
+            if reason is None:
+                minimized.append(q)
+                continue
+            redundant = all(
+                seen_lit(abs(r), learned) or self._level[abs(r)] == 0
+                for r in reason.lits[1:]
+            )
+            if not redundant:
+                minimized.append(q)
+        learned = minimized
+        if len(learned) == 1:
+            return learned, 0
+        # Find the second-highest decision level for backjumping.
+        max_index = 1
+        max_level = self._level[abs(learned[1])]
+        for i in range(2, len(learned)):
+            lvl = self._level[abs(learned[i])]
+            if lvl > max_level:
+                max_level = lvl
+                max_index = i
+        learned[1], learned[max_index] = learned[max_index], learned[1]
+        return learned, max_level
+
+    # ------------------------------------------------------------------
+    # Decision heuristic
+    # ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        heap = self._order_heap
+        while heap:
+            neg_act, var = _heappop(heap)
+            if self._assign[var] == _UNASSIGNED and -neg_act == self._activity[var]:
+                return var
+            if self._assign[var] == _UNASSIGNED:
+                # Stale activity entry: reinsert with the fresh score.
+                _heappush(heap, (-self._activity[var], var))
+        # Heap empty: linear scan fallback (also (re)fills the heap).
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                return var
+        return 0
+
+    def _rebuild_heap(self) -> None:
+        self._order_heap = [
+            (-self._activity[v], v)
+            for v in range(1, self._num_vars + 1)
+            if self._assign[v] == _UNASSIGNED
+        ]
+        _heapify(self._order_heap)
+
+    # ------------------------------------------------------------------
+    # Learned clause DB reduction
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        if len(self._learned) <= self._max_learned:
+            return
+        self._learned.sort(key=lambda c: c.activity)
+        keep_from = len(self._learned) // 2
+        locked = set()
+        for var in range(1, self._num_vars + 1):
+            reason = self._reason[var]
+            if reason is not None and reason.learned:
+                locked.add(id(reason))
+        removed = []
+        kept = []
+        for i, clause in enumerate(self._learned):
+            if i < keep_from and id(clause) not in locked and len(clause.lits) > 2:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        remove_ids = {id(c) for c in removed}
+        if not remove_ids:
+            return
+        self._learned = kept
+        for watch_list in self._watches:
+            watch_list[:] = [c for c in watch_list if id(c) not in remove_ids]
+        self.statistics["learned_deleted"] += len(removed)
+        self._max_learned = int(self._max_learned * 1.5)
+
+    # ------------------------------------------------------------------
+    # Main search loop
+    # ------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Solve under the given assumption literals.
+
+        Returns :data:`SAT` when a model exists, :data:`UNSAT` otherwise.
+        After SAT, :meth:`value` reads the model; the model remains valid
+        until the next call that modifies the solver.
+        """
+        if not self._ok:
+            return UNSAT
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return UNSAT
+        self._rebuild_heap()
+        restart_count = 0
+        conflicts_until_restart = _luby(restart_count) * 100
+        conflict_budget_used = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics["conflicts"] += 1
+                conflict_budget_used += 1
+                if self._decision_level() == 0:
+                    self._cancel_until(0)
+                    self._ok = False
+                    return UNSAT
+                learned, backjump_level = self._analyze(conflict)
+                # Never backjump above the assumption prefix: re-deciding
+                # assumptions is handled by restarting the prefix below.
+                self._cancel_until(backjump_level)
+                if len(learned) == 1:
+                    if self._decision_level() == 0:
+                        self._enqueue(learned[0], None)
+                    else:
+                        self._cancel_until(0)
+                        self._enqueue(learned[0], None)
+                else:
+                    clause = _Clause(learned, learned=True)
+                    self._learned.append(clause)
+                    self._watches[self._widx(learned[0])].append(clause)
+                    self._watches[self._widx(learned[1])].append(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learned[0], clause)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= self._cla_decay
+                if conflict_budget_used >= conflicts_until_restart:
+                    restart_count += 1
+                    self.statistics["restarts"] += 1
+                    conflicts_until_restart = _luby(restart_count) * 100
+                    conflict_budget_used = 0
+                    self._cancel_until(0)
+                    self._reduce_db()
+                continue
+            # Re-establish falsified assumptions as decisions.
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                value = self._lit_value(lit)
+                if value == 1:
+                    # Already implied: introduce an empty decision level so
+                    # the prefix indexing stays aligned.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == -1:
+                    self._cancel_until(0)
+                    return UNSAT  # assumption conflicts with the formula
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                # Snapshot the model, then leave the solver reusable.
+                self._model = list(self._assign)
+                self._cancel_until(0)
+                return SAT
+            self.statistics["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._phase[var] else -var
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    def value(self, var: int) -> bool:
+        """Model value of a variable after a SAT answer (False if free)."""
+        if var < len(self._model):
+            return self._model[var] == 1
+        return False
+
+
+def seen_lit(var: int, learned: list[int]) -> bool:
+    """Whether ``var`` occurs (in either phase) in the learned clause."""
+    return any(abs(l) == var for l in learned)
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    k = 1
+    while (1 << (k + 1)) <= i + 2:
+        k += 1
+    while (1 << k) - 1 != i + 1:
+        i = i - (1 << k) + 1
+        k = 1
+        while (1 << (k + 1)) <= i + 2:
+            k += 1
+    return 1 << (k - 1)

@@ -1,0 +1,159 @@
+"""SMT-LIB v2 rendering of terms (reproduces the Fig. 2 solver query).
+
+The printer is DAG-aware: subterms referenced more than once are bound
+with ``let`` so the emitted text stays proportional to the DAG, not the
+tree.  ``script`` renders a full query (logic, declarations, assertions,
+``check-sat``) that external solvers accept unchanged — handy both for
+debugging the built-in solver and for the paper's Fig. 2 artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .terms import Term
+
+__all__ = ["term_to_smtlib", "script", "declarations"]
+
+_BV_OPS = {
+    "add": "bvadd",
+    "sub": "bvsub",
+    "mul": "bvmul",
+    "udiv": "bvudiv",
+    "urem": "bvurem",
+    "sdiv": "bvsdiv",
+    "srem": "bvsrem",
+    "and": "bvand",
+    "or": "bvor",
+    "xor": "bvxor",
+    "not": "bvnot",
+    "neg": "bvneg",
+    "shl": "bvshl",
+    "lshr": "bvlshr",
+    "ashr": "bvashr",
+    "concat": "concat",
+    "ult": "bvult",
+    "ule": "bvule",
+    "slt": "bvslt",
+    "sle": "bvsle",
+}
+
+_BOOL_OPS = {
+    "bnot": "not",
+    "band": "and",
+    "bor": "or",
+    "bxor": "xor",
+    "eq": "=",
+    "ite": "ite",
+}
+
+
+def _const_text(term: Term) -> str:
+    if term.is_bool:
+        return "true" if term.payload else "false"
+    if term.width % 4 == 0:
+        return f"#x{term.payload:0{term.width // 4}x}"
+    return f"#b{term.payload:0{term.width}b}"
+
+
+def _sanitize(name: str) -> str:
+    if all(c.isalnum() or c in "_-.$" for c in name):
+        return name
+    return "|" + name.replace("|", "_") + "|"
+
+
+def _render(term: Term, names: dict[Term, str]) -> str:
+    bound = names.get(term)
+    if bound is not None:
+        return bound
+    op = term.op
+    if op == "const":
+        return _const_text(term)
+    if op == "var":
+        return _sanitize(term.payload)
+    args = [_render(a, names) for a in term.args]
+    if op == "extract":
+        high, low = term.payload
+        return f"((_ extract {high} {low}) {args[0]})"
+    if op == "zext":
+        return f"((_ zero_extend {term.payload}) {args[0]})"
+    if op == "sext":
+        return f"((_ sign_extend {term.payload}) {args[0]})"
+    if op == "ite":
+        return f"(ite {args[0]} {args[1]} {args[2]})"
+    if op == "bool2bv":
+        return f"(ite {args[0]} #b1 #b0)"
+    if op in _BV_OPS:
+        return f"({_BV_OPS[op]} {' '.join(args)})"
+    if op in _BOOL_OPS:
+        return f"({_BOOL_OPS[op]} {' '.join(args)})"
+    raise NotImplementedError(f"smtlib: unknown op {op!r}")
+
+
+def _shared_subterms(term: Term) -> list[Term]:
+    """Subterms referenced more than once, in dependency order."""
+    refcount: dict[int, int] = {}
+    order: list[Term] = []
+    seen: set[int] = set()
+
+    def visit(node: Term) -> None:
+        stack = [(node, False)]
+        while stack:
+            current, done = stack.pop()
+            if done:
+                order.append(current)
+                continue
+            refcount[id(current)] = refcount.get(id(current), 0) + 1
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            stack.append((current, True))
+            for arg in current.args:
+                stack.append((arg, False))
+
+    visit(term)
+    return [
+        node
+        for node in order
+        if refcount[id(node)] > 1 and node.args and node is not term
+    ]
+
+
+def term_to_smtlib(term: Term) -> str:
+    """Render a single term, let-binding shared subexpressions."""
+    shared = _shared_subterms(term)
+    names: dict[Term, str] = {}
+    bindings: list[tuple[str, str]] = []
+    for i, node in enumerate(shared):
+        text = _render(node, names)
+        name = f".t{i}"
+        bindings.append((name, text))
+        names[node] = name
+    body = _render(term, names)
+    for name, text in reversed(bindings):
+        body = f"(let (({name} {text})) {body})"
+    return body
+
+
+def declarations(term_list: Iterable[Term]) -> list[str]:
+    """``declare-const`` lines for all variables in the given terms."""
+    variables: dict[str, Term] = {}
+    for term in term_list:
+        for var in term.variables():
+            variables[var.payload] = var
+    lines = []
+    for name in sorted(variables):
+        var = variables[name]
+        sort = "Bool" if var.is_bool else f"(_ BitVec {var.width})"
+        lines.append(f"(declare-const {_sanitize(name)} {sort})")
+    return lines
+
+
+def script(assertions: Sequence[Term], logic: str = "QF_BV") -> str:
+    """Render a complete SMT-LIB script for the given assertions."""
+    lines = [f"(set-logic {logic})"]
+    lines.extend(declarations(assertions))
+    for term in assertions:
+        lines.append(f"(assert {term_to_smtlib(term)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,256 @@
+"""SMT-LIB v2 parser for the subset the printer emits.
+
+Closes the loop with :mod:`repro.smt.smtlib`: ``parse_script`` consumes
+``(set-logic ...)`` / ``(declare-const ...)`` / ``(assert ...)`` /
+``(check-sat)`` scripts — including ``let`` bindings and the indexed
+operators ``extract``/``zero_extend``/``sign_extend`` — and rebuilds the
+interned term DAG.  Round-tripping is property-tested: for any term
+``t``, ``parse(print(t)) is t`` (term interning makes structural
+equality an identity check).
+
+Useful on its own for replaying solver queries captured from other
+tools or from the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from . import terms as T
+from .terms import Term
+
+__all__ = ["parse_script", "parse_term", "SmtLibParseError", "ParsedScript"]
+
+
+class SmtLibParseError(ValueError):
+    """Raised on malformed or unsupported SMT-LIB input."""
+
+
+# ---------------------------------------------------------------------------
+# S-expression reader
+# ---------------------------------------------------------------------------
+
+SExpr = Union[str, list]
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char in " \t\r\n":
+            i += 1
+        elif char == ";":
+            while i < length and text[i] != "\n":
+                i += 1
+        elif char in "()":
+            tokens.append(char)
+            i += 1
+        elif char == "|":
+            end = text.find("|", i + 1)
+            if end < 0:
+                raise SmtLibParseError("unterminated |quoted| symbol")
+            tokens.append(text[i : end + 1])
+            i = end + 1
+        else:
+            start = i
+            while i < length and text[i] not in " \t\r\n();":
+                i += 1
+            tokens.append(text[start:i])
+    return tokens
+
+
+def _read_sexprs(tokens: list[str]) -> list[SExpr]:
+    out: list[SExpr] = []
+    stack: list[list] = []
+    for token in tokens:
+        if token == "(":
+            stack.append([])
+        elif token == ")":
+            if not stack:
+                raise SmtLibParseError("unbalanced ')'")
+            done = stack.pop()
+            if stack:
+                stack[-1].append(done)
+            else:
+                out.append(done)
+        else:
+            if stack:
+                stack[-1].append(token)
+            else:
+                out.append(token)
+    if stack:
+        raise SmtLibParseError("unbalanced '('")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Term building
+# ---------------------------------------------------------------------------
+
+_BINARY = {
+    "bvadd": T.add,
+    "bvsub": T.sub,
+    "bvmul": T.mul,
+    "bvudiv": T.udiv,
+    "bvurem": T.urem,
+    "bvsdiv": T.sdiv,
+    "bvsrem": T.srem,
+    "bvand": T.and_,
+    "bvor": T.or_,
+    "bvxor": T.xor,
+    "bvshl": T.shl,
+    "bvlshr": T.lshr,
+    "bvashr": T.ashr,
+    "concat": T.concat,
+    "bvult": T.ult,
+    "bvule": T.ule,
+    "bvugt": T.ugt,
+    "bvuge": T.uge,
+    "bvslt": T.slt,
+    "bvsle": T.sle,
+    "bvsgt": T.sgt,
+    "bvsge": T.sge,
+}
+
+_UNARY = {
+    "bvnot": T.not_,
+    "bvneg": T.neg,
+    "not": T.bnot,
+}
+
+_BOOL_NARY = {"and": T.band, "or": T.bor, "xor": T.bxor}
+
+
+def _unquote(symbol: str) -> str:
+    if symbol.startswith("|") and symbol.endswith("|"):
+        return symbol[1:-1]
+    return symbol
+
+
+def _atom_to_term(token: str, env: dict[str, Term]) -> Term:
+    if token == "true":
+        return T.true()
+    if token == "false":
+        return T.false()
+    if token.startswith("#x"):
+        return T.bv(int(token[2:], 16), 4 * len(token) - 8)
+    if token.startswith("#b"):
+        return T.bv(int(token[2:], 2), len(token) - 2)
+    name = _unquote(token)
+    if name in env:
+        return env[name]
+    raise SmtLibParseError(f"unbound symbol {token!r}")
+
+
+def _build(sexpr: SExpr, env: dict[str, Term]) -> Term:
+    if isinstance(sexpr, str):
+        return _atom_to_term(sexpr, env)
+    if not sexpr:
+        raise SmtLibParseError("empty application")
+    head = sexpr[0]
+    if head == "let":
+        if len(sexpr) != 3:
+            raise SmtLibParseError("malformed let")
+        inner_env = dict(env)
+        for binding in sexpr[1]:
+            if not (isinstance(binding, list) and len(binding) == 2):
+                raise SmtLibParseError("malformed let binding")
+            name, value = binding
+            inner_env[_unquote(name)] = _build(value, env)
+        return _build(sexpr[2], inner_env)
+    if head == "ite":
+        cond, then_term, else_term = (_build(part, env) for part in sexpr[1:])
+        if then_term.is_bool:
+            return T.bor(T.band(cond, then_term), T.band(T.bnot(cond), else_term))
+        return T.ite(cond, then_term, else_term)
+    if head == "=":
+        return T.eq(_build(sexpr[1], env), _build(sexpr[2], env))
+    if head == "=>":
+        return T.implies(_build(sexpr[1], env), _build(sexpr[2], env))
+    if isinstance(head, list) and head and head[0] == "_":
+        # Indexed operator: (_ extract h l) / (_ zero_extend n) / ...
+        op = head[1]
+        if op == "extract":
+            high, low = int(head[2]), int(head[3])
+            return T.extract(_build(sexpr[1], env), high, low)
+        if op == "zero_extend":
+            return T.zext(_build(sexpr[1], env), int(head[2]))
+        if op == "sign_extend":
+            return T.sext(_build(sexpr[1], env), int(head[2]))
+        raise SmtLibParseError(f"unsupported indexed operator {op!r}")
+    if head in _BINARY:
+        if len(sexpr) != 3:
+            raise SmtLibParseError(f"{head} expects two operands")
+        return _BINARY[head](_build(sexpr[1], env), _build(sexpr[2], env))
+    if head in _UNARY:
+        if len(sexpr) != 2:
+            raise SmtLibParseError(f"{head} expects one operand")
+        return _UNARY[head](_build(sexpr[1], env))
+    if head in _BOOL_NARY:
+        operands = [_build(part, env) for part in sexpr[1:]]
+        result = operands[0]
+        for operand in operands[1:]:
+            result = _BOOL_NARY[head](result, operand)
+        return result
+    raise SmtLibParseError(f"unsupported operator {head!r}")
+
+
+def _parse_sort(sexpr: SExpr) -> int:
+    """Sort -> width (0 for Bool)."""
+    if sexpr == "Bool":
+        return 0
+    if isinstance(sexpr, list) and len(sexpr) == 3 and sexpr[:2] == ["_", "BitVec"]:
+        return int(sexpr[2])
+    raise SmtLibParseError(f"unsupported sort {sexpr!r}")
+
+
+class ParsedScript:
+    """Result of :func:`parse_script`."""
+
+    def __init__(self) -> None:
+        self.logic: Optional[str] = None
+        self.declarations: dict[str, Term] = {}
+        self.assertions: list[Term] = []
+        self.has_check_sat = False
+
+
+def parse_term(text: str, env: Optional[dict[str, Term]] = None) -> Term:
+    """Parse a single term; ``env`` maps free symbol names to terms."""
+    sexprs = _read_sexprs(_tokenize(text))
+    if len(sexprs) != 1:
+        raise SmtLibParseError(f"expected one term, found {len(sexprs)}")
+    return _build(sexprs[0], dict(env or {}))
+
+
+def parse_script(text: str) -> ParsedScript:
+    """Parse a full script of the supported command subset."""
+    script = ParsedScript()
+    for sexpr in _read_sexprs(_tokenize(text)):
+        if not isinstance(sexpr, list) or not sexpr:
+            raise SmtLibParseError(f"expected a command, found {sexpr!r}")
+        command = sexpr[0]
+        if command == "set-logic":
+            script.logic = sexpr[1]
+        elif command == "declare-const":
+            name = _unquote(sexpr[1])
+            width = _parse_sort(sexpr[2])
+            variable = T.bool_var(name) if width == 0 else T.bv_var(name, width)
+            script.declarations[name] = variable
+        elif command == "declare-fun":
+            if sexpr[2] != []:
+                raise SmtLibParseError("only zero-arity declare-fun supported")
+            name = _unquote(sexpr[1])
+            width = _parse_sort(sexpr[3])
+            variable = T.bool_var(name) if width == 0 else T.bv_var(name, width)
+            script.declarations[name] = variable
+        elif command == "assert":
+            script.assertions.append(_build(sexpr[1], dict(script.declarations)))
+        elif command == "check-sat":
+            script.has_check_sat = True
+        elif command in ("exit", "get-model", "set-option", "set-info"):
+            continue
+        else:
+            raise SmtLibParseError(f"unsupported command {command!r}")
+    return script

@@ -1,0 +1,178 @@
+"""Incremental QF_BV solver facade (the repository's Z3 replacement).
+
+:class:`Solver` exposes the small API the symbolic execution engines
+need: ``add`` (assert a boolean term), ``push``/``pop`` scopes,
+``check`` under additional per-query assumptions, and ``model``
+extraction after a satisfiable answer.
+
+Scopes and assumptions are implemented with activation literals on top
+of the CDCL core, so nothing is ever re-encoded: the bit-blaster's term
+cache persists for the lifetime of the solver, which is what makes the
+offline executor's thousands of small branch queries affordable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Optional
+
+from . import terms
+from .bitblast import BitBlaster
+from .evalbv import evaluate
+from .sat import SAT, SatSolver
+from .terms import Term
+
+__all__ = ["Solver", "Result", "Model"]
+
+
+class Result(enum.Enum):
+    """Outcome of a satisfiability check."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+class Model:
+    """A satisfying assignment for the variables of a formula.
+
+    Variables that were never constrained default to zero/false, matching
+    the behaviour symbolic execution engines expect from SMT solvers when
+    completing partial models.
+    """
+
+    def __init__(self, values: dict[Term, int]):
+        self._values = dict(values)
+
+    def __getitem__(self, var: Term) -> int:
+        return self._values.get(var, 0)
+
+    def get(self, var: Term, default: int = 0) -> int:
+        return self._values.get(var, default)
+
+    def items(self):
+        return self._values.items()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, var: Term) -> bool:
+        return var in self._values
+
+    def eval(self, term: Term) -> int:
+        """Evaluate an arbitrary term under this model (free vars -> 0)."""
+        assignment = dict(self._values)
+        for var in term.variables():
+            assignment.setdefault(var, 0)
+        return evaluate(term, assignment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{var.payload}={value:#x}" for var, value in sorted(
+                self._values.items(), key=lambda item: str(item[0].payload)
+            )
+        )
+        return f"Model({parts})"
+
+
+class Solver:
+    """Incremental bit-blasting solver for QF_BV terms."""
+
+    def __init__(self) -> None:
+        self._sat = SatSolver()
+        self._blaster = BitBlaster(self._sat)
+        self._scopes: list[int] = []
+        self._last_result: Optional[Result] = None
+        self.num_checks = 0
+
+    # ------------------------------------------------------------------
+    # Assertions and scopes
+    # ------------------------------------------------------------------
+
+    def add(self, term: Term) -> None:
+        """Assert a boolean term in the current scope."""
+        if not term.is_bool:
+            raise TypeError("Solver.add expects a boolean term")
+        lit = self._blaster.lit(term)
+        if self._scopes:
+            self._sat.add_clause([-self._scopes[-1], lit])
+        else:
+            self._sat.add_clause([lit])
+        self._last_result = None
+
+    def push(self) -> None:
+        """Open a new assertion scope."""
+        self._scopes.append(self._sat.new_var())
+
+    def pop(self) -> None:
+        """Discard the most recent assertion scope."""
+        act = self._scopes.pop()
+        self._sat.add_clause([-act])
+        self._last_result = None
+
+    @property
+    def scope_depth(self) -> int:
+        return len(self._scopes)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def check(self, assumptions: Iterable[Term] = ()) -> Result:
+        """Check satisfiability of the asserted formula + assumptions."""
+        assumption_lits = list(self._scopes)
+        for term in assumptions:
+            if not term.is_bool:
+                raise TypeError("assumptions must be boolean terms")
+            if term.is_const:
+                if term.payload:
+                    continue
+                self._last_result = Result.UNSAT
+                self.num_checks += 1
+                return Result.UNSAT
+            assumption_lits.append(self._blaster.lit(term))
+        self.num_checks += 1
+        outcome = self._sat.solve(assumption_lits)
+        self._last_result = Result.SAT if outcome is SAT else Result.UNSAT
+        return self._last_result
+
+    def model(self) -> Model:
+        """Extract the model after a satisfiable :meth:`check`."""
+        if self._last_result is not Result.SAT:
+            raise RuntimeError("model() requires a preceding sat check")
+        values: dict[Term, int] = {}
+        for var, bits in self._blaster.var_bits.items():
+            value = 0
+            for i, lit in enumerate(bits):
+                if self._sat.value(abs(lit)) == (lit > 0):
+                    value |= 1 << i
+            values[var] = value
+        for var, lit in self._blaster.bool_vars.items():
+            values[var] = 1 if self._sat.value(abs(lit)) == (lit > 0) else 0
+        return Model(values)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def statistics(self) -> Mapping[str, int]:
+        stats = dict(self._sat.statistics)
+        stats["sat_vars"] = self._sat.num_vars
+        stats["checks"] = self.num_checks
+        return stats
+
+
+def is_satisfiable(term: Term) -> bool:
+    """One-shot satisfiability check for a single boolean term."""
+    solver = Solver()
+    solver.add(term)
+    return solver.check() is Result.SAT
+
+
+def solve_for_model(term: Term) -> Optional[Model]:
+    """One-shot solve: return a model of ``term`` or None if unsat."""
+    solver = Solver()
+    solver.add(term)
+    if solver.check() is Result.SAT:
+        return solver.model()
+    return None

@@ -1,0 +1,93 @@
+"""Table-driven instruction decoder generated from encoding tables.
+
+The decoder is *derived* from the riscv-opcodes ``(mask, match)`` table
+— no hand-written decode tree — so adding an instruction (e.g. the
+Sect. IV ``MADD``) means adding a table entry and nothing else.
+
+Lookup strategy: entries are grouped by mask; decoding probes each mask
+group with a dict lookup on ``word & mask``.  There are only a handful
+of distinct masks in RV32IM, so this is effectively O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .opcodes import Encoding
+
+__all__ = ["Decoder", "DecodedInstruction", "IllegalInstruction"]
+
+
+class IllegalInstruction(Exception):
+    """Raised when an instruction word matches no known encoding."""
+
+    def __init__(self, word: int, pc: Optional[int] = None):
+        self.word = word
+        self.pc = pc
+        location = f" at pc={pc:#010x}" if pc is not None else ""
+        super().__init__(f"illegal instruction {word:#010x}{location}")
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """An instruction word together with its identified encoding."""
+
+    word: int
+    encoding: Encoding
+
+    @property
+    def name(self) -> str:
+        return self.encoding.name
+
+    @property
+    def fmt(self) -> str:
+        return self.encoding.fmt
+
+
+class Decoder:
+    """Decoder for a set of instruction encodings."""
+
+    def __init__(self, encodings: Iterable[Encoding]):
+        self._groups: dict[int, dict[int, Encoding]] = {}
+        self._by_name: dict[str, Encoding] = {}
+        for encoding in encodings:
+            group = self._groups.setdefault(encoding.mask, {})
+            existing = group.get(encoding.match)
+            if existing is not None and existing is not encoding:
+                raise ValueError(
+                    f"conflicting encodings: {existing.name} vs {encoding.name} "
+                    f"(mask={encoding.mask:#x}, match={encoding.match:#x})"
+                )
+            group[encoding.match] = encoding
+            self._by_name[encoding.name] = encoding
+        # Probe more specific (higher popcount) masks first so that e.g.
+        # ecall/ebreak (mask 0xffffffff) win over generic I-type masks.
+        self._mask_order = sorted(
+            self._groups, key=lambda m: bin(m).count("1"), reverse=True
+        )
+
+    def decode(self, word: int, pc: Optional[int] = None) -> DecodedInstruction:
+        """Decode a 32-bit instruction word or raise IllegalInstruction."""
+        for mask in self._mask_order:
+            encoding = self._groups[mask].get(word & mask)
+            if encoding is not None:
+                return DecodedInstruction(word, encoding)
+        raise IllegalInstruction(word, pc)
+
+    def try_decode(self, word: int) -> Optional[DecodedInstruction]:
+        """Decode, returning None instead of raising."""
+        try:
+            return self.decode(word)
+        except IllegalInstruction:
+            return None
+
+    def by_name(self, name: str) -> Encoding:
+        """Look up an encoding by mnemonic (used by the assembler)."""
+        return self._by_name[name.lower()]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)

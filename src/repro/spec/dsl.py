@@ -1,0 +1,102 @@
+"""Free-monad machinery: driving semantics generators over a handler.
+
+Instruction semantics are Python *generator functions*: they ``yield``
+stateful primitives (:mod:`repro.spec.primitives`) and receive the
+interpreter's answer as the value of the ``yield`` expression::
+
+    def divu():
+        rs1, rs2, rd = yield DecodeAndReadRType()
+        yield RunIfElse(
+            EqInt(rs2, imm(0)),
+            lambda: write_register(rd, imm(0xFFFFFFFF)),
+            lambda: write_register(rd, UDiv(rs1, rs2)),
+        )
+
+A *modular interpreter* is anything implementing :class:`Handler`; this
+module contains the single generic driver loop shared by the concrete
+interpreter, BinSym's symbolic interpreter, and the tracing interpreter.
+This mirrors the paper's architecture: one executable specification, N
+interpreters for its primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Protocol
+
+from .expr import Expr
+from .primitives import Primitive, RunIf, RunIfElse
+
+__all__ = ["Handler", "execute_semantics", "write_register", "write_pc", "block"]
+
+SemanticsGenerator = Generator[Primitive, Any, None]
+
+
+class Handler(Protocol):
+    """The interface a modular interpreter provides to the driver loop."""
+
+    def handle(self, primitive: Primitive) -> Any:
+        """Interpret a non-control-flow primitive; the return value is
+        sent back into the semantics generator."""
+
+    def branch(self, cond: Expr) -> bool:
+        """Decide a ``RunIf``/``RunIfElse`` condition.  Symbolic
+        interpreters record a branch point here before answering with
+        the concrete (concolic) verdict."""
+
+
+def execute_semantics(generator: SemanticsGenerator, handler: Handler) -> None:
+    """Drive one instruction's semantics generator to completion."""
+    answer: Any = None
+    while True:
+        try:
+            primitive = generator.send(answer)
+        except StopIteration:
+            return
+        if isinstance(primitive, RunIfElse):
+            taken = handler.branch(primitive.cond)
+            chosen = primitive.then_block if taken else primitive.else_block
+            if chosen is not None:
+                execute_semantics(chosen(), handler)
+            answer = None
+        elif isinstance(primitive, RunIf):
+            taken = handler.branch(primitive.cond)
+            if taken and primitive.block is not None:
+                execute_semantics(primitive.block(), handler)
+            answer = None
+        else:
+            answer = handler.handle(primitive)
+
+
+# ---------------------------------------------------------------------------
+# Small sub-generator helpers used as RunIf/RunIfElse blocks
+# ---------------------------------------------------------------------------
+
+
+def write_register(index: int, value: Expr) -> Callable[[], SemanticsGenerator]:
+    """Thunk for a block performing a single register write."""
+    from .primitives import WriteRegister
+
+    def blk() -> SemanticsGenerator:
+        yield WriteRegister(index, value)
+
+    return blk
+
+
+def write_pc(value: Expr) -> Callable[[], SemanticsGenerator]:
+    """Thunk for a block performing a single PC write."""
+    from .primitives import WritePC
+
+    def blk() -> SemanticsGenerator:
+        yield WritePC(value)
+
+    return blk
+
+
+def block(*primitives: Primitive) -> Callable[[], SemanticsGenerator]:
+    """Thunk for a block yielding a fixed primitive sequence."""
+
+    def blk() -> SemanticsGenerator:
+        for primitive in primitives:
+            yield primitive
+
+    return blk

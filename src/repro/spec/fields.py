@@ -1,0 +1,108 @@
+"""Instruction field and immediate extraction for the RV32 base formats.
+
+Pure functions from a 32-bit instruction word to operand fields.  These
+implement the bit slicing mandated by the RISC-V unprivileged
+specification (Document 20191213, Sect. 2.2/2.3).  Immediates are
+returned *sign-extended* as unsigned 32-bit values (two's complement),
+except for the U-type immediate which is already placed in bits 31:12.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "rd",
+    "rs1",
+    "rs2",
+    "rs3",
+    "funct3",
+    "funct7",
+    "opcode",
+    "shamt",
+    "imm_i",
+    "imm_s",
+    "imm_b",
+    "imm_u",
+    "imm_j",
+    "sign_extend",
+]
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend ``value`` from ``bits`` to 32 bits (unsigned result)."""
+    sign = 1 << (bits - 1)
+    if value & sign:
+        value |= _WORD_MASK ^ ((1 << bits) - 1)
+    return value & _WORD_MASK
+
+
+def opcode(insn: int) -> int:
+    return insn & 0x7F
+
+
+def rd(insn: int) -> int:
+    return (insn >> 7) & 0x1F
+
+
+def rs1(insn: int) -> int:
+    return (insn >> 15) & 0x1F
+
+
+def rs2(insn: int) -> int:
+    return (insn >> 20) & 0x1F
+
+
+def rs3(insn: int) -> int:
+    return (insn >> 27) & 0x1F
+
+
+def funct3(insn: int) -> int:
+    return (insn >> 12) & 0x7
+
+
+def funct7(insn: int) -> int:
+    return (insn >> 25) & 0x7F
+
+
+def shamt(insn: int) -> int:
+    """Unsigned 5-bit shift amount of immediate shifts (RV32)."""
+    return (insn >> 20) & 0x1F
+
+
+def imm_i(insn: int) -> int:
+    """I-type immediate: insn[31:20], sign-extended."""
+    return sign_extend((insn >> 20) & 0xFFF, 12)
+
+
+def imm_s(insn: int) -> int:
+    """S-type immediate: insn[31:25] ++ insn[11:7], sign-extended."""
+    value = ((insn >> 25) << 5) | ((insn >> 7) & 0x1F)
+    return sign_extend(value & 0xFFF, 12)
+
+
+def imm_b(insn: int) -> int:
+    """B-type immediate (branch offset, always even), sign-extended."""
+    value = (
+        (((insn >> 31) & 0x1) << 12)
+        | (((insn >> 7) & 0x1) << 11)
+        | (((insn >> 25) & 0x3F) << 5)
+        | (((insn >> 8) & 0xF) << 1)
+    )
+    return sign_extend(value, 13)
+
+
+def imm_u(insn: int) -> int:
+    """U-type immediate: upper 20 bits, low 12 bits zero."""
+    return insn & 0xFFFFF000
+
+
+def imm_j(insn: int) -> int:
+    """J-type immediate (JAL offset), sign-extended."""
+    value = (
+        (((insn >> 31) & 0x1) << 20)
+        | (((insn >> 12) & 0xFF) << 12)
+        | (((insn >> 20) & 0x1) << 11)
+        | (((insn >> 21) & 0x3FF) << 1)
+    )
+    return sign_extend(value, 21)

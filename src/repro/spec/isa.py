@@ -1,0 +1,109 @@
+"""Extension registry: composing the base ISA with optional extensions.
+
+RISC-V is modular — a base integer ISA plus ratified/custom extensions.
+An :class:`Extension` bundles encodings with their formal semantics; an
+:class:`ISA` composes extensions into a decoder plus a semantics lookup.
+All execution engines (emulator, BinSym, the baseline engines' lifters)
+and the assembler are instantiated with an :class:`ISA` value, so a new
+extension (e.g. Sect. IV's Zimadd) propagates everywhere at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from .decoder import Decoder
+from .opcodes import RV32I_ENCODINGS, RV32M_ENCODINGS, Encoding
+
+__all__ = ["Extension", "ISA", "rv32i", "rv32im", "rv32im_zimadd"]
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A named set of encodings and the matching semantics functions."""
+
+    name: str
+    encodings: tuple[Encoding, ...]
+    semantics: Mapping[str, Callable]
+
+    def __post_init__(self):
+        missing = [e.name for e in self.encodings if e.name not in self.semantics]
+        if missing:
+            raise ValueError(
+                f"extension {self.name}: encodings without semantics: {missing}"
+            )
+
+
+class ISA:
+    """A composed instruction set: decoder + semantics registry."""
+
+    def __init__(self, extensions: Iterable[Extension]):
+        self.extensions = tuple(extensions)
+        encodings: list[Encoding] = []
+        semantics: dict[str, Callable] = {}
+        for extension in self.extensions:
+            encodings.extend(extension.encodings)
+            for name, fn in extension.semantics.items():
+                if name in semantics:
+                    raise ValueError(f"duplicate semantics for {name!r}")
+                semantics[name] = fn
+        self.encodings = tuple(encodings)
+        self.decoder = Decoder(encodings)
+        self._semantics = semantics
+
+    @property
+    def name(self) -> str:
+        return "+".join(ext.name for ext in self.extensions)
+
+    def semantics_for(self, mnemonic: str) -> Callable:
+        """The semantics generator function for a mnemonic."""
+        return self._semantics[mnemonic.lower()]
+
+    def has_instruction(self, mnemonic: str) -> bool:
+        return mnemonic.lower() in self._semantics
+
+    def extended_with(self, extension: Extension) -> "ISA":
+        """A new ISA with one more extension (non-destructive)."""
+        return ISA(self.extensions + (extension,))
+
+    def mnemonics(self) -> list[str]:
+        return sorted(self._semantics)
+
+
+def rv32i() -> ISA:
+    """The RV32I base integer instruction set."""
+    # Import the semantics dicts directly from the submodules: the
+    # package attribute `rv32i` is shadowed by this factory function.
+    from .rv32i import SEMANTICS as base_semantics
+
+    return ISA([Extension("rv32i", RV32I_ENCODINGS, base_semantics)])
+
+
+def rv32im() -> ISA:
+    """RV32I plus the M (multiply/divide) extension."""
+    from .rv32i import SEMANTICS as base_semantics
+    from .rv32m import SEMANTICS as m_semantics
+
+    return ISA(
+        [
+            Extension("rv32i", RV32I_ENCODINGS, base_semantics),
+            Extension("rv32m", RV32M_ENCODINGS, m_semantics),
+        ]
+    )
+
+
+def rv32im_zimadd() -> ISA:
+    """RV32IM plus the Sect. IV case-study MADD extension."""
+    from . import zimadd
+
+    return rv32im().extended_with(
+        Extension("zimadd", zimadd.ENCODINGS, zimadd.SEMANTICS)
+    )
+
+
+def rv32im_zbb() -> ISA:
+    """RV32IM plus the (subset) Zbb bit-manipulation extension."""
+    from . import zbb
+
+    return rv32im().extended_with(Extension("zbb", zbb.ENCODINGS, zbb.SEMANTICS))

@@ -1,0 +1,308 @@
+"""Formal semantics of the RV32I base instruction set.
+
+Every instruction is a generator function over the specification DSL
+(:mod:`repro.spec.dsl`), expressed purely in terms of the language
+primitives — exactly the structure of the paper's Fig. 2 step 4.  The
+semantics follow the RISC-V Unprivileged ISA Specification, Document
+Version 20191213, Chapter 2.
+
+None of the functions here computes a value: arithmetic is *described*
+with the expression DSL and interpreted later (concretely or
+symbolically).  This is the single authoritative description of RV32I in
+the repository — the decoder, the emulator, all four SE engines and the
+differential lifter tester derive their behaviour from it.
+"""
+
+from __future__ import annotations
+
+from .expr import (
+    Add,
+    And,
+    AShr,
+    EqInt,
+    LShr,
+    NeqInt,
+    Or,
+    SGe,
+    Shl,
+    SLt,
+    Sub,
+    UGe,
+    ULt,
+    Xor,
+    extract,
+    imm,
+    zext,
+    sext_to,
+    zext_to,
+)
+from .primitives import (
+    DecodeAndReadBType,
+    DecodeAndReadIType,
+    DecodeAndReadRType,
+    DecodeAndReadSType,
+    DecodeAndReadShamt,
+    DecodeJType,
+    DecodeUType,
+    Ebreak,
+    Ecall,
+    Fence,
+    LoadMem,
+    ReadPC,
+    RunIf,
+    RunIfElse,
+    StoreMem,
+    WritePC,
+    WriteRegister,
+)
+from .dsl import write_pc
+
+__all__ = ["SEMANTICS"]
+
+_SHIFT_MASK = imm(0x1F)
+
+
+# ---------------------------------------------------------------------------
+# Upper-immediate and jump instructions
+# ---------------------------------------------------------------------------
+
+
+def _lui():
+    value, rd = yield DecodeUType()
+    yield WriteRegister(rd, value)
+
+
+def _auipc():
+    value, rd = yield DecodeUType()
+    pc = yield ReadPC()
+    yield WriteRegister(rd, Add(pc, value))
+
+
+def _jal():
+    offset, rd = yield DecodeJType()
+    pc = yield ReadPC()
+    yield WriteRegister(rd, Add(pc, imm(4)))
+    yield WritePC(Add(pc, offset))
+
+
+def _jalr():
+    offset, rs1, rd = yield DecodeAndReadIType()
+    pc = yield ReadPC()
+    # Target: (rs1 + imm) with the lowest bit cleared (spec Sect. 2.5).
+    target = And(Add(rs1, offset), imm(0xFFFFFFFE))
+    yield WriteRegister(rd, Add(pc, imm(4)))
+    yield WritePC(target)
+
+
+# ---------------------------------------------------------------------------
+# Conditional branches
+# ---------------------------------------------------------------------------
+
+
+def _branch(condition_builder):
+    def semantics():
+        offset, rs1, rs2 = yield DecodeAndReadBType()
+        pc = yield ReadPC()
+        yield RunIf(condition_builder(rs1, rs2), write_pc(Add(pc, offset)))
+
+    return semantics
+
+
+_beq = _branch(EqInt)
+_bne = _branch(NeqInt)
+_blt = _branch(SLt)
+_bge = _branch(SGe)
+_bltu = _branch(ULt)
+_bgeu = _branch(UGe)
+
+
+# ---------------------------------------------------------------------------
+# Loads and stores
+# ---------------------------------------------------------------------------
+
+
+def _load(width: int, signed: bool):
+    def semantics():
+        offset, rs1, rd = yield DecodeAndReadIType()
+        address = Add(rs1, offset)
+        raw = yield LoadMem(width, address)
+        # Register writeback extends the memory lane to XLEN=32; getting
+        # this extension wrong is angr lifter bug #3.
+        value = sext_to(raw, 32) if signed else zext_to(raw, 32)
+        yield WriteRegister(rd, value)
+
+    return semantics
+
+
+_lb = _load(8, signed=True)
+_lh = _load(16, signed=True)
+_lw = _load(32, signed=True)
+_lbu = _load(8, signed=False)
+_lhu = _load(16, signed=False)
+
+
+def _store(width: int):
+    def semantics():
+        offset, rs1, rs2 = yield DecodeAndReadSType()
+        address = Add(rs1, offset)
+        value = extract(rs2, width - 1, 0) if width < 32 else rs2
+        yield StoreMem(width, address, value)
+
+    return semantics
+
+
+_sb = _store(8)
+_sh = _store(16)
+_sw = _store(32)
+
+
+# ---------------------------------------------------------------------------
+# Integer register-immediate instructions
+# ---------------------------------------------------------------------------
+
+
+def _op_imm(op_builder):
+    def semantics():
+        immediate, rs1, rd = yield DecodeAndReadIType()
+        yield WriteRegister(rd, op_builder(rs1, immediate))
+
+    return semantics
+
+
+_addi = _op_imm(Add)
+_xori = _op_imm(Xor)
+_ori = _op_imm(Or)
+_andi = _op_imm(And)
+
+
+def _slti():
+    immediate, rs1, rd = yield DecodeAndReadIType()
+    yield WriteRegister(rd, zext(SLt(rs1, immediate), 31))
+
+
+def _sltiu():
+    immediate, rs1, rd = yield DecodeAndReadIType()
+    yield WriteRegister(rd, zext(ULt(rs1, immediate), 31))
+
+
+def _shift_imm(op_builder):
+    def semantics():
+        # The shift amount is an unsigned 5-bit field: angr lifter bug #4
+        # sign-extended it, turning e.g. `x << 31` into `x << -1`.
+        shamt, rs1, rd = yield DecodeAndReadShamt()
+        yield WriteRegister(rd, op_builder(rs1, shamt))
+
+    return semantics
+
+
+_slli = _shift_imm(Shl)
+_srli = _shift_imm(LShr)
+_srai = _shift_imm(AShr)
+
+
+# ---------------------------------------------------------------------------
+# Integer register-register instructions
+# ---------------------------------------------------------------------------
+
+
+def _op(op_builder):
+    def semantics():
+        rs1, rs2, rd = yield DecodeAndReadRType()
+        yield WriteRegister(rd, op_builder(rs1, rs2))
+
+    return semantics
+
+
+_add = _op(Add)
+_sub = _op(Sub)
+_xor = _op(Xor)
+_or = _op(Or)
+_and = _op(And)
+
+
+def _slt():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    yield WriteRegister(rd, zext(SLt(rs1, rs2), 31))
+
+
+def _sltu():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    yield WriteRegister(rd, zext(ULt(rs1, rs2), 31))
+
+
+def _shift_reg(op_builder):
+    def semantics():
+        # Shift amount is the *low five bits of the rs2 value*; angr
+        # lifter bug #2 used bits of the rs2 register index instead.
+        rs1, rs2, rd = yield DecodeAndReadRType()
+        yield WriteRegister(rd, op_builder(rs1, And(rs2, _SHIFT_MASK)))
+
+    return semantics
+
+
+_sll = _shift_reg(Shl)
+_srl = _shift_reg(LShr)
+# SRA's arithmetic (sign-propagating) shift is angr lifter bug #1: the
+# lifter modelled it with a logical shift for some operand shapes.
+_sra = _shift_reg(AShr)
+
+
+# ---------------------------------------------------------------------------
+# System instructions
+# ---------------------------------------------------------------------------
+
+
+def _fence():
+    yield Fence()
+
+
+def _ecall():
+    yield Ecall()
+
+
+def _ebreak():
+    yield Ebreak()
+
+
+SEMANTICS = {
+    "lui": _lui,
+    "auipc": _auipc,
+    "jal": _jal,
+    "jalr": _jalr,
+    "beq": _beq,
+    "bne": _bne,
+    "blt": _blt,
+    "bge": _bge,
+    "bltu": _bltu,
+    "bgeu": _bgeu,
+    "lb": _lb,
+    "lh": _lh,
+    "lw": _lw,
+    "lbu": _lbu,
+    "lhu": _lhu,
+    "sb": _sb,
+    "sh": _sh,
+    "sw": _sw,
+    "addi": _addi,
+    "slti": _slti,
+    "sltiu": _sltiu,
+    "xori": _xori,
+    "ori": _ori,
+    "andi": _andi,
+    "slli": _slli,
+    "srli": _srli,
+    "srai": _srai,
+    "add": _add,
+    "sub": _sub,
+    "sll": _sll,
+    "slt": _slt,
+    "sltu": _sltu,
+    "xor": _xor,
+    "srl": _srl,
+    "sra": _sra,
+    "or": _or,
+    "and": _and,
+    "fence": _fence,
+    "ecall": _ecall,
+    "ebreak": _ebreak,
+}

@@ -1,0 +1,132 @@
+"""Formal semantics of the RV32M multiply/divide extension.
+
+The division instructions spell out the ISA-mandated edge cases with
+explicit ``RunIfElse`` (divide-by-zero yields all-ones / the dividend;
+signed overflow yields INT_MIN / zero — RISC-V spec Sect. 7.2), exactly
+like the paper's Fig. 2 ``DIVU`` description.  Because the edge cases go
+through ``RunIfElse``, a symbolic divisor *forks the execution* — the
+behaviour Sect. III-B of the paper describes.
+
+The high-multiply instructions build 64-bit intermediates with
+``sext``/``zext`` and slice the upper half, following the LibRISCV
+modelling of MULH*.
+"""
+
+from __future__ import annotations
+
+from .dsl import write_register
+from .expr import (
+    And,
+    EqInt,
+    Mul,
+    SDiv,
+    SRem,
+    UDiv,
+    URem,
+    extract,
+    imm,
+    sext,
+    zext,
+)
+from .primitives import DecodeAndReadRType, RunIfElse
+
+__all__ = ["SEMANTICS"]
+
+_INT_MIN = 0x80000000
+_ALL_ONES = 0xFFFFFFFF
+
+
+def _mul():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    yield from _write(rd, Mul(rs1, rs2))
+
+
+def _mulh():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    product = Mul(sext(rs1, 32), sext(rs2, 32))
+    yield from _write(rd, extract(product, 63, 32))
+
+
+def _mulhu():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    product = Mul(zext(rs1, 32), zext(rs2, 32))
+    yield from _write(rd, extract(product, 63, 32))
+
+
+def _mulhsu():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    product = Mul(sext(rs1, 32), zext(rs2, 32))
+    yield from _write(rd, extract(product, 63, 32))
+
+
+def _write(rd, value):
+    from .primitives import WriteRegister
+
+    yield WriteRegister(rd, value)
+
+
+def _divu():
+    # Verbatim structure of the paper's Fig. 2 step 4.
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    yield RunIfElse(
+        EqInt(rs2, imm(0)),
+        write_register(rd, imm(_ALL_ONES)),
+        write_register(rd, UDiv(rs1, rs2)),
+    )
+
+
+def _remu():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    yield RunIfElse(
+        EqInt(rs2, imm(0)),
+        write_register(rd, rs1),
+        write_register(rd, URem(rs1, rs2)),
+    )
+
+
+def _div():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    overflow = And(EqInt(rs1, imm(_INT_MIN)), EqInt(rs2, imm(_ALL_ONES)))
+
+    def non_zero_case():
+        yield RunIfElse(
+            overflow,
+            write_register(rd, imm(_INT_MIN)),
+            write_register(rd, SDiv(rs1, rs2)),
+        )
+
+    yield RunIfElse(
+        EqInt(rs2, imm(0)),
+        write_register(rd, imm(_ALL_ONES)),
+        non_zero_case,
+    )
+
+
+def _rem():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    overflow = And(EqInt(rs1, imm(_INT_MIN)), EqInt(rs2, imm(_ALL_ONES)))
+
+    def non_zero_case():
+        yield RunIfElse(
+            overflow,
+            write_register(rd, imm(0)),
+            write_register(rd, SRem(rs1, rs2)),
+        )
+
+    yield RunIfElse(
+        EqInt(rs2, imm(0)),
+        write_register(rd, rs1),
+        non_zero_case,
+    )
+
+
+SEMANTICS = {
+    "mul": _mul,
+    "mulh": _mulh,
+    "mulhsu": _mulhsu,
+    "mulhu": _mulhu,
+    "div": _div,
+    "divu": _divu,
+    "rem": _rem,
+    "remu": _remu,
+}

@@ -1,0 +1,133 @@
+"""Minimal YAML subset parser for riscv-opcodes instruction descriptions.
+
+PyYAML is not available offline, and the Fig. 3 instruction descriptions
+only use a small YAML subset: a top-level mapping of instruction names
+to nested mappings with scalar or flow-list values.  This module parses
+exactly that subset::
+
+    madd:
+      encoding: '-----01------------------1000011'
+      extension: [rv_zimadd]
+      mask: '0x600007f'
+      match: '0x2000043'
+      variable_fields: [rd, rs1, rs2, rs3]
+
+Scalars keep their string form except for unquoted ints/bools; quoting
+with single or double quotes is honoured; ``[a, b]`` flow lists are
+supported.  Comments (``# ...``) and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+__all__ = ["parse_yaml", "YamlError"]
+
+
+class YamlError(ValueError):
+    """Raised on input outside the supported YAML subset."""
+
+
+def _parse_scalar(text: str):
+    text = text.strip()
+    if not text:
+        return ""
+    if text[0] in "'\"":
+        quote = text[0]
+        if len(text) < 2 or text[-1] != quote:
+            raise YamlError(f"unterminated quoted scalar: {text!r}")
+        return text[1:-1]
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(item) for item in _split_flow_list(inner)]
+    lowered = text.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~"):
+        return None
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def _split_flow_list(inner: str) -> list[str]:
+    items = []
+    depth = 0
+    current = []
+    quote = None
+    for char in inner:
+        if quote:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        items.append("".join(current))
+    return items
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote = None
+    for char in line:
+        if quote:
+            out.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            out.append(char)
+        elif char == "#":
+            break
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def parse_yaml(text: str) -> dict:
+    """Parse the supported YAML subset into nested dicts/lists/scalars."""
+    root: dict = {}
+    # Stack of (indent, mapping) pairs for nesting.
+    stack: list[tuple[int, dict]] = [(-1, root)]
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).rstrip()
+        if not line.strip():
+            continue
+        indent = len(line) - len(line.lstrip(" "))
+        content = line.strip()
+        if ":" not in content:
+            raise YamlError(f"line {line_number}: expected 'key: value'")
+        key, _, value_text = content.partition(":")
+        key = key.strip()
+        if key.startswith("'") or key.startswith('"'):
+            key = key[1:-1]
+        while stack and indent <= stack[-1][0]:
+            stack.pop()
+        if not stack:
+            raise YamlError(f"line {line_number}: bad indentation")
+        parent = stack[-1][1]
+        if value_text.strip():
+            parent[key] = _parse_scalar(value_text)
+        else:
+            child: dict = {}
+            parent[key] = child
+            stack.append((indent, child))
+    return root

@@ -1,0 +1,111 @@
+"""Zbb basic bit-manipulation extension (ratified subset).
+
+A second extensibility exercise beyond Sect. IV's MADD, using a *real*
+ratified extension: nine R-type instructions from Zbb (riscv-spec
+Zbb chapter) with their official encodings.  Every instruction is
+expressible in existing DSL primitives — rotates compose from shifts,
+min/max from comparisons and ``ite`` — so, as with MADD, the decoder,
+assembler, emulator, DIFT and BinSym gain support with zero engine
+changes.
+
+The IR-based baseline engines do *not* gain support: their hand-written
+lifters have no Zbb translation and raise ``NotImplementedError``.
+That asymmetry is the paper's Sect. III argument in executable form —
+"the [RISC-V] specification is constantly expanding, requiring binary
+analysis tools to catch up" — and `tests/test_zbb_extension.py` pins it.
+"""
+
+from __future__ import annotations
+
+from .dsl import write_register
+from .expr import (
+    And,
+    LShr,
+    Not,
+    Or,
+    Shl,
+    SLt,
+    Sub,
+    ULt,
+    Xor,
+    imm,
+    ite,
+)
+from .opcodes import Encoding
+from .primitives import DecodeAndReadRType, WriteRegister
+
+__all__ = ["ENCODINGS", "SEMANTICS"]
+
+
+def _r(name: str, funct7: int, funct3: int) -> Encoding:
+    match = (funct7 << 25) | (funct3 << 12) | 0x33
+    return Encoding(name, 0xFE00707F, match, ("rd", "rs1", "rs2"), "r", "zbb")
+
+
+#: Official Zbb encodings (riscv-opcodes values).
+ENCODINGS: tuple[Encoding, ...] = (
+    _r("andn", 0x20, 7),
+    _r("orn", 0x20, 6),
+    _r("xnor", 0x20, 4),
+    _r("min", 0x05, 4),
+    _r("minu", 0x05, 5),
+    _r("max", 0x05, 6),
+    _r("maxu", 0x05, 7),
+    _r("rol", 0x30, 1),
+    _r("ror", 0x30, 5),
+)
+
+_SHIFT_MASK = imm(0x1F)
+
+
+def _logic_negated(op_builder):
+    def semantics():
+        rs1, rs2, rd = yield DecodeAndReadRType()
+        yield WriteRegister(rd, op_builder(rs1, Not(rs2)))
+
+    return semantics
+
+
+def _xnor():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    yield WriteRegister(rd, Not(Xor(rs1, rs2)))
+
+
+def _select(compare, keep_first: bool):
+    def semantics():
+        rs1, rs2, rd = yield DecodeAndReadRType()
+        first, second = (rs1, rs2) if keep_first else (rs2, rs1)
+        yield WriteRegister(rd, ite(compare(rs1, rs2), first, second))
+
+    return semantics
+
+
+def _rol():
+    # Rotate = two complementary shifts; (32 - amt) & 31 makes the
+    # amt == 0 case come out right (both halves are rs1 itself).
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    amount = And(rs2, _SHIFT_MASK)
+    complement = And(Sub(imm(32), amount), _SHIFT_MASK)
+    rotated = Or(Shl(rs1, amount), LShr(rs1, complement))
+    yield WriteRegister(rd, rotated)
+
+
+def _ror():
+    rs1, rs2, rd = yield DecodeAndReadRType()
+    amount = And(rs2, _SHIFT_MASK)
+    complement = And(Sub(imm(32), amount), _SHIFT_MASK)
+    rotated = Or(LShr(rs1, amount), Shl(rs1, complement))
+    yield WriteRegister(rd, rotated)
+
+
+SEMANTICS = {
+    "andn": _logic_negated(And),
+    "orn": _logic_negated(Or),
+    "xnor": _xnor,
+    "min": _select(SLt, keep_first=True),
+    "minu": _select(ULt, keep_first=True),
+    "max": _select(SLt, keep_first=False),
+    "maxu": _select(ULt, keep_first=False),
+    "rol": _rol,
+    "ror": _ror,
+}

@@ -1,0 +1,318 @@
+"""Tests for the assembler: parsing, pseudo-expansion, layout, encoding."""
+
+import pytest
+
+from repro.asm import AsmError, Assembler, assemble
+from repro.asm.parser import (
+    HiLo,
+    Immediate,
+    MemOperand,
+    Register,
+    Symbol,
+    parse_operand,
+    parse_source,
+)
+from repro.spec import rv32im
+from repro.spec import fields
+
+
+def words_of(image, base=0x10000, count=None):
+    segment = next(s for s in image.segments if s.base == base)
+    data = segment.data
+    n = count if count is not None else len(data) // 4
+    return [int.from_bytes(data[i * 4 : (i + 1) * 4], "little") for i in range(n)]
+
+
+class TestOperandParsing:
+    def test_register_names(self):
+        assert parse_operand("x5", 1) == Register(5)
+        assert parse_operand("t0", 1) == Register(5)
+        assert parse_operand("sp", 1) == Register(2)
+        assert parse_operand("fp", 1) == Register(8)
+
+    def test_immediates(self):
+        assert parse_operand("42", 1) == Immediate(42)
+        assert parse_operand("-1", 1) == Immediate(-1)
+        assert parse_operand("0xff", 1) == Immediate(255)
+        assert parse_operand("0b101", 1) == Immediate(5)
+
+    def test_char_literals(self):
+        assert parse_operand("'a'", 1) == Immediate(97)
+        assert parse_operand("'\\n'", 1) == Immediate(10)
+        assert parse_operand("'\\0'", 1) == Immediate(0)
+
+    def test_symbols(self):
+        assert parse_operand("loop", 1) == Symbol("loop")
+        assert parse_operand("buf+4", 1) == Symbol("buf", 4)
+        assert parse_operand("buf - 8", 1) == Symbol("buf", -8)
+
+    def test_memory_operand(self):
+        operand = parse_operand("8(sp)", 1)
+        assert operand == MemOperand(Immediate(8), Register(2))
+        operand = parse_operand("-4(t0)", 1)
+        assert operand == MemOperand(Immediate(-4), Register(5))
+
+    def test_memory_operand_no_offset(self):
+        assert parse_operand("(a0)", 1) == MemOperand(Immediate(0), Register(10))
+
+    def test_hi_lo(self):
+        assert parse_operand("%hi(buf)", 1) == HiLo("hi", "buf")
+        assert parse_operand("%lo(buf+4)", 1) == HiLo("lo", "buf", 4)
+
+    def test_hilo_memory_operand(self):
+        operand = parse_operand("%lo(buf)(t0)", 1)
+        assert operand == MemOperand(HiLo("lo", "buf"), Register(5))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AsmError):
+            parse_operand("12x!", 1)
+
+
+class TestSourceParsing:
+    def test_labels_and_comments(self):
+        statements = parse_source("loop: # comment\n  addi x1, x1, -1 // c2\n")
+        assert statements[0].name == "loop"
+        assert statements[1].mnemonic == "addi"
+
+    def test_multiple_labels_one_line(self):
+        statements = parse_source("a: b: nop\n")
+        assert [s.name for s in statements[:2]] == ["a", "b"]
+
+    def test_semicolon_comment_vs_char_literal(self):
+        statements = parse_source("li t1, ';' ; real comment\n")
+        assert statements[0].operands[1] == Immediate(ord(";"))
+
+    def test_string_directive(self):
+        statements = parse_source('.asciz "hi\\n"\n')
+        assert statements[0].args == [b"hi\n"]
+
+
+class TestPseudoInstructions:
+    def setup_method(self):
+        self.asm = Assembler()
+
+    def encode_one(self, text):
+        image = self.asm.assemble(f"_start:\n{text}\n")
+        return words_of(image)
+
+    def test_nop(self):
+        assert self.encode_one("nop") == [0x00000013]
+
+    def test_mv(self):
+        # mv x1, x2 == addi x1, x2, 0
+        (word,) = self.encode_one("mv x1, x2")
+        assert fields.rd(word) == 1 and fields.rs1(word) == 2
+        assert rv32im().decoder.decode(word).name == "addi"
+
+    def test_li_small(self):
+        (word,) = self.encode_one("li x5, 42")
+        assert rv32im().decoder.decode(word).name == "addi"
+        assert fields.imm_i(word) == 42
+
+    def test_li_negative(self):
+        (word,) = self.encode_one("li x5, -42")
+        assert fields.imm_i(word) == (-42) & 0xFFFFFFFF
+
+    def test_li_large_uses_lui_addi(self):
+        words = self.encode_one("li x5, 0x12345678")
+        decoder = rv32im().decoder
+        assert [decoder.decode(w).name for w in words] == ["lui", "addi"]
+
+    def test_li_rounding_case(self):
+        """li with a low part >= 0x800 must round the lui upward."""
+        from repro.concrete import ConcreteInterpreter
+
+        for value in (0x12345FFF, 0x80000000, 0xFFFFF800, 0x7FFFFFFF):
+            image = assemble(f"_start:\n li a0, {value}\n li a7, 93\n ecall\n")
+            interp = ConcreteInterpreter(rv32im())
+            interp.load_image(image)
+            assert interp.run().exit_code == value & 0xFFFFFFFF, hex(value)
+
+    def test_not_neg(self):
+        decoder = rv32im().decoder
+        (word,) = self.encode_one("not x1, x2")
+        assert decoder.decode(word).name == "xori"
+        (word,) = self.encode_one("neg x1, x2")
+        assert decoder.decode(word).name == "sub"
+
+    def test_branch_pseudos(self):
+        decoder = rv32im().decoder
+        source = "_start:\nbeqz x1, _start\nbnez x1, _start\nbltz x1, _start\nbgt x1, x2, _start\n"
+        words = words_of(self.asm.assemble(source))
+        names = [decoder.decode(w).name for w in words]
+        assert names == ["beq", "bne", "blt", "blt"]
+        # bgt rs, rt swaps operands: blt x2, x1
+        assert fields.rs1(words[3]) == 2 and fields.rs2(words[3]) == 1
+
+    def test_j_ret_call(self):
+        decoder = rv32im().decoder
+        words = words_of(self.asm.assemble("_start:\nj _start\nret\ncall _start\n"))
+        names = [decoder.decode(w).name for w in words]
+        assert names == ["jal", "jalr", "jal"]
+        assert fields.rd(words[0]) == 0  # j -> jal x0
+        assert fields.rd(words[2]) == 1  # call -> jal ra
+
+    def test_seqz_snez(self):
+        decoder = rv32im().decoder
+        words = words_of(self.asm.assemble("_start:\nseqz x1, x2\nsnez x3, x4\n"))
+        assert [decoder.decode(w).name for w in words] == ["sltiu", "sltu"]
+
+
+class TestLayoutAndSymbols:
+    def test_forward_references(self):
+        image = assemble("_start:\n j end\n nop\nend:\n nop\n")
+        words = words_of(image, count=3)
+        assert fields.imm_j(words[0]) == 8  # skip one instruction
+
+    def test_backward_branch(self):
+        image = assemble("_start:\nloop:\n nop\n j loop\n")
+        words = words_of(image, count=2)
+        assert fields.imm_j(words[1]) == (-4) & 0xFFFFFFFF
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("a:\n nop\na:\n nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n j nowhere\n")
+
+    def test_data_section(self):
+        image = assemble(
+            "_start:\n la t0, value\n lw t1, 0(t0)\n"
+            ".data\nvalue:\n .word 0xdeadbeef\n"
+        )
+        assert image.symbol("value") == 0x20000
+        data = next(s for s in image.segments if s.base == 0x20000)
+        assert data.data[:4] == b"\xef\xbe\xad\xde"
+
+    def test_hi_lo_resolution(self):
+        from repro.concrete import ConcreteInterpreter
+
+        source = (
+            "_start:\n"
+            " lui t0, %hi(value)\n"
+            " lw a0, %lo(value)(t0)\n"
+            " li a7, 93\n ecall\n"
+            ".data\n"
+            " .space 0x7fc\n"       # push `value` to 0x207fc: %lo is positive
+            "value:\n .word 1234\n"
+        )
+        interp = ConcreteInterpreter(rv32im())
+        interp.load_image(assemble(source))
+        assert interp.run().exit_code == 1234
+
+    def test_hi_lo_with_negative_lo(self):
+        from repro.concrete import ConcreteInterpreter
+
+        source = (
+            "_start:\n"
+            " lui t0, %hi(value)\n"
+            " lw a0, %lo(value)(t0)\n"
+            " li a7, 93\n ecall\n"
+            ".data\n"
+            " .space 0x900\n"       # `value` at 0x20900: lo = -0x700
+            "value:\n .word 77\n"
+        )
+        interp = ConcreteInterpreter(rv32im())
+        interp.load_image(assemble(source))
+        assert interp.run().exit_code == 77
+
+    def test_align_directive(self):
+        image = assemble(".data\n .byte 1\n .align 2\nval:\n .word 2\n",)
+        assert image.symbol("val") == 0x20004
+
+    def test_org_directive(self):
+        image = assemble(".data\n .org 0x20010\nval:\n .byte 5\n")
+        assert image.symbol("val") == 0x20010
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".data\n .word 1, 2, 3\n .org 0x20004\n")
+
+    def test_equ(self):
+        image = assemble(".equ MAGIC, 0x42\n_start:\n li a0, MAGIC\n")
+        assert image.symbol("MAGIC") == 0x42
+
+    def test_asciz(self):
+        image = assemble('.data\nmsg:\n .asciz "ab"\n')
+        data = next(s for s in image.segments if s.base == 0x20000)
+        assert data.data[:3] == b"ab\x00"
+
+    def test_space_and_byte_lists(self):
+        image = assemble(".data\n .byte 1, 2, 3\n .space 2\n .half 0x1234\n")
+        data = next(s for s in image.segments if s.base == 0x20000).data
+        assert data[:7] == b"\x01\x02\x03\x00\x00\x34\x12"
+
+    def test_word_with_symbol(self):
+        image = assemble("_start:\n nop\n.data\nptr:\n .word _start\n")
+        data = next(s for s in image.segments if s.base == 0x20000).data
+        assert int.from_bytes(data[:4], "little") == 0x10000
+
+    def test_entry_symbol(self):
+        image = assemble("main:\n nop\n", entry_symbol="main")
+        assert image.entry == 0x10000
+
+    def test_entry_defaults_to_text_base(self):
+        image = assemble("nolabel:\n nop\n")
+        assert image.entry == 0x10000
+
+
+class TestEncodingErrors:
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n addi x1, x1, 5000\n")
+
+    def test_shift_amount_out_of_range(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n slli x1, x1, 32\n")
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n beq x1, x2, 3\n")
+
+    def test_branch_out_of_range(self):
+        source = "_start:\n beq x1, x2, far\n" + " nop\n" * 2000 + "far:\n nop\n"
+        with pytest.raises(AsmError):
+            assemble(source)
+
+    def test_unknown_instruction(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n frobnicate x1, x2\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n add x1, x2\n")
+
+    def test_register_where_imm_expected(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n addi x1, x2, x3\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError):
+            assemble(".bogus 1\n")
+
+
+class TestAgainstGnuAsGolden:
+    """Golden encodings computed independently (standard binutils output)."""
+
+    CASES = [
+        ("add x3, x1, x2", 0x002081B3),
+        ("sub x3, x1, x2", 0x402081B3),
+        ("addi x1, x2, -1", 0xFFF10093),
+        ("lw x5, 8(x6)", 0x00832283),
+        ("sw x5, 8(x6)", 0x00532423),
+        ("lui x7, 0xfffff", 0xFFFFF3B7),
+        ("jalr x1, x2, 4", 0x004100E7),
+        ("sll x10, x11, x12", 0x00C59533),
+        ("srai x10, x11, 31", 0x41F5D513),
+        ("mul x5, x6, x7", 0x027302B3),
+        ("divu x5, x6, x7", 0x027352B3),
+        ("sltiu x1, x2, 1", 0x00113093),
+    ]
+
+    @pytest.mark.parametrize("text,expected", CASES, ids=[c[0] for c in CASES])
+    def test_encoding(self, text, expected):
+        image = assemble(f"_start:\n {text}\n")
+        (word,) = words_of(image, count=1)
+        assert word == expected, f"{text}: {word:#010x} != {expected:#010x}"

@@ -1,0 +1,131 @@
+"""Tests for the `repro` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """\
+_start:
+    li a0, 0x30000
+    li a1, 1
+    li a7, 1337
+    ecall
+    li t0, 0x30000
+    lbu t1, 0(t0)
+    li t2, 7
+    beq t1, t2, lucky
+    li a0, 0
+    li a7, 93
+    ecall
+lucky:
+    ebreak
+"""
+
+HELLO = """\
+_start:
+    li a0, 1
+    la a1, msg
+    li a2, 6
+    li a7, 64
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+msg:
+    .asciz "hello\\n"
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(PROGRAM)
+    return path
+
+
+class TestAssemble:
+    def test_produces_loadable_elf(self, tmp_path, program_file, capsys):
+        out = tmp_path / "prog.elf"
+        assert main(["assemble", str(program_file), "-o", str(out)]) == 0
+        data = out.read_bytes()
+        assert data[:4] == b"\x7fELF"
+        assert "entry=0x10000" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs_and_reports(self, tmp_path, capsys):
+        path = tmp_path / "hello.s"
+        path.write_text(HELLO)
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hello" in out
+        assert "halted: exit" in out
+
+    def test_trace_mode(self, tmp_path, capsys):
+        path = tmp_path / "hello.s"
+        path.write_text(HELLO)
+        assert main(["run", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0x00010000:" in out
+
+    def test_runs_elf_input(self, tmp_path, program_file, capsys):
+        elf = tmp_path / "prog.elf"
+        main(["assemble", str(program_file), "-o", str(elf)])
+        capsys.readouterr()
+        assert main(["run", str(elf)]) == 0
+
+
+class TestDisasm:
+    def test_listing(self, program_file, capsys):
+        assert main(["disasm", str(program_file)]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out
+        assert "lucky:" in out
+        assert "ebreak" in out
+
+
+class TestExplore:
+    def test_finds_assertion_failure(self, program_file, capsys):
+        # Exit code 1 signals assertion failures found.
+        assert main(["explore", str(program_file)]) == 1
+        out = capsys.readouterr().out
+        assert "2 paths" in out
+        assert "assertion failure" in out
+
+    def test_engine_selection(self, program_file, capsys):
+        assert main(["explore", "--engine", "binsec", str(program_file)]) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_harness_symbolic_region(self, tmp_path, capsys):
+        # A program with no make_symbolic call: input via --symbolic.
+        path = tmp_path / "plain.s"
+        path.write_text("""\
+_start:
+    li t0, 0x30000
+    lbu t1, 0(t0)
+    beqz t1, done
+    nop
+done:
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+        assert main(["explore", "--symbolic", "0x30000:1", str(path)]) == 0
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_bad_symbolic_spec(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["explore", "--symbolic", "garbage", str(program_file)])
+
+    def test_custom_isa(self, tmp_path, capsys):
+        path = tmp_path / "zbb.s"
+        path.write_text("""\
+_start:
+    li t0, 0xf0
+    li t1, 0x0f
+    andn a0, t0, t1
+    li a7, 93
+    ecall
+""")
+        assert main(["--isa", "rv32im+zbb", "run", str(path)]) == 0xF0

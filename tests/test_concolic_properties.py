@@ -1,0 +1,190 @@
+"""Property-based cross-interpreter invariants.
+
+The fundamental concolic soundness property: for any program and any
+concrete input, the *concrete* interpreter and every *symbolic* engine
+must compute identical final states — symbolic execution with concrete
+inputs is just execution.  Hypothesis generates random straight-line
+programs (valid instruction words over restricted operand ranges) and
+random inputs; all engines must agree on the full register file.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.encoder import encode_instruction
+from repro.baselines.dba import DbaEngine
+from repro.baselines.vexir import VexEngine
+from repro.concrete import ConcreteInterpreter
+from repro.core import BinSymExecutor, Explorer, InputAssignment
+from repro.core.interpreter import SymbolicInterpreter
+from repro.loader.image import Image
+from repro.spec import rv32im
+
+_ENTRY = 0x10000
+_DATA = 0x20000
+
+# Instructions safe for random straight-line programs (no control flow,
+# no environment interaction; loads/stores use confined offsets).
+_STRAIGHT_LINE = [
+    "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+    "mul", "mulh", "mulhu", "mulhsu", "div", "divu", "rem", "remu",
+    "addi", "andi", "ori", "xori", "slti", "sltiu", "slli", "srli", "srai",
+    "lui", "auipc",
+]
+
+
+@st.composite
+def straight_line_program(draw):
+    """A random instruction sequence + random initial register values."""
+    isa = rv32im()
+    length = draw(st.integers(min_value=1, max_value=12))
+    words = []
+    for _ in range(length):
+        name = draw(st.sampled_from(_STRAIGHT_LINE))
+        encoding = isa.decoder.by_name(name)
+        # Registers x1..x15 so programs interfere with themselves often.
+        kwargs = dict(
+            rd=draw(st.integers(1, 15)),
+            rs1=draw(st.integers(1, 15)),
+            rs2=draw(st.integers(1, 15)),
+        )
+        if encoding.fmt == "shift":
+            kwargs["imm"] = draw(st.integers(0, 31))
+        elif encoding.fmt == "i":
+            kwargs["imm"] = draw(st.integers(-2048, 2047))
+        elif encoding.fmt == "u":
+            kwargs["imm"] = draw(st.integers(0, (1 << 20) - 1))
+        words.append(encode_instruction(encoding, **kwargs))
+    initial_regs = [0] + [
+        draw(st.integers(0, 0xFFFFFFFF)) for _ in range(15)
+    ] + [0] * 16
+    return words, initial_regs
+
+
+def build_image(words):
+    image = Image(entry=_ENTRY)
+    blob = b"".join(w.to_bytes(4, "little") for w in words)
+    image.add_segment(_ENTRY, blob)
+    return image
+
+
+def run_concrete(words, regs):
+    interp = ConcreteInterpreter(rv32im())
+    interp.load_image(build_image(words))
+    for i in range(1, 16):
+        interp.hart.regs.write(i, regs[i])
+    for _ in range(len(words)):
+        interp.step()
+    return [interp.hart.regs.read(i) for i in range(32)]
+
+
+def run_binsym(words, regs):
+    interp = SymbolicInterpreter(rv32im(), build_image(words))
+    interp.reset(InputAssignment())
+    from repro.core.symvalue import SymValue
+
+    for i in range(1, 16):
+        interp.hart.regs.write(i, SymValue(regs[i], 32))
+    for _ in range(len(words)):
+        interp.step()
+    return [interp.hart.regs.read(i).concrete for i in range(32)]
+
+
+def run_ir_engine(factory, words, regs):
+    from repro.core.symvalue import SymValue
+
+    engine = factory(rv32im(), build_image(words))
+    engine._reset(InputAssignment())
+    for i in range(1, 16):
+        engine.write_reg(i, SymValue(regs[i], 32))
+    for _ in range(len(words)):
+        engine.step()
+    return [engine.read_reg(i).concrete for i in range(32)]
+
+
+@given(straight_line_program())
+@settings(max_examples=150, deadline=None)
+def test_all_engines_agree_on_straight_line_code(program):
+    words, regs = program
+    reference = run_concrete(words, regs)
+    assert run_binsym(words, regs) == reference, "BinSym diverged"
+    assert run_ir_engine(DbaEngine, words, regs) == reference, "DBA diverged"
+    assert run_ir_engine(VexEngine, words, regs) == reference, "VEX diverged"
+
+
+@given(straight_line_program())
+@settings(max_examples=50, deadline=None)
+def test_force_terms_does_not_change_results(program):
+    """The concrete fast path is a pure optimization."""
+    words, regs = program
+    plain = run_binsym(words, regs)
+
+    interp = SymbolicInterpreter(rv32im(), build_image(words), force_terms=True)
+    interp.reset(InputAssignment())
+    from repro.core.symvalue import SymValue
+
+    for i in range(1, 16):
+        interp.hart.regs.write(i, SymValue(regs[i], 32))
+    for _ in range(len(words)):
+        interp.step()
+    forced = [interp.hart.regs.read(i).concrete for i in range(32)]
+    assert forced == plain
+
+
+class TestExplorationInvariants:
+    """Structural invariants of full explorations on small programs."""
+
+    SOURCE = """\
+_start:
+    li a0, 0x20000
+    li a1, 2
+    li a7, 1337
+    ecall
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    lbu t2, 1(t0)
+    li a0, 0
+    li t3, 65
+    bltu t1, t3, skip1
+    addi a0, a0, 1
+skip1:
+    bltu t1, t2, skip2
+    addi a0, a0, 2
+skip2:
+    beq t1, t2, skip3
+    addi a0, a0, 4
+skip3:
+    li a7, 93
+    ecall
+"""
+
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        from repro.asm import assemble
+
+        image = assemble(self.SOURCE)
+        executor = BinSymExecutor(rv32im(), image)
+        return Explorer(executor).explore(), executor
+
+    def test_no_duplicate_paths(self, exploration):
+        result, executor = exploration
+        # Re-execute each path's input; the branch signature must be
+        # unique across paths (each input reaches a distinct path).
+        signatures = set()
+        for path in result.paths:
+            run = executor.execute(path.assignment)
+            signature = run.trace.signature()
+            assert signature not in signatures, "duplicate path explored"
+            signatures.add(signature)
+
+    def test_inputs_replay_to_same_outcome(self, exploration):
+        result, executor = exploration
+        for path in result.paths:
+            replay = executor.execute(path.assignment)
+            assert replay.exit_code == path.exit_code
+            assert replay.halt_reason == path.halt_reason
+
+    def test_every_path_terminates_cleanly(self, exploration):
+        result, _ = exploration
+        assert all(p.halt_reason == "exit" for p in result.paths)

@@ -1,0 +1,443 @@
+"""Tests for the spec-derived concrete interpreter (the RV32 emulator).
+
+Includes a hypothesis-driven differential suite: every instruction's
+result is compared against an independent Python reference semantics
+(``repro.smt.bvops``), catching both spec bugs and interpreter bugs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.hart import HaltReason
+from repro.asm import assemble
+from repro.asm.encoder import encode_instruction
+from repro.concrete import ConcreteInterpreter, HostPlatform
+from repro.smt import bvops
+from repro.spec import IllegalInstruction, rv32im
+
+WORD = 0xFFFFFFFF
+
+
+def run_program(source, max_steps=100_000, platform=None):
+    interp = ConcreteInterpreter(rv32im(), platform=platform)
+    interp.load_image(assemble(source))
+    interp.run(max_steps)
+    return interp
+
+
+def exec_single(name, rs1_val, rs2_val, imm=0):
+    """Execute one R/I-type instruction with given operands; return rd."""
+    isa = rv32im()
+    encoding = isa.decoder.by_name(name)
+    kwargs = dict(rd=3, rs1=1, rs2=2)
+    if encoding.fmt in ("i", "shift", "load"):
+        kwargs = dict(rd=3, rs1=1, imm=imm)
+    word = encode_instruction(encoding, **kwargs)
+    interp = ConcreteInterpreter(isa)
+    interp.memory.write(0x1000, word, 32)
+    interp.hart.pc = 0x1000
+    interp.hart.regs.write(1, rs1_val)
+    interp.hart.regs.write(2, rs2_val)
+    interp.step()
+    return interp.hart.regs.read(3)
+
+
+# Reference semantics for R-type ops, independent from the spec DSL.
+R_REFERENCE = {
+    "add": lambda a, b: bvops.bv_add(a, b, 32),
+    "sub": lambda a, b: bvops.bv_sub(a, b, 32),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: bvops.bv_shl(a, b & 31, 32),
+    "srl": lambda a, b: bvops.bv_lshr(a, b & 31, 32),
+    "sra": lambda a, b: bvops.bv_ashr(a, b & 31, 32),
+    "slt": lambda a, b: int(bvops.to_signed(a, 32) < bvops.to_signed(b, 32)),
+    "sltu": lambda a, b: int(a < b),
+    "mul": lambda a, b: bvops.bv_mul(a, b, 32),
+    "mulh": lambda a, b: (bvops.to_signed(a, 32) * bvops.to_signed(b, 32) >> 32)
+    & WORD,
+    "mulhu": lambda a, b: (a * b) >> 32,
+    "mulhsu": lambda a, b: (bvops.to_signed(a, 32) * b >> 32) & WORD,
+}
+
+
+def _div_reference(a, b):
+    if b == 0:
+        return WORD
+    sa, sb = bvops.to_signed(a, 32), bvops.to_signed(b, 32)
+    if sa == -(1 << 31) and sb == -1:
+        return 0x80000000
+    q = abs(sa) // abs(sb)
+    return (-q if (sa < 0) != (sb < 0) else q) & WORD
+
+
+def _rem_reference(a, b):
+    if b == 0:
+        return a
+    sa, sb = bvops.to_signed(a, 32), bvops.to_signed(b, 32)
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    return (-r if sa < 0 else r) & WORD
+
+
+R_REFERENCE["div"] = _div_reference
+R_REFERENCE["rem"] = _rem_reference
+R_REFERENCE["divu"] = lambda a, b: WORD if b == 0 else a // b
+R_REFERENCE["remu"] = lambda a, b: a if b == 0 else a % b
+
+
+@given(st.data())
+@settings(max_examples=300, deadline=None)
+def test_rtype_differential(data):
+    """Every R-type instruction agrees with the Python reference."""
+    name = data.draw(st.sampled_from(sorted(R_REFERENCE)))
+    a = data.draw(st.integers(0, WORD))
+    b = data.draw(
+        st.one_of(
+            st.integers(0, WORD),
+            st.sampled_from([0, 1, WORD, 0x80000000, 31, 32]),
+        )
+    )
+    assert exec_single(name, a, b) == R_REFERENCE[name](a, b), name
+
+
+I_REFERENCE = {
+    "addi": lambda a, i: bvops.bv_add(a, i & WORD, 32),
+    "xori": lambda a, i: a ^ (i & WORD),
+    "ori": lambda a, i: a | (i & WORD),
+    "andi": lambda a, i: a & (i & WORD),
+    "slti": lambda a, i: int(bvops.to_signed(a, 32) < i),
+    "sltiu": lambda a, i: int(a < (i & WORD)),
+}
+
+
+@given(st.data())
+@settings(max_examples=200, deadline=None)
+def test_itype_differential(data):
+    name = data.draw(st.sampled_from(sorted(I_REFERENCE)))
+    a = data.draw(st.integers(0, WORD))
+    imm = data.draw(st.integers(-2048, 2047))
+    assert exec_single(name, a, 0, imm=imm) == I_REFERENCE[name](a, imm), name
+
+
+@given(st.integers(0, WORD), st.integers(0, 31))
+@settings(max_examples=120, deadline=None)
+def test_shift_immediates_differential(a, shamt):
+    assert exec_single("slli", a, 0, imm=shamt) == bvops.bv_shl(a, shamt, 32)
+    assert exec_single("srli", a, 0, imm=shamt) == bvops.bv_lshr(a, shamt, 32)
+    assert exec_single("srai", a, 0, imm=shamt) == bvops.bv_ashr(a, shamt, 32)
+
+
+class TestLoadsAndStores:
+    @pytest.mark.parametrize(
+        "op,stored,expected",
+        [
+            ("lb", 0x80, 0xFFFFFF80),
+            ("lb", 0x7F, 0x7F),
+            ("lbu", 0x80, 0x80),
+            ("lh", 0x8000, 0xFFFF8000),
+            ("lh", 0x7FFF, 0x7FFF),
+            ("lhu", 0x8000, 0x8000),
+            ("lw", 0xDEADBEEF, 0xDEADBEEF),
+        ],
+    )
+    def test_load_extension(self, op, stored, expected):
+        source = f"""\
+_start:
+    li t0, 0x20000
+    li t1, {stored:#x}
+    sw t1, 0(t0)
+    {op} a0, 0(t0)
+    li a7, 93
+    ecall
+"""
+        interp = run_program(source)
+        assert interp.hart.exit_code == expected
+
+    def test_store_width_truncation(self):
+        source = """\
+_start:
+    li t0, 0x20000
+    li t1, -1
+    sw t1, 0(t0)            # ffffffff
+    li t2, 0
+    sb t2, 1(t0)            # ffff00ff
+    lw a0, 0(t0)
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == 0xFFFF00FF
+
+    def test_little_endian_layout(self):
+        source = """\
+_start:
+    li t0, 0x20000
+    li t1, 0x11223344
+    sw t1, 0(t0)
+    lbu a0, 0(t0)
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == 0x44
+
+    def test_negative_offset(self):
+        source = """\
+_start:
+    li t0, 0x20010
+    li t1, 99
+    sb t1, -16(t0)
+    lbu a0, -16(t0)
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == 99
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        source = """\
+_start:
+    li t0, 5
+    li t1, 5
+    li a0, 0
+    bne t0, t1, bad
+    addi a0, a0, 1
+    beq t0, t1, good
+bad:
+    li a0, 99
+good:
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == 1
+
+    def test_jal_links_pc_plus_4(self):
+        source = """\
+_start:
+    jal ra, target
+back:
+    li a7, 93
+    ecall                   # a0 set in target
+target:
+    mv a0, ra
+    jr ra
+"""
+        image = assemble(source)
+        interp = ConcreteInterpreter(rv32im())
+        interp.load_image(image)
+        interp.run()
+        assert interp.hart.exit_code == image.symbol("back")
+
+    def test_jalr_clears_low_bit(self):
+        source = """\
+_start:
+    la t0, target
+    ori t0, t0, 1           # misaligned target
+    jalr ra, t0, 0
+    ebreak
+target:
+    li a0, 7
+    li a7, 93
+    ecall
+"""
+        interp = run_program(source)
+        assert interp.hart.halt_reason == HaltReason.EXIT
+        assert interp.hart.exit_code == 7
+
+    @pytest.mark.parametrize(
+        "branch,a,b,taken",
+        [
+            ("blt", -1, 0, True),
+            ("blt", 0, -1, False),
+            ("bltu", -1, 0, False),  # 0xffffffff is large unsigned
+            ("bltu", 0, -1, True),
+            ("bge", 1, -1, True),
+            ("bgeu", 1, -1, False),
+            ("beq", 3, 3, True),
+            ("bne", 3, 3, False),
+        ],
+    )
+    def test_branch_semantics(self, branch, a, b, taken):
+        source = f"""\
+_start:
+    li t0, {a}
+    li t1, {b}
+    li a0, 0
+    {branch} t0, t1, yes
+    j done
+yes:
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == int(taken)
+
+
+class TestX0AndPC:
+    def test_x0_write_discarded(self):
+        source = """\
+_start:
+    li t0, 7
+    add x0, t0, t0
+    mv a0, x0
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == 0
+
+    def test_auipc(self):
+        source = "_start:\n auipc a0, 0\n li a7, 93\n ecall\n"
+        assert run_program(source).hart.exit_code == 0x10000
+
+    def test_instret_counts(self):
+        interp = run_program("_start:\n nop\n nop\n li a7, 93\n ecall\n")
+        assert interp.hart.instret == 4
+
+
+class TestEnvironment:
+    def test_exit_code(self):
+        interp = run_program("_start:\n li a0, 42\n li a7, 93\n ecall\n")
+        assert interp.hart.halt_reason == HaltReason.EXIT
+        assert interp.hart.exit_code == 42
+
+    def test_write_collects_stdout(self):
+        platform = HostPlatform()
+        source = """\
+_start:
+    li a0, 1
+    la a1, msg
+    li a2, 5
+    li a7, 64
+    ecall
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+msg:
+    .asciz "hello"
+"""
+        run_program(source, platform=platform)
+        assert platform.stdout_text() == "hello"
+
+    def test_ebreak_halts(self):
+        interp = run_program("_start:\n ebreak\n")
+        assert interp.hart.halt_reason == HaltReason.EBREAK
+
+    def test_make_symbolic_is_noop(self):
+        source = """\
+_start:
+    li a0, 0x20000
+    li a1, 4
+    li a7, 1337
+    ecall
+    lw a0, 0(a0)
+    li a7, 93
+    ecall
+"""
+        # Wait: a0 was clobbered by make_symbolic? The ABI does not
+        # define return values for it; the program reloads the buffer.
+        interp = run_program(source.replace("lw a0, 0(a0)",
+                                            "li t0, 0x20000\n    lw a0, 0(t0)"))
+        assert interp.hart.exit_code == 0
+
+    def test_unknown_syscall_raises(self):
+        with pytest.raises(ValueError):
+            run_program("_start:\n li a7, 9999\n ecall\n")
+
+    def test_illegal_instruction(self):
+        interp = ConcreteInterpreter(rv32im())
+        interp.load_image(assemble("_start:\n .word 0xffffffff\n"))
+        with pytest.raises(IllegalInstruction):
+            interp.run()
+        assert interp.hart.halt_reason == HaltReason.ILLEGAL
+
+    def test_out_of_fuel(self):
+        interp = ConcreteInterpreter(rv32im())
+        interp.load_image(assemble("_start:\n j _start\n"))
+        interp.run(max_steps=10)
+        assert interp.hart.halt_reason == HaltReason.OUT_OF_FUEL
+
+
+class TestPrograms:
+    def test_fibonacci(self):
+        source = """\
+_start:
+    li a0, 15
+    li a1, 0
+    li a2, 1
+loop:
+    beqz a0, done
+    add a3, a1, a2
+    mv a1, a2
+    mv a2, a3
+    addi a0, a0, -1
+    j loop
+done:
+    mv a0, a1
+    li a7, 93
+    ecall
+"""
+        assert run_program(source).hart.exit_code == 610
+
+    def test_memcpy_and_strlen(self):
+        source = """\
+_start:
+    la t0, src
+    li t1, 0x30000
+    li t2, 6
+copy:
+    beqz t2, copied
+    lbu t3, 0(t0)
+    sb t3, 0(t1)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    j copy
+copied:
+    li t1, 0x30000
+    li a0, 0
+strlen:
+    lbu t3, 0(t1)
+    beqz t3, done
+    addi a0, a0, 1
+    addi t1, t1, 1
+    j strlen
+done:
+    li a7, 93
+    ecall
+.data
+src:
+    .asciz "hello"
+"""
+        assert run_program(source).hart.exit_code == 5
+
+    def test_recursive_factorial_with_stack(self):
+        source = """\
+_start:
+    li sp, 0x40000
+    li a0, 6
+    call fact
+    li a7, 93
+    ecall
+fact:
+    li t0, 2
+    bge a0, t0, recurse
+    li a0, 1
+    ret
+recurse:
+    addi sp, sp, -8
+    sw ra, 4(sp)
+    sw a0, 0(sp)
+    addi a0, a0, -1
+    call fact
+    lw t1, 0(sp)
+    lw ra, 4(sp)
+    addi sp, sp, 8
+    mul a0, a0, t1
+    ret
+"""
+        assert run_program(source).hart.exit_code == 720

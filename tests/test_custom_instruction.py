@@ -1,0 +1,134 @@
+"""Sect. IV case-study tests: the custom MADD instruction end to end.
+
+The extensibility claim: once the encoding (7 lines of YAML, Fig. 3) and
+the semantics (7 lines of DSL, Fig. 4) exist, *every* downstream tool —
+decoder, assembler-level encoding, emulator, BinSym — supports the
+instruction with zero modifications.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import Assembler, encode_instruction
+from repro.concrete import ConcreteInterpreter
+from repro.core import BinSymExecutor, Explorer
+from repro.smt import bvops
+from repro.spec import IllegalInstruction, rv32im, rv32im_zimadd
+from repro.spec.zimadd import ENCODINGS, MADD_YAML
+
+WORD = 0xFFFFFFFF
+
+
+def madd_word(rd, rs1, rs2, rs3):
+    return encode_instruction(ENCODINGS[0], rd=rd, rs1=rs1, rs2=rs2, rs3=rs3)
+
+
+def run_madd(a, b, c):
+    """Execute madd x4, x1, x2, x3 with the given register values."""
+    isa = rv32im_zimadd()
+    interp = ConcreteInterpreter(isa)
+    interp.memory.write(0x1000, madd_word(4, 1, 2, 3), 32)
+    interp.hart.pc = 0x1000
+    interp.hart.regs.write(1, a)
+    interp.hart.regs.write(2, b)
+    interp.hart.regs.write(3, c)
+    interp.step()
+    return interp.hart.regs.read(4)
+
+
+class TestEncoding:
+    def test_yaml_matches_paper(self):
+        madd = ENCODINGS[0]
+        assert madd.mask == 0x600007F
+        assert madd.match == 0x2000043
+        assert madd.extension == "rv_zimadd"
+
+    def test_decode_with_extension(self):
+        isa = rv32im_zimadd()
+        decoded = isa.decoder.decode(madd_word(4, 1, 2, 3))
+        assert decoded.name == "madd"
+
+    def test_base_isa_rejects(self):
+        with pytest.raises(IllegalInstruction):
+            rv32im().decoder.decode(madd_word(4, 1, 2, 3))
+
+    def test_field_placement(self):
+        from repro.spec import fields
+
+        word = madd_word(29, 6, 7, 28)
+        assert fields.rd(word) == 29
+        assert fields.rs1(word) == 6
+        assert fields.rs2(word) == 7
+        assert fields.rs3(word) == 28
+
+
+class TestConcreteSemantics:
+    def test_simple(self):
+        assert run_madd(6, 7, 8) == 50
+
+    def test_wraparound(self):
+        assert run_madd(0xFFFFFFFF, 2, 1) == 0xFFFFFFFF  # (-1)*2 + 1 = -1
+
+    def test_truncation_of_64_bit_product(self):
+        # 0x10000 * 0x10000 = 2^32 -> lower 32 bits are 0.
+        assert run_madd(0x10000, 0x10000, 5) == 5
+
+    @given(
+        st.integers(0, WORD), st.integers(0, WORD), st.integers(0, WORD)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_against_reference(self, a, b, c):
+        # Reference: low 32 bits of (sext(a) * sext(b)) + c.
+        product = bvops.to_signed(a, 32) * bvops.to_signed(b, 32)
+        expected = (product + c) & WORD
+        assert run_madd(a, b, c) == expected
+
+
+class TestSymbolicExecution:
+    def test_solver_inverts_madd(self):
+        """BinSym symbolically executes MADD with zero engine changes."""
+        isa = rv32im_zimadd()
+        word = madd_word(29, 6, 7, 28)  # t4 = t1*t2 + t3
+        source = f"""\
+_start:
+    li a0, 0x20000
+    li a1, 1
+    li a7, 1337
+    ecall
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    li t2, 11
+    li t3, 3
+    .word {word:#010x}
+    li t5, 58
+    beq t4, t5, hit
+    li a0, 0
+    li a7, 93
+    ecall
+hit:
+    li a0, 1
+    li a7, 93
+    ecall
+"""
+        image = Assembler(isa=isa).assemble(source)
+        result = Explorer(BinSymExecutor(isa, image)).explore()
+        assert result.num_paths == 2
+        hit = next(p for p in result.paths if p.exit_code == 1)
+        value = next(iter(hit.assignment.values.values()))
+        assert (value * 11 + 3) & 0xFF == 58  # a == 5
+
+    def test_engine_source_has_no_madd_special_case(self):
+        """The claim, mechanically: BinSym has no executable handling of
+        the instruction (no mnemonic string, no opcode constants) — the
+        docstrings may of course *talk* about the case study."""
+        import inspect
+
+        import repro.core.interpreter as core_interp
+        import repro.core.executor as core_exec
+        import repro.core.explorer as core_explorer
+
+        for module in (core_interp, core_exec, core_explorer):
+            source = inspect.getsource(module)
+            assert '"madd"' not in source and "'madd'" not in source
+            assert "0x2000043" not in source and "0x600007f" not in source.lower()

@@ -1,0 +1,115 @@
+"""Tests for the difftest generator and misc engine toggles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.baselines.vexir import VexEngine
+from repro.core import Explorer
+from repro.eval.difftest import _random_state, random_instruction
+from repro.spec import rv32im
+from repro.spec.dsl import block, write_pc, write_register
+from repro.spec.primitives import Fence, WritePC, WriteRegister
+
+
+class TestRandomInstructionGenerator:
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=150, deadline=None)
+    def test_generated_words_decode_to_their_name(self, seed):
+        isa = rv32im()
+        rng = random.Random(seed)
+        name, word = random_instruction(rng, isa)
+        assert isa.decoder.decode(word).name == name
+
+    def test_environment_instructions_excluded(self):
+        isa = rv32im()
+        rng = random.Random(7)
+        names = {random_instruction(rng, isa)[0] for _ in range(500)}
+        assert "ecall" not in names
+        assert "ebreak" not in names
+
+    def test_random_state_shapes(self):
+        regs, data = _random_state(random.Random(3))
+        assert len(regs) == 32 and regs[0] == 0
+        assert len(data) == 256
+        assert all(0 <= r < 2**32 for r in regs)
+
+
+class TestVexEngineToggles:
+    SOURCE = """\
+_start:
+    li a0, 0x20000
+    li a1, 1
+    li a7, 1337
+    ecall
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    li t2, 50
+    bltu t1, t2, low
+    li a0, 1
+    li a7, 93
+    ecall
+low:
+    li a0, 0
+    li a7, 93
+    ecall
+"""
+
+    def test_eager_checks_do_not_change_paths(self):
+        isa = rv32im()
+        image = assemble(self.SOURCE)
+        eager = Explorer(VexEngine(isa, image, eager_checks=True)).explore()
+        lazy = Explorer(VexEngine(isa, image, eager_checks=False)).explore()
+        assert eager.num_paths == lazy.num_paths == 2
+        assert eager.exit_codes == lazy.exit_codes
+
+    def test_feasibility_solver_created_lazily(self):
+        isa = rv32im()
+        image = assemble(self.SOURCE)
+        engine = VexEngine(isa, image, eager_checks=False)
+        Explorer(engine).explore()
+        assert engine._feasibility_solver is None
+        engine = VexEngine(isa, image, eager_checks=True)
+        Explorer(engine).explore()
+        assert engine._feasibility_solver is not None
+
+
+class TestDslBlockHelpers:
+    def test_write_register_thunk(self):
+        from repro.spec.expr import imm
+
+        thunk = write_register(5, imm(42))
+        primitives = list(thunk())
+        assert len(primitives) == 1
+        assert isinstance(primitives[0], WriteRegister)
+        assert primitives[0].index == 5
+        # Thunks are reusable (fresh generator per call).
+        assert len(list(thunk())) == 1
+
+    def test_write_pc_thunk(self):
+        from repro.spec.expr import imm
+
+        primitives = list(write_pc(imm(0x100))())
+        assert isinstance(primitives[0], WritePC)
+
+    def test_block_thunk(self):
+        primitives = list(block(Fence(), Fence())())
+        assert len(primitives) == 2
+
+
+class TestWorkloadScales:
+    def test_fig6_scale_defaults_to_default_plus_one(self):
+        from repro.eval.workloads import WORKLOADS
+
+        for workload in WORKLOADS.values():
+            assert workload.fig6_scale == workload.default_scale + 1
+
+    def test_source_renders_at_any_scale(self):
+        from repro.eval.workloads import WORKLOADS
+
+        for workload in WORKLOADS.values():
+            for scale in (1, 2, workload.paper_scale):
+                assert "_start:" in workload.source(scale)

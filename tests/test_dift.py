@@ -1,0 +1,186 @@
+"""Tests for the DIFT (taint-tracking) modular interpreter."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.concrete.dift import DiftInterpreter, TaintDomain, TaintedValue
+from repro.spec import rv32im
+
+
+def run_dift(source, max_steps=100_000):
+    interp = DiftInterpreter(rv32im())
+    interp.load_image(assemble(source))
+    interp.run(max_steps)
+    return interp
+
+
+PROLOGUE = """\
+_start:
+    li a0, 0x20000
+    li a1, {n}
+    li a7, 1337
+    ecall                   # taint source
+"""
+
+
+class TestTaintDomain:
+    def test_taint_propagates_through_binop(self):
+        domain = TaintDomain()
+        tainted = TaintedValue(5, True)
+        clean = TaintedValue(7, False)
+        assert domain.binop("add", tainted, clean, 32).tainted
+        assert not domain.binop("add", clean, clean, 32).tainted
+
+    def test_values_computed_correctly(self):
+        domain = TaintDomain()
+        result = domain.binop(
+            "mul", TaintedValue(6, True), TaintedValue(7, False), 32
+        )
+        assert result.value == 42 and result.tainted
+
+    def test_ite_taints_via_condition(self):
+        domain = TaintDomain()
+        cond = TaintedValue(1, True)
+        result = domain.ite(cond, TaintedValue(5), TaintedValue(6), 32)
+        assert result.tainted
+
+
+class TestTaintPropagation:
+    def test_register_dataflow(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t0, 0x20000
+    lbu t1, 0(t0)           # tainted
+    addi t2, t1, 5          # still tainted
+    mv a0, t2
+    li a7, 93
+    ecall
+"""
+        interp = run_dift(source)
+        assert interp.hart.halt_reason == "exit"
+        # a0 was clobbered by the exit code path; check t2 (x7).
+        assert interp.hart.regs.read(7).tainted
+
+    def test_untainted_stays_clean(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t3, 1
+    addi t3, t3, 2
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert not interp.hart.regs.read(28).tainted  # t3
+
+    def test_taint_through_memory(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    sb t1, 16(t0)           # taint follows the store
+    lbu t2, 16(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert interp.hart.regs.read(7).tainted  # t2
+        assert interp.taint.get(0x20010)
+
+    def test_overwrite_clears_taint(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t0, 0x20000
+    li t1, 9
+    sb t1, 0(t0)            # clean store over tainted byte
+    lbu t2, 0(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert not interp.hart.regs.read(7).tainted
+        assert not interp.taint.get(0x20000)
+
+    def test_overwritten_register_clean(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t0, 0x20000
+    lbu t1, 0(t0)           # tainted
+    li t1, 3                # clean reload
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert not interp.hart.regs.read(6).tainted
+
+
+class TestControlFlowReports:
+    def test_tainted_branch_recorded(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    beqz t1, skip           # tainted control flow!
+    nop
+skip:
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert len(interp.tainted_branches) == 1
+        assert interp.tainted_branches[0].taken  # byte is 0 -> beqz taken
+
+    def test_clean_branch_not_recorded(self):
+        source = """\
+_start:
+    li t1, 0
+    beqz t1, skip
+    nop
+skip:
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert interp.tainted_branches == []
+
+    def test_tainted_indirect_jump_recorded(self):
+        source = PROLOGUE.format(n=1) + """\
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    andi t1, t1, 0          # value forced to 0 but still tainted
+    la t2, target
+    add t2, t2, t1
+    jr t2                   # tainted jump target
+target:
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        interp = run_dift(source)
+        assert len(interp.tainted_pc_writes) == 1
+
+    def test_dift_matches_binsym_branch_count(self):
+        """DIFT's tainted branches == BinSym's symbolic branches (one
+        run, same inputs): two views of the same information flow."""
+        from repro.core import BinSymExecutor, InputAssignment
+
+        source = PROLOGUE.format(n=2) + """\
+    li t0, 0x20000
+    lbu t1, 0(t0)
+    lbu t2, 1(t0)
+    bltu t1, t2, one
+one:
+    beq t1, t2, two
+two:
+    li t3, 5
+    li t4, 9
+    blt t3, t4, three       # concrete: invisible to both
+three:
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+        dift = run_dift(source)
+        executor = BinSymExecutor(rv32im(), assemble(source))
+        run = executor.execute(InputAssignment())
+        flippable = [r for r in run.trace.records if r.flippable]
+        assert len(dift.tainted_branches) == len(flippable) == 2

@@ -1,0 +1,105 @@
+"""Tests for the disassembler and the tracing interpreter."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.disasm import Disassembler, disassemble_image, disassemble_word
+from repro.asm.encoder import encode_instruction
+from repro.concrete.tracer import TracingInterpreter
+from repro.spec import rv32im, rv32im_zimadd
+from repro.spec.opcodes import RV32I_ENCODINGS, RV32M_ENCODINGS
+
+
+class TestDisassembleWord:
+    CASES = [
+        (0x002081B3, "add gp, ra, sp"),
+        (0xFFF10093, "addi ra, sp, -1"),
+        (0x00832283, "lw t0, 8(t1)"),
+        (0x00532423, "sw t0, 8(t1)"),
+        (0xFFFFF3B7, "lui t2, 0xfffff"),
+        (0x41F5D513, "srai a0, a1, 31"),
+        (0x027352B3, "divu t0, t1, t2"),
+        (0x00000073, "ecall"),
+        (0x00100073, "ebreak"),
+        (0x0000000F, "fence"),
+    ]
+
+    @pytest.mark.parametrize("word,expected", CASES, ids=[c[1] for c in CASES])
+    def test_known_words(self, word, expected):
+        assert disassemble_word(word) == expected
+
+    def test_branch_with_pc_resolves_target(self):
+        image = assemble("_start:\nloop:\n nop\n beq x1, x2, loop\n")
+        text = disassemble_word(
+            int.from_bytes(image.segments[0].data[4:8], "little"), pc=0x10004
+        )
+        assert text.startswith("beq ra, sp, -4")
+        assert "0x10000" in text
+
+    def test_illegal_word_renders_as_data(self):
+        assert disassemble_word(0xFFFFFFFF) == ".word 0xffffffff"
+
+    def test_custom_instruction_with_extended_isa(self):
+        isa = rv32im_zimadd()
+        word = encode_instruction(isa.decoder.by_name("madd"), rd=4, rs1=1,
+                                  rs2=2, rs3=3)
+        assert disassemble_word(word, isa=isa) == "madd tp, ra, sp, gp"
+        assert disassemble_word(word) == f".word {word:#010x}"  # base ISA
+
+
+class TestRoundTrip:
+    """encode -> disassemble -> parse -> encode is the identity."""
+
+    @pytest.mark.parametrize(
+        "encoding",
+        [e for e in RV32I_ENCODINGS + RV32M_ENCODINGS],
+        ids=lambda e: e.name,
+    )
+    def test_roundtrip(self, encoding):
+        word = encode_instruction(
+            encoding, rd=5, rs1=6, rs2=7, rs3=8,
+            imm=16 if encoding.fmt in ("i", "load", "s", "b", "u", "j", "shift") else 0,
+        )
+        text = disassemble_word(word, pc=0x10000)
+        text = text.split("#")[0].strip()  # drop resolved-target comment
+        image = assemble(f"_start:\n {text}\n")
+        (reencoded,) = [
+            int.from_bytes(image.segments[0].data[:4], "little")
+        ]
+        assert reencoded == word, f"{encoding.name}: {text}"
+
+
+class TestDisassembleImage:
+    def test_listing_with_labels(self):
+        image = assemble("_start:\n nop\nloop:\n j loop\n")
+        listing = disassemble_image(image)
+        assert "_start:" in listing
+        assert "loop:" in listing
+        assert "addi zero, zero, 0" in listing  # nop canonicalizes
+
+
+class TestTracer:
+    def test_trace_records_instructions(self):
+        tracer = TracingInterpreter(rv32im())
+        tracer.load_image(assemble("_start:\n li a0, 7\n li a7, 93\n ecall\n"))
+        hart = tracer.run()
+        assert hart.exit_code == 7
+        assert len(tracer.trace) == 3
+        assert tracer.trace[0].text == "addi a0, zero, 7"
+        assert tracer.trace[0].register_writes == ((10, 7),)
+
+    def test_trace_renders(self):
+        tracer = TracingInterpreter(rv32im())
+        tracer.load_image(assemble("_start:\n li a0, 1\n li a7, 93\n ecall\n"))
+        tracer.run()
+        text = tracer.render()
+        assert "0x00010000:" in text
+        assert "addi a0, zero, 1" in text
+
+    def test_trace_entry_cap(self):
+        tracer = TracingInterpreter(rv32im(), max_entries=5)
+        source = "_start:\n" + " nop\n" * 20 + " li a7, 93\n li a0, 0\n ecall\n"
+        tracer.load_image(assemble(source))
+        tracer.run()
+        assert len(tracer.trace) == 5  # capped
+        assert tracer.hart.halted  # but execution continued

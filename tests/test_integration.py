@@ -1,0 +1,128 @@
+"""Cross-layer integration tests.
+
+These tie the layers together end to end: assembler -> ELF -> engines ->
+solver, concrete/symbolic replay equivalence on the real workloads, and
+the paper-scale headline count (bubble-sort 6! = 720, the Table I cell,
+in a few seconds).  The larger paper-scale cells (5040/5040/6250) run
+via ``REPRO_PAPER_SCALE=1 pytest tests/test_integration.py`` or the
+table1 driver; they are minutes, not seconds, in pure Python.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.concrete import ConcreteInterpreter
+from repro.core import BinSymExecutor, Explorer, InputAssignment
+from repro.eval.workloads import WORKLOADS
+from repro.loader import read_elf, write_elf
+from repro.smt import terms as T
+from repro.spec import rv32im
+
+_BUF = 0x20000
+
+
+class TestWorkloadReplayEquivalence:
+    """For random concrete inputs, the emulator and a single BinSym run
+    agree on exit code and final memory — symbolic execution with
+    concrete inputs is just execution, on the real workloads."""
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_replay(self, data):
+        name = data.draw(st.sampled_from(sorted(WORKLOADS)))
+        workload = WORKLOADS[name]
+        scale = workload.default_scale
+        input_bytes = bytes(
+            data.draw(st.integers(0, 255)) for _ in range(scale)
+        )
+        image = workload.image(scale)
+        isa = rv32im()
+
+        concrete = ConcreteInterpreter(isa)
+        concrete.load_image(image)
+        concrete.memory.write_bytes(_BUF, input_bytes)
+        concrete_hart = concrete.run()
+
+        executor = BinSymExecutor(isa, image)
+        # Prime the input variables, then assign the same bytes.
+        executor.execute(InputAssignment())
+        assignment = InputAssignment(
+            {
+                sym.variable: input_bytes[sym.address - _BUF]
+                for sym in executor.interpreter.inputs.values()
+            }
+        )
+        run = executor.execute(assignment)
+
+        assert run.exit_code == concrete_hart.exit_code, (name, input_bytes)
+        assert run.halt_reason == concrete_hart.halt_reason
+        symbolic_mem = executor.interpreter.memory.read_bytes(_BUF, scale + 16)
+        concrete_mem = concrete.memory.read_bytes(_BUF, scale + 16)
+        assert symbolic_mem == concrete_mem, (name, input_bytes)
+
+
+class TestElfEngineRoundTrip:
+    def test_explore_from_elf_bytes(self):
+        """Workload -> ELF file bytes -> parse -> explore: same paths."""
+        image = WORKLOADS["bubble-sort"].image(3)
+        restored = read_elf(write_elf(image))
+        direct = Explorer(BinSymExecutor(rv32im(), image)).explore()
+        via_elf = Explorer(BinSymExecutor(rv32im(), restored)).explore()
+        assert via_elf.num_paths == direct.num_paths == 6
+
+
+class TestSolverIsSharedAcrossExploration:
+    def test_single_solver_many_queries(self):
+        """One Solver instance serves the whole exploration (incremental
+        bit-blasting cache), and its statistics reflect all queries."""
+        from repro.smt.solver import Solver
+
+        solver = Solver()
+        image = WORKLOADS["insertion-sort"].image(3)
+        executor = BinSymExecutor(rv32im(), image)
+        result = Explorer(executor, solver=solver).explore()
+        assert result.num_paths == 6
+        assert solver.statistics["checks"] == result.sat_checks + result.unsat_checks
+
+
+class TestPaperScaleHeadline:
+    def test_bubble_sort_720_paths(self):
+        """The Table I bubble-sort cell: 6 symbolic elements -> 720 paths."""
+        image = WORKLOADS["bubble-sort"].image(6)
+        result = Explorer(BinSymExecutor(rv32im(), image)).explore()
+        assert result.num_paths == 720
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_PAPER_SCALE"),
+        reason="minutes-long in pure Python; set REPRO_PAPER_SCALE=1",
+    )
+    def test_remaining_paper_scale_cells(self):
+        insertion = Explorer(
+            BinSymExecutor(rv32im(), WORKLOADS["insertion-sort"].image(7))
+        ).explore()
+        assert insertion.num_paths == 5040
+        base64 = Explorer(
+            BinSymExecutor(rv32im(), WORKLOADS["base64-encode"].image(4))
+        ).explore()
+        assert base64.num_paths == 6250
+
+
+class TestSmtLibExport:
+    def test_branch_queries_replay_externally(self):
+        """Path conditions export to SMT-LIB and parse back identically
+        (so captured queries can be replayed by external solvers)."""
+        from repro.smt.smtlib import script
+        from repro.smt.smtlib_parser import parse_script
+
+        image = WORKLOADS["uri-parser"].image(2)
+        executor = BinSymExecutor(rv32im(), image)
+        run = executor.execute(InputAssignment())
+        conditions = run.trace.conditions()
+        assert conditions
+        text = script(conditions)
+        parsed = parse_script(text)
+        assert parsed.assertions == conditions

@@ -1,0 +1,233 @@
+"""Tests for the ELF32 loader/writer, program images and arch components."""
+
+import pytest
+
+from repro.arch import ABI_NAMES, ByteMemory, Hart, RegisterFile, register_index
+from repro.arch.memory import MemoryFault, ShadowMemory
+from repro.asm import assemble
+from repro.concrete import ConcreteInterpreter
+from repro.loader import ElfFormatError, Image, read_elf, write_elf
+from repro.spec import rv32im
+
+
+class TestRegisterFile:
+    def test_x0_is_hardwired_zero(self):
+        regs = RegisterFile(zero_value=0)
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_read_write(self):
+        regs = RegisterFile(zero_value=0)
+        regs.write(5, 42)
+        assert regs.read(5) == 42
+
+    def test_out_of_range(self):
+        regs = RegisterFile(zero_value=0)
+        with pytest.raises(IndexError):
+            regs.read(32)
+        with pytest.raises(IndexError):
+            regs.write(-1, 0)
+
+    def test_snapshot_roundtrip(self):
+        regs = RegisterFile(zero_value=0)
+        for i in range(1, 32):
+            regs.write(i, i * 3)
+        snapshot = regs.snapshot()
+        other = RegisterFile(zero_value=0)
+        other.load_snapshot(snapshot)
+        assert other.read(17) == 51
+
+    def test_generic_value_type(self):
+        regs = RegisterFile(zero_value="zero")
+        regs.write(1, "hello")
+        assert regs.read(1) == "hello"
+        assert regs.read(0) == "zero"
+
+    def test_abi_names(self):
+        assert register_index("a0") == 10
+        assert register_index("ra") == 1
+        assert register_index("x31") == 31
+        assert ABI_NAMES[2] == "sp"
+        with pytest.raises(ValueError):
+            register_index("q7")
+
+    def test_dump_contains_names(self):
+        regs = RegisterFile(zero_value=0)
+        text = regs.dump()
+        assert "a0" in text and "sp" in text
+
+
+class TestByteMemory:
+    def test_default_zero(self):
+        assert ByteMemory().read_byte(0x1234) == 0
+
+    def test_write_read_roundtrip(self):
+        mem = ByteMemory()
+        mem.write(0x100, 0xDEADBEEF, 32)
+        assert mem.read(0x100, 32) == 0xDEADBEEF
+        assert mem.read(0x100, 16) == 0xBEEF
+        assert mem.read(0x102, 16) == 0xDEAD
+        assert mem.read_byte(0x103) == 0xDE
+
+    def test_page_boundary_access(self):
+        mem = ByteMemory()
+        mem.write(0xFFE, 0x11223344, 32)  # crosses the 4K page boundary
+        assert mem.read(0xFFE, 32) == 0x11223344
+
+    def test_address_wraparound(self):
+        mem = ByteMemory()
+        mem.write_byte(0xFFFFFFFF, 7)
+        assert mem.read_byte(0xFFFFFFFF) == 7
+
+    def test_invalid_width(self):
+        with pytest.raises(MemoryFault):
+            ByteMemory().read(0, 24)
+
+    def test_bulk_bytes(self):
+        mem = ByteMemory()
+        mem.write_bytes(0x10, b"hello")
+        assert mem.read_bytes(0x10, 5) == b"hello"
+
+    def test_cstring(self):
+        mem = ByteMemory()
+        mem.write_bytes(0x10, b"hi\x00rest")
+        assert mem.read_cstring(0x10) == b"hi"
+
+    def test_clone_is_independent(self):
+        mem = ByteMemory()
+        mem.write_byte(0, 1)
+        copy = mem.clone()
+        copy.write_byte(0, 2)
+        assert mem.read_byte(0) == 1
+
+    def test_resident_bytes_tracks_pages(self):
+        mem = ByteMemory()
+        assert mem.resident_bytes == 0
+        mem.write_byte(0, 1)
+        mem.write_byte(0x5000, 1)
+        assert mem.resident_bytes == 2 * 4096
+
+
+class TestShadowMemory:
+    def test_sparse_default_none(self):
+        assert ShadowMemory().get(0x42) is None
+
+    def test_set_get_clear(self):
+        shadow = ShadowMemory()
+        shadow.set(0x42, "taint")
+        assert shadow.get(0x42) == "taint"
+        shadow.set(0x42, None)
+        assert shadow.get(0x42) is None
+
+    def test_len_and_iteration(self):
+        shadow = ShadowMemory()
+        shadow.set(1, "a")
+        shadow.set(2, "b")
+        assert len(shadow) == 2
+        assert set(shadow.tainted_addresses()) == {1, 2}
+
+
+class TestHart:
+    def test_halt_bookkeeping(self):
+        hart = Hart(zero_value=0)
+        hart.halt("exit", exit_code=3)
+        assert hart.halted and hart.exit_code == 3
+
+    def test_reset(self):
+        hart = Hart(zero_value=0)
+        hart.halt("exit", 1)
+        hart.reset(pc=0x100)
+        assert not hart.halted and hart.pc == 0x100 and hart.instret == 0
+
+
+class TestImage:
+    def test_bounds_and_size(self):
+        image = Image()
+        image.add_segment(0x100, b"abc")
+        image.add_segment(0x200, b"defg")
+        assert image.total_size() == 7
+        assert image.bounds() == (0x100, 0x204)
+
+    def test_empty_segment_skipped(self):
+        image = Image()
+        image.add_segment(0x100, b"")
+        assert not image.segments
+
+    def test_symbol_lookup(self):
+        image = Image(symbols={"main": 0x10})
+        assert image.symbol("main") == 0x10
+        with pytest.raises(KeyError):
+            image.symbol("nope")
+
+    def test_load_into_memory(self):
+        image = Image()
+        image.add_segment(0x30, b"\x01\x02")
+        mem = ByteMemory()
+        image.load_into(mem)
+        assert mem.read_bytes(0x30, 2) == b"\x01\x02"
+
+
+class TestElf:
+    def sample_image(self):
+        image = Image(entry=0x10000, symbols={"_start": 0x10000, "buf": 0x20000})
+        image.add_segment(0x10000, b"\x13\x00\x00\x00" * 3)
+        image.add_segment(0x20000, bytes(range(16)))
+        return image
+
+    def test_roundtrip(self):
+        original = self.sample_image()
+        restored = read_elf(write_elf(original))
+        assert restored.entry == original.entry
+        assert restored.symbols == original.symbols
+        assert sorted(s.base for s in restored.segments) == [0x10000, 0x20000]
+        for segment in original.segments:
+            match = next(s for s in restored.segments if s.base == segment.base)
+            assert match.data == segment.data
+
+    def test_magic_and_class_checks(self):
+        with pytest.raises(ElfFormatError):
+            read_elf(b"not an elf file at all, sorry......" + b"\x00" * 40)
+        blob = bytearray(write_elf(self.sample_image()))
+        blob[4] = 2  # ELFCLASS64
+        with pytest.raises(ElfFormatError):
+            read_elf(bytes(blob))
+        blob = bytearray(write_elf(self.sample_image()))
+        blob[18] = 0x3E  # EM_X86_64
+        with pytest.raises(ElfFormatError):
+            read_elf(bytes(blob))
+
+    def test_too_small(self):
+        with pytest.raises(ElfFormatError):
+            read_elf(b"\x7fELF")
+
+    def test_elf_header_fields(self):
+        blob = write_elf(self.sample_image())
+        assert blob[:4] == b"\x7fELF"
+        assert blob[4] == 1  # ELFCLASS32
+        assert blob[5] == 1  # little endian
+        import struct
+
+        machine = struct.unpack_from("<H", blob, 18)[0]
+        assert machine == 243  # EM_RISCV
+
+    def test_executable_survives_elf_roundtrip(self):
+        """Assemble -> ELF -> parse -> run: end-to-end format check."""
+        source = "_start:\n li a0, 99\n li a7, 93\n ecall\n"
+        image = read_elf(write_elf(assemble(source)))
+        interp = ConcreteInterpreter(rv32im())
+        interp.load_image(image)
+        assert interp.run().exit_code == 99
+
+    def test_bss_style_memsz_extension(self):
+        """p_memsz > p_filesz zero-extends the segment."""
+        import struct
+
+        blob = bytearray(write_elf(self.sample_image()))
+        # Patch the first program header's memsz (offset 52 + 20).
+        phoff = struct.unpack_from("<I", blob, 28)[0]
+        filesz = struct.unpack_from("<I", blob, phoff + 16)[0]
+        struct.pack_into("<I", blob, phoff + 20, filesz + 8)
+        restored = read_elf(bytes(blob))
+        first = min(restored.segments, key=lambda s: s.base)
+        assert len(first.data) == filesz + 8
+        assert first.data[-8:] == b"\x00" * 8

@@ -1,0 +1,76 @@
+"""Tests for the SMT query complexity measurement (Sect. V-B follow-up)."""
+
+import pytest
+
+from repro.eval.query_stats import (
+    QueryStats,
+    RecordingSolver,
+    compare_engines,
+    measure_engine,
+    render,
+)
+from repro.smt import terms as T
+from repro.smt.solver import Result
+
+
+class TestQueryStats:
+    def test_record_accumulates(self):
+        stats = QueryStats()
+        x = T.bv_var("x", 8)
+        stats.record([T.ult(x, T.bv(5, 8))])
+        stats.record([T.ult(x, T.bv(5, 8)), T.eq(x, T.bv(3, 8))])
+        assert stats.queries == 2
+        assert stats.total_conditions == 3
+        assert stats.mean_conditions == 1.5
+        assert stats.max_variables == 1
+
+    def test_empty_stats(self):
+        stats = QueryStats()
+        assert stats.mean_nodes == 0.0
+        assert stats.mean_conditions == 0.0
+
+
+class TestRecordingSolver:
+    def test_check_still_solves(self):
+        solver = RecordingSolver()
+        x = T.bv_var("x", 8)
+        assert solver.check([T.eq(x, T.bv(1, 8))]) is Result.SAT
+        assert solver.check([T.ne(x, x)]) is Result.UNSAT
+        assert solver.stats.queries == 2
+
+
+class TestEngineComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_engines("bubble-sort", scale=3)
+
+    def test_all_engines_measured(self, comparison):
+        assert set(comparison) == {"binsym", "binsec", "symex-vp", "angr"}
+        for stats in comparison.values():
+            assert stats.queries > 0
+
+    def test_translations_converge_after_simplification(self, comparison):
+        """The headline finding: identical query structure across all
+        four translation pipelines once terms are simplified."""
+        reference = comparison["binsym"]
+        for key, stats in comparison.items():
+            assert stats.queries == reference.queries, key
+            assert stats.total_nodes == reference.total_nodes, key
+            assert stats.total_variables == reference.total_variables, key
+
+    def test_render(self, comparison):
+        text = render(comparison, "bubble-sort")
+        assert "SMT query complexity" in text
+        assert "binsym" in text
+
+    def test_measure_engine_returns_paths(self):
+        stats, paths = measure_engine("binsym", "bubble-sort", scale=3)
+        assert paths == 6
+        assert stats.queries == paths + stats.queries - paths  # well-formed
+
+    def test_main_runs(self, capsys):
+        from repro.eval.query_stats import main
+
+        assert main(["--workload", "bubble-sort", "--scale", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bubble-sort" in out

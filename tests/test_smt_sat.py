@@ -1,0 +1,231 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat import SAT, UNSAT, SatSolver
+
+
+def make_solver(num_vars):
+    solver = SatSolver()
+    variables = [solver.new_var() for _ in range(num_vars)]
+    return solver, variables
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        solver = SatSolver()
+        assert solver.solve() is SAT
+
+    def test_unit_clause(self):
+        solver, (a,) = make_solver(1)
+        solver.add_clause([a])
+        assert solver.solve() is SAT
+        assert solver.value(a) is True
+
+    def test_negative_unit_clause(self):
+        solver, (a,) = make_solver(1)
+        solver.add_clause([-a])
+        assert solver.solve() is SAT
+        assert solver.value(a) is False
+
+    def test_contradictory_units(self):
+        solver, (a,) = make_solver(1)
+        solver.add_clause([a])
+        assert solver.add_clause([-a]) is False
+        assert solver.solve() is UNSAT
+
+    def test_simple_implication_chain(self):
+        solver, v = make_solver(4)
+        solver.add_clause([v[0]])
+        solver.add_clause([-v[0], v[1]])
+        solver.add_clause([-v[1], v[2]])
+        solver.add_clause([-v[2], v[3]])
+        assert solver.solve() is SAT
+        assert all(solver.value(x) for x in v)
+
+    def test_tautology_is_dropped(self):
+        solver, (a,) = make_solver(1)
+        assert solver.add_clause([a, -a]) is True
+        assert solver.solve() is SAT
+
+    def test_duplicate_literals_collapse(self):
+        solver, (a,) = make_solver(1)
+        solver.add_clause([a, a, a])
+        assert solver.solve() is SAT
+        assert solver.value(a) is True
+
+    def test_two_sat_conflict(self):
+        solver, (a, b) = make_solver(2)
+        solver.add_clause([a, b])
+        solver.add_clause([a, -b])
+        solver.add_clause([-a, b])
+        solver.add_clause([-a, -b])
+        assert solver.solve() is UNSAT
+
+    def test_model_satisfies_all_clauses(self):
+        solver, v = make_solver(5)
+        clauses = [[v[0], -v[1]], [v[1], v[2]], [-v[2], v[3], -v[4]], [v[4], -v[0]]]
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is SAT
+        for clause in clauses:
+            assert any(
+                solver.value(abs(lit)) == (lit > 0) for lit in clause
+            ), f"clause {clause} falsified"
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver, (a, b) = make_solver(2)
+        solver.add_clause([a, b])
+        assert solver.solve([-a]) is SAT
+        assert solver.value(a) is False
+        assert solver.value(b) is True
+
+    def test_conflicting_assumption(self):
+        solver, (a,) = make_solver(1)
+        solver.add_clause([a])
+        assert solver.solve([-a]) is UNSAT
+
+    def test_assumptions_do_not_persist(self):
+        solver, (a,) = make_solver(1)
+        assert solver.solve([-a]) is SAT
+        assert solver.solve([a]) is SAT
+
+    def test_contradictory_assumptions(self):
+        solver, (a, b) = make_solver(2)
+        solver.add_clause([-a, b])
+        assert solver.solve([a, -b]) is UNSAT
+
+    def test_many_assumptions(self):
+        solver, v = make_solver(8)
+        for i in range(7):
+            solver.add_clause([-v[i], v[i + 1]])
+        assert solver.solve([v[0]]) is SAT
+        assert all(solver.value(x) for x in v)
+        assert solver.solve([v[0], -v[7]]) is UNSAT
+
+    def test_incremental_clause_addition(self):
+        solver, (a, b) = make_solver(2)
+        solver.add_clause([a, b])
+        assert solver.solve() is SAT
+        solver.add_clause([-a])
+        assert solver.solve() is SAT
+        assert solver.value(b) is True
+        solver.add_clause([-b])
+        assert solver.solve() is UNSAT
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [1, 2, 3])
+    def test_php_unsat(self, holes):
+        """holes+1 pigeons into `holes` holes is UNSAT."""
+        pigeons = holes + 1
+        solver = SatSolver()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = solver.new_var()
+        for p in range(pigeons):
+            solver.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[p1, h], -var[p2, h]])
+        assert solver.solve() is UNSAT
+
+    def test_php_equal_is_sat(self):
+        n = 3
+        solver = SatSolver()
+        var = {}
+        for p in range(n):
+            for h in range(n):
+                var[p, h] = solver.new_var()
+        for p in range(n):
+            solver.add_clause([var[p, h] for h in range(n)])
+        for h in range(n):
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    solver.add_clause([-var[p1, h], -var[p2, h]])
+        assert solver.solve() is SAT
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[abs(lit) - 1] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestAgainstBruteForce:
+    @given(random_cnf())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, problem):
+        num_vars, clauses = problem
+        solver = SatSolver()
+        variables = [solver.new_var() for _ in range(num_vars)]
+        ok = True
+        for clause in clauses:
+            ok = solver.add_clause(clause) and ok
+        expected = brute_force_sat(num_vars, clauses)
+        if not ok:
+            assert expected is False
+            return
+        result = solver.solve()
+        assert (result is SAT) == expected
+        if result is SAT:
+            for clause in clauses:
+                assert any(
+                    solver.value(abs(lit)) == (lit > 0) for lit in clause
+                )
+
+    @given(random_cnf(), st.lists(st.integers(min_value=1, max_value=4), max_size=3))
+    @settings(max_examples=80, deadline=None)
+    def test_assumptions_match_brute_force(self, problem, assumed_vars):
+        num_vars, clauses = problem
+        assumptions = [v for v in assumed_vars if v <= num_vars]
+        solver = SatSolver()
+        for _ in range(num_vars):
+            solver.new_var()
+        ok = True
+        for clause in clauses:
+            ok = solver.add_clause(clause) and ok
+        augmented = clauses + [[a] for a in assumptions]
+        expected = brute_force_sat(num_vars, augmented)
+        if not ok:
+            assert brute_force_sat(num_vars, clauses) is False
+            return
+        assert (solver.solve(assumptions) is SAT) == expected
+
+
+class TestStatistics:
+    def test_statistics_populated(self):
+        solver, v = make_solver(6)
+        for i in range(5):
+            solver.add_clause([-v[i], v[i + 1]])
+        solver.add_clause([v[0]])
+        solver.solve()
+        assert solver.statistics["propagations"] > 0

@@ -1,0 +1,91 @@
+"""Tests for the SMT-LIB v2 printer (Fig. 2 query reproduction)."""
+
+from repro.smt import terms as T
+from repro.smt.smtlib import declarations, script, term_to_smtlib
+
+
+class TestTermPrinting:
+    def test_const_hex(self):
+        assert term_to_smtlib(T.bv(0xAB, 8)) == "#xab"
+
+    def test_const_binary_for_odd_width(self):
+        assert term_to_smtlib(T.bv(0b101, 3)) == "#b101"
+
+    def test_bool_consts(self):
+        assert term_to_smtlib(T.true()) == "true"
+        assert term_to_smtlib(T.false()) == "false"
+
+    def test_variable(self):
+        assert term_to_smtlib(T.bv_var("x", 32)) == "x"
+
+    def test_weird_variable_name_is_quoted(self):
+        assert term_to_smtlib(T.bv_var("mem[4]", 8)) == "|mem[4]|"
+
+    def test_binary_op(self):
+        x = T.bv_var("x", 8)
+        assert term_to_smtlib(T.add(x, T.bv(1, 8))) == "(bvadd x #x01)"
+
+    def test_comparison(self):
+        x, y = T.bv_var("x", 8), T.bv_var("y", 8)
+        assert term_to_smtlib(T.ult(x, y)) == "(bvult x y)"
+
+    def test_extract(self):
+        x = T.bv_var("x", 16)
+        assert term_to_smtlib(T.extract(x, 7, 0)) == "((_ extract 7 0) x)"
+
+    def test_extensions(self):
+        x = T.bv_var("x", 8)
+        assert term_to_smtlib(T.zext(x, 8)) == "((_ zero_extend 8) x)"
+        assert term_to_smtlib(T.sext(x, 8)) == "((_ sign_extend 8) x)"
+
+    def test_ite(self):
+        x = T.bv_var("x", 8)
+        cond = T.eq(x, T.bv(0, 8))
+        rendered = term_to_smtlib(T.ite(cond, T.bv(1, 8), x))
+        assert rendered == "(ite (= x #x00) #x01 x)"
+
+    def test_shared_subterm_gets_let(self):
+        x = T.bv_var("x", 8)
+        shared = T.add(x, T.bv(1, 8))
+        term = T.mul(shared, shared)
+        rendered = term_to_smtlib(term)
+        assert rendered.startswith("(let ((.t0 (bvadd x #x01)))")
+        assert "(bvmul .t0 .t0)" in rendered
+
+    def test_bool_connectives(self):
+        p, q = T.bool_var("p"), T.bool_var("q")
+        assert term_to_smtlib(T.band(p, q)) == "(and p q)"
+        assert term_to_smtlib(T.bnot(p)) == "(not p)"
+
+
+class TestScript:
+    def test_divu_bltu_query_matches_paper_shape(self):
+        """The Fig. 2 artifact: DIVU followed by BLTU, check-sat."""
+        x = T.bv_var("x", 32)
+        y = T.bv_var("y", 32)
+        # DIVU a1,a0,a1 with div-by-zero producing all-ones:
+        z = T.ite(T.eq(y, T.bv(0, 32)), T.bv(0xFFFFFFFF, 32), T.udiv(x, y))
+        # BLTU a0,a1,fail -> branch condition x <u z:
+        branch = T.ult(x, z)
+        text = script([branch])
+        assert text.splitlines()[0] == "(set-logic QF_BV)"
+        assert "(declare-const x (_ BitVec 32))" in text
+        assert "(declare-const y (_ BitVec 32))" in text
+        assert "bvudiv" in text
+        assert "#xffffffff" in text
+        assert "bvult" in text
+        assert text.rstrip().endswith("(check-sat)")
+
+    def test_declarations_deduplicate(self):
+        x = T.bv_var("x", 8)
+        lines = declarations([T.ult(x, T.bv(1, 8)), T.eq(x, T.bv(0, 8))])
+        assert lines == ["(declare-const x (_ BitVec 8))"]
+
+    def test_bool_declaration(self):
+        p = T.bool_var("p")
+        assert declarations([p]) == ["(declare-const p Bool)"]
+
+    def test_multiple_assertions(self):
+        x = T.bv_var("x", 8)
+        text = script([T.ugt(x, T.bv(1, 8)), T.ult(x, T.bv(5, 8))])
+        assert text.count("(assert ") == 2

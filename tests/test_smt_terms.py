@@ -1,0 +1,290 @@
+"""Unit tests for the hash-consed term language and its simplifier."""
+
+import pytest
+
+from repro.smt import bvops
+from repro.smt import terms as T
+
+
+class TestConstruction:
+    def test_const_truncates(self):
+        assert T.bv(0x1FF, 8).const_value() == 0xFF
+
+    def test_const_width(self):
+        assert T.bv(5, 32).width == 32
+
+    def test_negative_const_wraps(self):
+        assert T.bv(-1, 8).const_value() == 0xFF
+
+    def test_var_name(self):
+        assert T.bv_var("x", 32).name() == "x"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(T.SortError):
+            T.bv(1, 0)
+
+    def test_bool_consts(self):
+        assert T.true().is_bool
+        assert T.false().is_bool
+        assert T.true().const_value() == 1
+
+    def test_bool_const_helper(self):
+        assert T.bool_const(True) is T.true()
+        assert T.bool_const(False) is T.false()
+
+
+class TestInterning:
+    def test_same_const_is_identical(self):
+        assert T.bv(42, 32) is T.bv(42, 32)
+
+    def test_same_expr_is_identical(self):
+        x = T.bv_var("x", 32)
+        assert T.add(x, T.bv(1, 32)) is T.add(x, T.bv(1, 32))
+
+    def test_different_width_distinct(self):
+        assert T.bv(1, 8) is not T.bv(1, 16)
+
+    def test_commutative_canonicalization(self):
+        x = T.bv_var("x", 32)
+        assert T.add(T.bv(3, 32), x) is T.add(x, T.bv(3, 32))
+
+
+class TestSortChecking:
+    def test_width_mismatch(self):
+        with pytest.raises(T.SortError):
+            T.add(T.bv(1, 8), T.bv(1, 16))
+
+    def test_bool_in_bv_op(self):
+        with pytest.raises(T.SortError):
+            T.add(T.true(), T.true())
+
+    def test_bv_in_bool_op(self):
+        with pytest.raises(T.SortError):
+            T.band(T.bv(1, 1), T.true())
+
+    def test_ite_branch_mismatch(self):
+        with pytest.raises(T.SortError):
+            T.ite(T.true(), T.bv(0, 8), T.bv(0, 16))
+
+    def test_ite_cond_must_be_bool(self):
+        with pytest.raises(T.SortError):
+            T.ite(T.bv(1, 1), T.bv(0, 8), T.bv(0, 8))
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(T.SortError):
+            T.extract(T.bv_var("x", 8), 8, 0)
+
+
+class TestConstantFolding:
+    def test_add(self):
+        assert T.add(T.bv(250, 8), T.bv(10, 8)).const_value() == 4
+
+    def test_sub(self):
+        assert T.sub(T.bv(3, 8), T.bv(5, 8)).const_value() == 254
+
+    def test_mul(self):
+        assert T.mul(T.bv(16, 8), T.bv(16, 8)).const_value() == 0
+
+    def test_udiv_by_zero_is_all_ones(self):
+        assert T.udiv(T.bv(7, 8), T.bv(0, 8)).const_value() == 0xFF
+
+    def test_urem_by_zero_is_dividend(self):
+        assert T.urem(T.bv(7, 8), T.bv(0, 8)).const_value() == 7
+
+    def test_sdiv_truncates_toward_zero(self):
+        # -7 / 2 == -3 (not -4)
+        result = T.sdiv(T.bv(bvops.from_signed(-7, 8), 8), T.bv(2, 8))
+        assert bvops.to_signed(result.const_value(), 8) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        result = T.srem(T.bv(bvops.from_signed(-7, 8), 8), T.bv(2, 8))
+        assert bvops.to_signed(result.const_value(), 8) == -1
+
+    def test_shifts(self):
+        assert T.shl(T.bv(1, 8), T.bv(3, 8)).const_value() == 8
+        assert T.lshr(T.bv(0x80, 8), T.bv(3, 8)).const_value() == 0x10
+        assert T.ashr(T.bv(0x80, 8), T.bv(3, 8)).const_value() == 0xF0
+
+    def test_shift_past_width(self):
+        assert T.shl(T.bv(1, 8), T.bv(9, 8)).const_value() == 0
+        assert T.lshr(T.bv(0xFF, 8), T.bv(8, 8)).const_value() == 0
+        assert T.ashr(T.bv(0x80, 8), T.bv(200, 8)).const_value() == 0xFF
+
+    def test_concat(self):
+        term = T.concat(T.bv(0xAB, 8), T.bv(0xCD, 8))
+        assert term.width == 16
+        assert term.const_value() == 0xABCD
+
+    def test_extract(self):
+        assert T.extract(T.bv(0xABCD, 16), 15, 8).const_value() == 0xAB
+
+    def test_zext_sext(self):
+        assert T.zext(T.bv(0x80, 8), 8).const_value() == 0x0080
+        assert T.sext(T.bv(0x80, 8), 8).const_value() == 0xFF80
+
+    def test_comparisons(self):
+        assert T.ult(T.bv(1, 8), T.bv(2, 8)) is T.true()
+        assert T.slt(T.bv(0xFF, 8), T.bv(0, 8)) is T.true()  # -1 < 0
+        assert T.ule(T.bv(2, 8), T.bv(2, 8)) is T.true()
+        assert T.sle(T.bv(1, 8), T.bv(0, 8)) is T.false()
+
+
+class TestIdentitySimplification:
+    def setup_method(self):
+        self.x = T.bv_var("x", 32)
+
+    def test_add_zero(self):
+        assert T.add(self.x, T.bv(0, 32)) is self.x
+
+    def test_add_reassociates_constants(self):
+        one = T.bv(1, 32)
+        two = T.bv(2, 32)
+        chained = T.add(T.add(self.x, one), two)
+        assert chained is T.add(self.x, T.bv(3, 32))
+
+    def test_sub_self(self):
+        assert T.sub(self.x, self.x).const_value() == 0
+
+    def test_mul_zero_one(self):
+        assert T.mul(self.x, T.bv(0, 32)).const_value() == 0
+        assert T.mul(self.x, T.bv(1, 32)) is self.x
+
+    def test_and_identities(self):
+        assert T.and_(self.x, T.bv(0, 32)).const_value() == 0
+        assert T.and_(self.x, T.bv(0xFFFFFFFF, 32)) is self.x
+        assert T.and_(self.x, self.x) is self.x
+
+    def test_or_identities(self):
+        assert T.or_(self.x, T.bv(0, 32)) is self.x
+        assert T.or_(self.x, self.x) is self.x
+
+    def test_xor_identities(self):
+        assert T.xor(self.x, T.bv(0, 32)) is self.x
+        assert T.xor(self.x, self.x).const_value() == 0
+
+    def test_double_not(self):
+        assert T.not_(T.not_(self.x)) is self.x
+
+    def test_double_neg(self):
+        assert T.neg(T.neg(self.x)) is self.x
+
+    def test_shift_zero(self):
+        zero = T.bv(0, 32)
+        assert T.shl(self.x, zero) is self.x
+        assert T.lshr(self.x, zero) is self.x
+        assert T.ashr(self.x, zero) is self.x
+
+    def test_shift_by_width_or_more(self):
+        assert T.shl(self.x, T.bv(32, 32)).const_value() == 0
+        assert T.lshr(self.x, T.bv(99, 32)).const_value() == 0
+
+    def test_eq_self(self):
+        assert T.eq(self.x, self.x) is T.true()
+
+    def test_ult_self(self):
+        assert T.ult(self.x, self.x) is T.false()
+
+    def test_ult_zero(self):
+        assert T.ult(self.x, T.bv(0, 32)) is T.false()
+
+    def test_ule_floor_ceiling(self):
+        assert T.ule(T.bv(0, 32), self.x) is T.true()
+        assert T.ule(self.x, T.bv(0xFFFFFFFF, 32)) is T.true()
+
+    def test_extract_full_range(self):
+        assert T.extract(self.x, 31, 0) is self.x
+
+    def test_extract_of_extract(self):
+        inner = T.extract(self.x, 23, 8)
+        outer = T.extract(inner, 7, 0)
+        assert outer is T.extract(self.x, 15, 8)
+
+    def test_extract_of_concat_selects_part(self):
+        y = T.bv_var("y", 16)
+        z = T.bv_var("z", 16)
+        cat = T.concat(y, z)
+        assert T.extract(cat, 15, 0) is z
+        assert T.extract(cat, 31, 16) is y
+
+    def test_extract_of_zext_high_bits(self):
+        term = T.extract(T.zext(T.bv_var("b", 8), 24), 31, 8)
+        assert term.const_value() == 0
+
+    def test_zext_zero_amount(self):
+        assert T.zext(self.x, 0) is self.x
+
+    def test_nested_zext_collapses(self):
+        b = T.bv_var("b", 8)
+        assert T.zext(T.zext(b, 8), 16) is T.zext(b, 24)
+
+    def test_ite_const_cond(self):
+        a, b = T.bv(1, 32), T.bv(2, 32)
+        assert T.ite(T.true(), a, b) is a
+        assert T.ite(T.false(), a, b) is b
+
+    def test_ite_same_branches(self):
+        cond = T.eq(self.x, T.bv(1, 32))
+        assert T.ite(cond, self.x, self.x) is self.x
+
+
+class TestBoolSimplification:
+    def setup_method(self):
+        self.p = T.bool_var("p")
+        self.q = T.bool_var("q")
+
+    def test_band(self):
+        assert T.band(self.p, T.true()) is self.p
+        assert T.band(self.p, T.false()) is T.false()
+        assert T.band(self.p, self.p) is self.p
+        assert T.band(self.p, T.bnot(self.p)) is T.false()
+
+    def test_bor(self):
+        assert T.bor(self.p, T.false()) is self.p
+        assert T.bor(self.p, T.true()) is T.true()
+        assert T.bor(self.p, T.bnot(self.p)) is T.true()
+
+    def test_bnot_involution(self):
+        assert T.bnot(T.bnot(self.p)) is self.p
+
+    def test_bxor(self):
+        assert T.bxor(self.p, self.p) is T.false()
+        assert T.bxor(self.p, T.false()) is self.p
+        assert T.bxor(self.p, T.true()) is T.bnot(self.p)
+
+    def test_implies(self):
+        assert T.implies(T.false(), self.p) is T.true()
+        assert T.implies(T.true(), self.p) is self.p
+
+    def test_conjoin_disjoin(self):
+        assert T.conjoin([]) is T.true()
+        assert T.disjoin([]) is T.false()
+        assert T.conjoin([self.p, T.true()]) is self.p
+        assert T.disjoin([self.p, T.false()]) is self.p
+
+    def test_ne(self):
+        x = T.bv_var("x", 8)
+        assert T.ne(x, x) is T.false()
+
+
+class TestTermUtilities:
+    def test_variables(self):
+        x, y = T.bv_var("x", 32), T.bv_var("y", 32)
+        term = T.add(x, T.mul(y, T.bv(3, 32)))
+        assert term.variables() == {x, y}
+
+    def test_variables_of_const(self):
+        assert T.bv(1, 8).variables() == set()
+
+    def test_size_counts_dag_nodes(self):
+        x = T.bv_var("x", 32)
+        shared = T.add(x, T.bv(1, 32))
+        term = T.mul(shared, shared)
+        # mul + add + x + const(1) = 4 distinct nodes
+        assert term.size() == 4
+
+    def test_derived_comparisons(self):
+        a, b = T.bv(1, 8), T.bv(2, 8)
+        assert T.ugt(b, a) is T.true()
+        assert T.uge(b, a) is T.true()
+        assert T.sgt(b, a) is T.true()
+        assert T.sge(a, a) is T.true()

@@ -1,0 +1,145 @@
+"""Round-trip tests: SMT-LIB printer -> parser -> identical term DAG."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import terms as T
+from repro.smt.smtlib import script, term_to_smtlib
+from repro.smt.smtlib_parser import (
+    ParsedScript,
+    SmtLibParseError,
+    parse_script,
+    parse_term,
+)
+from repro.smt.solver import Result, Solver
+
+
+class TestParseTerm:
+    def test_constants(self):
+        assert parse_term("#xff") is T.bv(0xFF, 8)
+        assert parse_term("#b101") is T.bv(5, 3)
+        assert parse_term("true") is T.true()
+        assert parse_term("false") is T.false()
+
+    def test_symbol_env(self):
+        x = T.bv_var("x", 8)
+        assert parse_term("x", {"x": x}) is x
+
+    def test_unbound_symbol(self):
+        with pytest.raises(SmtLibParseError):
+            parse_term("nope")
+
+    def test_application(self):
+        x = T.bv_var("x", 8)
+        term = parse_term("(bvadd x #x01)", {"x": x})
+        assert term is T.add(x, T.bv(1, 8))
+
+    def test_indexed_operators(self):
+        x = T.bv_var("x", 16)
+        assert parse_term("((_ extract 7 0) x)", {"x": x}) is T.extract(x, 7, 0)
+        assert parse_term("((_ zero_extend 8) x)", {"x": x}) is T.zext(x, 8)
+        assert parse_term("((_ sign_extend 8) x)", {"x": x}) is T.sext(x, 8)
+
+    def test_let_binding(self):
+        x = T.bv_var("x", 8)
+        term = parse_term(
+            "(let ((.t0 (bvadd x #x01))) (bvmul .t0 .t0))", {"x": x}
+        )
+        shared = T.add(x, T.bv(1, 8))
+        assert term is T.mul(shared, shared)
+
+    def test_ite(self):
+        x = T.bv_var("x", 8)
+        term = parse_term("(ite (= x #x00) #x01 x)", {"x": x})
+        assert term is T.ite(T.eq(x, T.bv(0, 8)), T.bv(1, 8), x)
+
+    def test_quoted_symbol(self):
+        v = T.bv_var("mem[4]", 8)
+        assert parse_term("|mem[4]|", {"mem[4]": v}) is v
+
+    def test_errors(self):
+        with pytest.raises(SmtLibParseError):
+            parse_term("(bvadd #x01)")  # arity
+        with pytest.raises(SmtLibParseError):
+            parse_term("(frobnicate #x01 #x02)")
+        with pytest.raises(SmtLibParseError):
+            parse_term("(bvadd #x01 #x02")  # unbalanced
+        with pytest.raises(SmtLibParseError):
+            parse_term("")
+
+
+class TestParseScript:
+    def test_full_script(self):
+        x = T.bv_var("x", 32)
+        y = T.bv_var("y", 32)
+        original = T.ult(x, T.udiv(x, y))
+        parsed = parse_script(script([original]))
+        assert parsed.logic == "QF_BV"
+        assert parsed.has_check_sat
+        assert parsed.declarations["x"] is x
+        assert parsed.assertions == [original]
+
+    def test_bool_declaration(self):
+        parsed = parse_script(
+            "(declare-const p Bool)\n(assert p)\n(check-sat)\n"
+        )
+        assert parsed.assertions[0] is T.bool_var("p")
+
+    def test_declare_fun(self):
+        parsed = parse_script("(declare-fun x () (_ BitVec 8))")
+        assert parsed.declarations["x"] is T.bv_var("x", 8)
+
+    def test_comments_ignored(self):
+        parsed = parse_script("; a comment\n(check-sat)\n")
+        assert parsed.has_check_sat
+
+    def test_unsupported_command(self):
+        with pytest.raises(SmtLibParseError):
+            parse_script("(push 1)")
+
+    def test_parsed_script_solves(self):
+        """Replay a printed query through the solver."""
+        x = T.bv_var("x", 8)
+        text = script([T.eq(T.mul(x, T.bv(3, 8)), T.bv(9, 8))])
+        parsed = parse_script(text)
+        solver = Solver()
+        for assertion in parsed.assertions:
+            solver.add(assertion)
+        assert solver.check() is Result.SAT
+        assert (solver.model()[x] * 3) & 0xFF == 9
+
+
+@st.composite
+def random_term(draw, depth=0):
+    width = 8
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return T.bv(draw(st.integers(0, 255)), width)
+        return T.bv_var(draw(st.sampled_from(["ra", "rb"])), width)
+    op = draw(
+        st.sampled_from(
+            [T.add, T.sub, T.mul, T.and_, T.or_, T.xor, T.shl, T.lshr,
+             T.ashr, T.udiv, T.urem]
+        )
+    )
+    return op(draw(random_term(depth=depth + 1)), draw(random_term(depth=depth + 1)))
+
+
+@given(random_term())
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_property(term):
+    """parse(print(t)) is t — interning makes this an identity check."""
+    env = {"ra": T.bv_var("ra", 8), "rb": T.bv_var("rb", 8)}
+    rendered = term_to_smtlib(term)
+    assert parse_term(rendered, env) is term
+
+
+@given(random_term(), random_term())
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_bool_property(lhs, rhs):
+    env = {"ra": T.bv_var("ra", 8), "rb": T.bv_var("rb", 8)}
+    for build in (T.eq, T.ult, T.sle):
+        condition = build(lhs, rhs)
+        assert parse_term(term_to_smtlib(condition), env) is condition

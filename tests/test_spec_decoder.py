@@ -1,0 +1,225 @@
+"""Tests for encodings, the decoder and the YAML encoding loader."""
+
+import pytest
+
+from repro.asm.encoder import encode_instruction
+from repro.spec import (
+    Encoding,
+    IllegalInstruction,
+    encodings_from_yaml,
+    rv32i,
+    rv32im,
+    rv32im_zimadd,
+)
+from repro.spec.decoder import Decoder
+from repro.spec.opcodes import RV32I_ENCODINGS, RV32M_ENCODINGS
+from repro.spec import fields
+from repro.spec.yamlite import YamlError, parse_yaml
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the RISC-V spec tables."""
+
+    GOLDEN = {
+        # word: mnemonic  (assembled with GNU as independently)
+        0x00000033: "add",    # add x0, x0, x0
+        0x40000033: "sub",
+        0x02005033: "divu",
+        0x02000033: "mul",
+        0x00000013: "addi",   # addi x0, x0, 0 (canonical NOP)
+        0x00001013: "slli",
+        0x40005013: "srai",
+        0x00002003: "lw",
+        0x00002023: "sw",
+        0x00000063: "beq",
+        0x0000006F: "jal",
+        0x00000067: "jalr",
+        0x00000037: "lui",
+        0x00000017: "auipc",
+        0x00000073: "ecall",
+        0x00100073: "ebreak",
+        0x0000000F: "fence",
+    }
+
+    def test_golden_words_decode(self):
+        decoder = rv32im().decoder
+        for word, name in self.GOLDEN.items():
+            assert decoder.decode(word).name == name, f"{word:#x}"
+
+    def test_all_encodings_self_consistent(self):
+        for encoding in RV32I_ENCODINGS + RV32M_ENCODINGS:
+            assert encoding.match & ~encoding.mask == 0, encoding.name
+            assert encoding.matches(encoding.match)
+
+    def test_counts(self):
+        assert len(RV32I_ENCODINGS) == 40
+        assert len(RV32M_ENCODINGS) == 8
+
+
+class TestDecoder:
+    def test_illegal_instruction_raises(self):
+        with pytest.raises(IllegalInstruction):
+            rv32im().decoder.decode(0xFFFFFFFF)
+
+    def test_illegal_zero_word(self):
+        with pytest.raises(IllegalInstruction):
+            rv32im().decoder.decode(0)
+
+    def test_try_decode_returns_none(self):
+        assert rv32im().decoder.try_decode(0) is None
+
+    def test_m_extension_requires_isa(self):
+        word = 0x02005033  # divu
+        assert rv32im().decoder.decode(word).name == "divu"
+        with pytest.raises(IllegalInstruction):
+            rv32i().decoder.decode(word)
+
+    def test_by_name(self):
+        decoder = rv32im().decoder
+        assert decoder.by_name("ADD").name == "add"
+        assert "divu" in decoder
+        assert "madd" not in decoder
+
+    def test_conflicting_encodings_rejected(self):
+        clash = Encoding("fake", 0x7F, 0x33, ("rd", "rs1", "rs2"), "r", "x")
+        with pytest.raises(ValueError):
+            Decoder(
+                [
+                    Encoding("a", 0x7F, 0x33, ("rd", "rs1", "rs2"), "r", "x"),
+                    clash._replace_name("b") if hasattr(clash, "_replace_name")
+                    else Encoding("b", 0x7F, 0x33, ("rd", "rs1", "rs2"), "r", "x"),
+                ]
+            )
+
+    def test_specific_masks_win(self):
+        # ecall (mask 0xffffffff) must not be shadowed by generic I-type.
+        assert rv32im().decoder.decode(0x00000073).name == "ecall"
+
+
+class TestEncodeDecodeRoundTrip:
+    """decode(encode(x)) == x for every instruction and operand mix."""
+
+    @pytest.mark.parametrize(
+        "encoding", RV32I_ENCODINGS + RV32M_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_roundtrip_fields(self, encoding):
+        decoder = rv32im().decoder
+        cases = [
+            dict(rd=1, rs1=2, rs2=3, rs3=4, imm=0),
+            dict(rd=31, rs1=31, rs2=31, rs3=31, imm=4),
+            dict(rd=17, rs1=5, rs2=9, rs3=13, imm=-4 if encoding.fmt in ("i", "load", "s", "b") else 8),
+        ]
+        for case in cases:
+            word = encode_instruction(encoding, **case)
+            decoded = decoder.decode(word)
+            assert decoded.name == encoding.name
+            if "rd" in encoding.fields:
+                assert fields.rd(word) == case["rd"]
+            if "rs1" in encoding.fields:
+                assert fields.rs1(word) == case["rs1"]
+            if "rs2" in encoding.fields:
+                assert fields.rs2(word) == case["rs2"]
+            if "rs3" in encoding.fields:
+                assert fields.rs3(word) == case["rs3"]
+
+
+class TestImmediates:
+    def test_imm_i_sign_extension(self):
+        word = encode_instruction(rv32im().decoder.by_name("addi"), rd=1, rs1=1, imm=-1)
+        assert fields.imm_i(word) == 0xFFFFFFFF
+
+    def test_imm_b_round_trip(self):
+        enc = rv32im().decoder.by_name("beq")
+        for offset in (-4096, -2, 0, 2, 4094, 256, -256):
+            word = encode_instruction(enc, rs1=1, rs2=2, imm=offset)
+            assert fields.imm_b(word) == offset & 0xFFFFFFFF
+
+    def test_imm_j_round_trip(self):
+        enc = rv32im().decoder.by_name("jal")
+        for offset in (-1048576, -2, 0, 2, 1048574, 2048, -4096):
+            word = encode_instruction(enc, rd=1, imm=offset)
+            assert fields.imm_j(word) == offset & 0xFFFFFFFF
+
+    def test_imm_s_round_trip(self):
+        enc = rv32im().decoder.by_name("sw")
+        for offset in (-2048, -1, 0, 1, 2047):
+            word = encode_instruction(enc, rs1=1, rs2=2, imm=offset)
+            assert fields.imm_s(word) == offset & 0xFFFFFFFF
+
+    def test_imm_u(self):
+        enc = rv32im().decoder.by_name("lui")
+        word = encode_instruction(enc, rd=1, imm=0xFFFFF)
+        assert fields.imm_u(word) == 0xFFFFF000
+
+
+class TestYamlSubset:
+    def test_parse_nested_mapping(self):
+        doc = parse_yaml("a:\n  b: 1\n  c: [x, y]\nd: 'hello'\n")
+        assert doc == {"a": {"b": 1, "c": ["x", "y"]}, "d": "hello"}
+
+    def test_comments_and_blanks(self):
+        doc = parse_yaml("# header\n\nkey: value # trailing\n")
+        assert doc == {"key": "value"}
+
+    def test_booleans_and_ints(self):
+        doc = parse_yaml("a: true\nb: 0x10\nc: null\n")
+        assert doc == {"a": True, "b": 16, "c": None}
+
+    def test_bad_line_raises(self):
+        with pytest.raises(YamlError):
+            parse_yaml("not a mapping\n")
+
+    def test_madd_yaml_from_paper(self):
+        from repro.spec.zimadd import MADD_YAML
+
+        encodings = encodings_from_yaml(MADD_YAML)
+        assert len(encodings) == 1
+        madd = encodings[0]
+        assert madd.name == "madd"
+        assert madd.mask == 0x600007F
+        assert madd.match == 0x2000043
+        assert madd.fmt == "r4"
+        assert madd.fields == ("rd", "rs1", "rs2", "rs3")
+
+    def test_encoding_pattern_mismatch_rejected(self):
+        bad = """\
+bogus:
+  encoding: '00000000000000000000000000000000'
+  mask: '0x600007f'
+  match: '0x2000043'
+  variable_fields: [rd, rs1, rs2, rs3]
+"""
+        with pytest.raises(ValueError):
+            encodings_from_yaml(bad)
+
+
+class TestIsaComposition:
+    def test_extension_names(self):
+        assert rv32im().name == "rv32i+rv32m"
+        assert rv32im_zimadd().name == "rv32i+rv32m+zimadd"
+
+    def test_mnemonics_listing(self):
+        isa = rv32im()
+        names = isa.mnemonics()
+        assert "add" in names and "divu" in names
+        assert len(names) == 48
+
+    def test_semantics_lookup(self):
+        isa = rv32im()
+        assert callable(isa.semantics_for("divu"))
+        assert isa.has_instruction("DIVU")
+        assert not isa.has_instruction("madd")
+
+    def test_duplicate_semantics_rejected(self):
+        from repro.spec.isa import Extension, ISA
+
+        ext = rv32im().extensions[0]
+        with pytest.raises(ValueError):
+            ISA([ext, ext])
+
+    def test_encoding_without_semantics_rejected(self):
+        from repro.spec.isa import Extension
+
+        enc = RV32I_ENCODINGS[0]
+        with pytest.raises(ValueError):
+            Extension("broken", (enc,), {})

@@ -1,0 +1,149 @@
+"""Tests for the Table I workloads: functional + path-count properties."""
+
+import base64 as py_base64
+
+import pytest
+
+from repro.concrete import ConcreteInterpreter
+from repro.core import BinSymExecutor, Explorer
+from repro.eval.workloads import (
+    TABLE1_WORKLOADS,
+    WORKLOADS,
+    base64_encode_source,
+    bubble_sort_source,
+    clif_parser_source,
+    insertion_sort_source,
+    uri_parser_source,
+)
+from repro.spec import rv32im
+
+_BUF = 0x20000
+_B64_OUT = 0x20100
+
+
+def run_concrete(source, input_bytes):
+    interp = ConcreteInterpreter(rv32im())
+    from repro.asm import assemble
+
+    interp.load_image(assemble(source))
+    interp.memory.write_bytes(_BUF, input_bytes)
+    interp.run()
+    return interp
+
+
+def explore(source, max_paths=100_000):
+    from repro.asm import assemble
+
+    image = assemble(source)
+    executor = BinSymExecutor(rv32im(), image)
+    return Explorer(executor, max_paths=max_paths).explore()
+
+
+class TestSortsFunctional:
+    @pytest.mark.parametrize("source_builder", [bubble_sort_source, insertion_sort_source])
+    @pytest.mark.parametrize(
+        "data",
+        [b"\x03\x01\x02", b"\xff\x00\x80", b"\x05\x05\x01", b"\x00\x00\x00"],
+    )
+    def test_sorts_sort(self, source_builder, data):
+        interp = run_concrete(source_builder(len(data)), data)
+        result = interp.memory.read_bytes(_BUF, len(data))
+        assert result == bytes(sorted(data))
+
+
+class TestSortsPathCounts:
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 6), (4, 24)])
+    def test_bubble_sort_factorial(self, n, expected):
+        assert explore(bubble_sort_source(n)).num_paths == expected
+
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 6), (4, 24)])
+    def test_insertion_sort_factorial(self, n, expected):
+        assert explore(insertion_sort_source(n)).num_paths == expected
+
+
+class TestBase64:
+    @pytest.mark.parametrize(
+        "data", [b"\x00", b"ab", b"abc", b"\xff\xfe\xfd\xfc", b"hello!"]
+    )
+    def test_matches_python_base64(self, data):
+        interp = run_concrete(base64_encode_source(len(data)), data)
+        length = (len(data) + 2) // 3 * 4
+        ours = interp.memory.read_bytes(_B64_OUT, length)
+        assert ours == py_base64.b64encode(data)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_path_count_matches_derivation(self, k):
+        workload = WORKLOADS["base64-encode"]
+        assert explore(base64_encode_source(k)).num_paths == (
+            workload.expected_paths(k)
+        )
+
+    def test_paper_scale_derivation_is_6250(self):
+        """The paper's Table I count for base64-encode."""
+        assert WORKLOADS["base64-encode"].expected_paths(4) == 6250
+
+
+class TestParsers:
+    @pytest.mark.parametrize(
+        "text,accept",
+        [
+            (b"ab:", True),
+            (b"a:x", True),
+            (b"abc", False),   # no colon
+            (b":ab", False),   # empty scheme
+            (b"a1:", False),   # digit not allowed in our scheme subset
+            (b"\x80b:", False),  # non-ASCII
+        ],
+    )
+    def test_uri_parser_accepts(self, text, accept):
+        interp = run_concrete(uri_parser_source(len(text)), text)
+        assert (interp.hart.exit_code == 0) == accept
+
+    @pytest.mark.parametrize(
+        "text,accept",
+        [
+            (b"<a>;", True),
+            (b"<ab>", True),
+            (b"a>;;", False),  # missing '<'
+            (b"<abc", False),  # unterminated
+            (b"<a>,", False),  # dangling comma
+        ],
+    )
+    def test_clif_parser_accepts(self, text, accept):
+        interp = run_concrete(clif_parser_source(len(text)), text)
+        assert (interp.hart.exit_code == 0) == accept
+
+    def test_parser_path_counts_are_stable(self):
+        # Regression pins: recorded from the reference implementation.
+        assert explore(uri_parser_source(3)).num_paths == 12
+        assert explore(clif_parser_source(4)).num_paths == 14
+
+
+class TestWorkloadRegistry:
+    def test_table1_names_registered(self):
+        for name in TABLE1_WORKLOADS:
+            assert name in WORKLOADS
+
+    def test_paper_scales_match_table1(self):
+        # 6! = 720 and 7! = 5040 are the paper's sort path counts.
+        assert WORKLOADS["bubble-sort"].expected_paths(
+            WORKLOADS["bubble-sort"].paper_scale
+        ) == 720
+        assert WORKLOADS["insertion-sort"].expected_paths(
+            WORKLOADS["insertion-sort"].paper_scale
+        ) == 5040
+
+    def test_images_assemble(self):
+        for name, workload in WORKLOADS.items():
+            image = workload.image()
+            assert image.entry == 0x10000, name
+            assert image.total_size() > 0, name
+
+    def test_workloads_terminate_concretely(self):
+        for name, workload in WORKLOADS.items():
+            interp = ConcreteInterpreter(rv32im())
+            from repro.asm import assemble
+
+            interp.load_image(assemble(workload.source()))
+            hart = interp.run(200_000)
+            assert hart.halt_reason == "exit", name
