@@ -103,7 +103,12 @@ def _cmd_explore(args) -> int:
         # make_symbolic calls the program itself performs.
         engine.symbolic_memory = tuple(symbolic_memory)
     result = Explorer(
-        engine, strategy=args.strategy, max_paths=args.max_paths
+        engine,
+        strategy=args.strategy,
+        max_paths=args.max_paths,
+        seed=args.seed,
+        jobs=args.jobs,
+        use_cache=args.query_cache,
     ).explore()
     print(result.summary())
     for path in result.paths[: args.show_paths]:
@@ -149,9 +154,16 @@ def main(argv=None) -> int:
         choices=["binsym", "binsec", "symex-vp", "angr", "angr-buggy"],
     )
     p_explore.add_argument("--strategy", default="dfs",
-                           choices=["dfs", "bfs", "random"])
+                           choices=["dfs", "bfs", "random", "coverage"])
     p_explore.add_argument("--symbolic", action="append", metavar="ADDR:LEN",
                            help="mark a memory region symbolic")
+    p_explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="explore on N worker processes (default 1)")
+    p_explore.add_argument("--seed", type=int, default=0,
+                           help="seed for the random search strategy")
+    p_explore.add_argument("--no-query-cache", dest="query_cache",
+                           action="store_false", default=True,
+                           help="disable the cross-path solver query cache")
     p_explore.add_argument("--max-paths", type=int, default=100_000)
     p_explore.add_argument("--max-steps", type=int, default=1_000_000)
     p_explore.add_argument("--show-paths", type=int, default=20)

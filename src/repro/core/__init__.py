@@ -8,24 +8,38 @@ offline (concolic) exploration driver.
 * :mod:`repro.core.interpreter` — the symbolic interpreter (semanticize
   + encode steps of the paper's Fig. 1)
 * :mod:`repro.core.executor` — one concolic run of the SUT
-* :mod:`repro.core.explorer` — DFS dynamic symbolic execution driver
+* :mod:`repro.core.explorer` — dynamic symbolic execution driver
+* :mod:`repro.core.scheduler` — frontier/work-queue + branch-flip expansion
+* :mod:`repro.core.parallel` — multi-process exploration worker pool
 * :mod:`repro.core.concretize` — address concretization policies
-* :mod:`repro.core.strategy` — DFS/BFS/random path selection
+* :mod:`repro.core.strategy` — DFS/BFS/random/coverage path selection
 """
 
 from .concretize import ConcretizationPolicy
 from .executor import BinSymExecutor, RunResult
 from .explorer import ExplorationResult, Explorer, PathInfo
 from .interpreter import SymbolicInterpreter
-from .state import BranchRecord, InputAssignment, PathTrace, SymbolicInput
+from .parallel import ProcessPoolExplorer
+from .scheduler import Frontier, RunStats, WorkItem
+from .state import (
+    BranchRecord,
+    ExploredPrefixTrie,
+    InputAssignment,
+    PathTrace,
+    SymbolicInput,
+)
 from .symvalue import SymDomain, SymValue
 
 __all__ = [
     "BinSymExecutor",
     "RunResult",
     "Explorer",
+    "ProcessPoolExplorer",
     "ExplorationResult",
     "PathInfo",
+    "Frontier",
+    "WorkItem",
+    "RunStats",
     "SymbolicInterpreter",
     "SymValue",
     "SymDomain",
@@ -33,5 +47,6 @@ __all__ = [
     "BranchRecord",
     "InputAssignment",
     "SymbolicInput",
+    "ExploredPrefixTrie",
     "ConcretizationPolicy",
 ]

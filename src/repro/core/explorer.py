@@ -2,7 +2,7 @@
 
 Implements the paper's exploration configuration (Sect. III-B): an
 *offline executor* that repeatedly restarts the SUT with fresh inputs
-obtained from the solver — dynamic symbolic execution with depth-first
+obtained from the solver — dynamic symbolic execution with pluggable
 path selection and address concretization.
 
 The driver is engine-neutral: anything satisfying the executor
@@ -11,6 +11,13 @@ can be explored, which is how the angr-, BINSEC- and SymEx-VP-style
 baseline engines share the exact same search and solver infrastructure
 — the comparison then isolates the *translation* methodology, like the
 paper's evaluation intends.
+
+Scheduling (frontier policies, branch-flip expansion) lives in
+:mod:`repro.core.scheduler`; multi-process exploration in
+:mod:`repro.core.parallel`.  ``Explorer(executor, jobs=N)`` fans the
+concolic runs out over ``N`` worker processes, and ``use_cache=True``
+puts a cross-path :class:`repro.smt.solver.QueryCache` in front of the
+solver.
 """
 
 from __future__ import annotations
@@ -20,10 +27,10 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..arch.hart import HaltReason
-from ..smt.solver import Result, Solver
+from ..smt.solver import CachingSolver, Solver
 from .executor import RunResult
-from .state import InputAssignment
-from .strategy import Strategy, make_strategy
+from .scheduler import Frontier, RunStats, WorkItem, expand_run
+from .state import ExploredPrefixTrie, InputAssignment
 
 __all__ = ["PathInfo", "ExplorationResult", "Explorer"]
 
@@ -48,21 +55,39 @@ class PathInfo:
 
 @dataclass
 class ExplorationResult:
-    """All paths found plus exploration statistics."""
+    """All paths found plus exploration statistics.
+
+    Query accounting is exact in both execution modes: ``sat_checks``
+    and ``unsat_checks`` count queries the SAT core actually solved
+    (summed over all workers in parallel mode), while ``cache_hits``
+    and ``pruned_queries`` count work the query cache and the
+    explored-prefix trie avoided.
+    """
 
     paths: list[PathInfo] = field(default_factory=list)
     sat_checks: int = 0
     unsat_checks: int = 0
+    cache_hits: int = 0
+    pruned_queries: int = 0
     total_instructions: int = 0
     wall_time: float = 0.0
     solver_time: float = 0.0
     truncated: bool = False
+    #: Number of worker processes that executed runs (1 = in-process).
+    workers: int = 1
+    #: Largest frontier size observed during the exploration.
+    frontier_peak: int = 0
     #: PCs of symbolic branches seen during exploration (branch coverage).
     covered_branches: set = field(default_factory=set)
 
     @property
     def num_paths(self) -> int:
         return len(self.paths)
+
+    @property
+    def num_queries(self) -> int:
+        """Queries the SAT core actually solved."""
+        return self.sat_checks + self.unsat_checks
 
     @property
     def assertion_failures(self) -> list[PathInfo]:
@@ -72,20 +97,56 @@ class ExplorationResult:
     def exit_codes(self) -> set[int]:
         return {p.exit_code for p in self.paths if p.exit_code is not None}
 
+    def path_set(self) -> set:
+        """Order-independent identity of the discovered paths.
+
+        Parallel exploration records paths in completion order, so
+        comparisons across execution modes go through this set.
+        """
+        return {
+            (p.halt_reason, p.exit_code, p.trace_length, p.stdout, p.final_pc)
+            for p in self.paths
+        }
+
+    def merge_run_stats(self, stats: RunStats) -> None:
+        """Fold one run's solver accounting into the totals."""
+        self.sat_checks += stats.sat_checks
+        self.unsat_checks += stats.unsat_checks
+        self.cache_hits += stats.cache_hits
+        self.pruned_queries += stats.pruned_queries
+        self.solver_time += stats.solver_time
+        self.covered_branches |= stats.covered_pcs
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.num_paths} paths "
             f"({len(self.assertion_failures)} assertion failures), "
-            f"{self.sat_checks + self.unsat_checks} solver queries "
+            f"{self.num_queries} solver queries "
             f"({self.sat_checks} sat / {self.unsat_checks} unsat, "
             f"{self.solver_time:.2f}s in solver), "
             f"{self.total_instructions} instructions, "
             f"{self.wall_time:.2f}s"
         )
+        if self.cache_hits or self.pruned_queries:
+            text += (
+                f" [{self.cache_hits} cache hits, "
+                f"{self.pruned_queries} pruned]"
+            )
+        if self.workers > 1:
+            text += f" [{self.workers} workers]"
+        return text
 
 
 class Explorer:
-    """Drives an executor through all feasible paths of the SUT."""
+    """Drives an executor through all feasible paths of the SUT.
+
+    ``jobs > 1`` delegates to the multi-process driver (each worker owns
+    its own solver and query cache); ``use_cache`` enables the
+    cross-path query cache in the single-process driver.  An explicitly
+    supplied ``solver`` pins the exploration to a single process, since
+    a user-provided facade (e.g. the query-complexity recorder) cannot
+    be replicated onto workers.
+    """
 
     def __init__(
         self,
@@ -94,25 +155,64 @@ class Explorer:
         strategy: str = "dfs",
         max_paths: int = 1_000_000,
         seed: int = 0,
+        jobs: int = 1,
+        use_cache: bool = False,
+        dedup_flips: bool = True,
     ):
+        self._solver_provided = solver is not None
+        if solver is None:
+            solver = CachingSolver() if use_cache else Solver()
         self.executor = executor
-        self.solver = solver if solver is not None else Solver()
+        self.solver = solver
         self.strategy_name = strategy
         self.max_paths = max_paths
         self.seed = seed
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.dedup_flips = dedup_flips
 
     def explore(self) -> ExplorationResult:
         """Run the full exploration; returns all discovered paths."""
+        if self.jobs > 1 and not self._solver_provided:
+            from .parallel import ProcessPoolExplorer
+
+            return ProcessPoolExplorer(
+                self.executor,
+                jobs=self.jobs,
+                strategy=self.strategy_name,
+                max_paths=self.max_paths,
+                seed=self.seed,
+                use_cache=self.use_cache,
+                dedup_flips=self.dedup_flips,
+            ).explore()
+        return self._explore_serial()
+
+    def _explore_serial(self) -> ExplorationResult:
         result = ExplorationResult()
         start = time.perf_counter()
-        worklist: Strategy = make_strategy(self.strategy_name, self.seed)
-        worklist.push((InputAssignment(), 0))
-        while worklist and result.num_paths < self.max_paths:
-            assignment, bound = worklist.pop()
-            run = self.executor.execute(assignment)
+        frontier = Frontier(self.strategy_name, self.seed)
+        frontier.push(WorkItem(InputAssignment(), 0))
+        trie = ExploredPrefixTrie() if self.dedup_flips else None
+        while frontier and result.num_paths < self.max_paths:
+            item = frontier.pop()
+            run = self.executor.execute(item.assignment)
             self._record_path(result, run)
-            self._expand(run, bound, worklist, result)
-        result.truncated = bool(worklist)
+            stats = RunStats()
+            children = expand_run(
+                run,
+                item.bound,
+                self.solver,
+                self.executor.input_variables(),
+                stats,
+                trie,
+            )
+            novelty = len(stats.covered_pcs - result.covered_branches)
+            result.merge_run_stats(stats)
+            for child in children:
+                child.novelty = novelty
+                frontier.push(child)
+        result.truncated = bool(frontier)
+        result.frontier_peak = frontier.peak
         result.wall_time = time.perf_counter() - start
         return result
 
@@ -132,39 +232,3 @@ class Explorer:
                 final_pc=run.final_pc,
             )
         )
-
-    def _expand(
-        self,
-        run: RunResult,
-        bound: int,
-        worklist: Strategy,
-        result: ExplorationResult,
-    ) -> None:
-        """Generate flipped-branch children of a completed run.
-
-        Children are pushed shallow-to-deep, so a LIFO worklist (DFS)
-        explores the deepest unexplored branch first — the classic
-        depth-first concolic schedule.  ``bound`` prevents re-flipping
-        decisions that an ancestor already enumerated.
-        """
-        records = run.trace.records
-        conditions = run.trace.conditions()
-        variables = self.executor.input_variables()
-        for record in records:
-            if record.flippable:
-                result.covered_branches.add(record.pc)
-        for index in range(bound, len(records)):
-            record = records[index]
-            if not record.flippable:
-                continue
-            query = conditions[:index] + [record.negated()]
-            check_start = time.perf_counter()
-            verdict = self.solver.check(query)
-            result.solver_time += time.perf_counter() - check_start
-            if verdict is Result.SAT:
-                result.sat_checks += 1
-                model = self.solver.model()
-                new_assignment = run.assignment.derive(model, variables)
-                worklist.push((new_assignment, index + 1))
-            else:
-                result.unsat_checks += 1

@@ -1,0 +1,292 @@
+"""Multi-process path exploration: a work-queue over forked workers.
+
+The offline executor restarts the SUT once per path, and the runs are
+independent given their input assignments — which makes the exploration
+loop embarrassingly parallel apart from the frontier.  This module
+keeps the frontier (and the chosen search strategy) in the parent and
+fans the concolic runs out over a pool of forked workers:
+
+* the parent pops :class:`~repro.core.scheduler.WorkItem`s and sends
+  ``(task_id, assignment, bound)`` over a task queue,
+* each worker owns its *own* :class:`~repro.smt.solver.Solver` (plus
+  query cache and explored-prefix trie), executes the run, performs the
+  branch-flip expansion locally, and streams back the path summary, the
+  newly discovered frontier entries, and exact per-run solver stats,
+* the parent records paths, aggregates statistics, scores coverage
+  novelty against the global covered-branch set, and pushes the new
+  work items.
+
+Workers are created with the ``fork`` start method so they inherit the
+executor (ISA, image, interpreter) without pickling — interned terms
+cannot round-trip through pickle, and the formal-spec layer has no
+reason to be serializable.  Input assignments cross the process
+boundary by variable *name* (see :mod:`repro.core.scheduler`).  On
+platforms without ``fork`` the driver transparently falls back to the
+single-process explorer, which discovers the identical path set.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Optional
+
+from ..smt.solver import CachingSolver, Solver
+from .explorer import ExplorationResult, Explorer, PathInfo
+from .scheduler import (
+    Frontier,
+    RunStats,
+    WorkItem,
+    deserialize_assignment,
+    expand_run,
+    serialize_assignment,
+)
+from .state import ExploredPrefixTrie, InputAssignment
+
+__all__ = ["ProcessPoolExplorer", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """Worker count when none is requested: one per CPU, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def _worker_main(executor, use_cache, dedup_flips, task_queue, result_queue):
+    """Worker loop: execute runs and expand their branch flips.
+
+    Replies are ``(task_id, path_payload, children, stats_payload)`` on
+    success or ``(task_id, None, traceback_text, None)`` on failure.
+    ``None`` on the task queue shuts the worker down.
+    """
+    solver = CachingSolver() if use_cache else Solver()
+    trie = ExploredPrefixTrie() if dedup_flips else None
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        task_id, assignment_payload, bound = task
+        try:
+            assignment = deserialize_assignment(assignment_payload)
+            run = executor.execute(assignment)
+            stats = RunStats()
+            children = expand_run(
+                run,
+                bound,
+                solver,
+                executor.input_variables(),
+                stats,
+                trie,
+                compute_digests=True,
+            )
+            path_payload = (
+                run.halt_reason,
+                run.exit_code,
+                run.instret,
+                len(run.trace),
+                serialize_assignment(run.assignment),
+                run.stdout,
+                run.final_pc,
+            )
+            child_payloads = [
+                (serialize_assignment(child.assignment), child.bound, child.digest)
+                for child in children
+            ]
+            stats_payload = (
+                stats.sat_checks,
+                stats.unsat_checks,
+                stats.cache_hits,
+                stats.pruned_queries,
+                stats.solver_time,
+                tuple(stats.covered_pcs),
+            )
+            result_queue.put((task_id, path_payload, child_payloads, stats_payload))
+        except Exception:
+            result_queue.put((task_id, None, traceback.format_exc(), None))
+
+
+class ProcessPoolExplorer:
+    """Explores an executor's paths on a pool of forked worker processes.
+
+    Drop-in alternative to :class:`~repro.core.explorer.Explorer`: same
+    constructor vocabulary, same :class:`ExplorationResult`, and —
+    because the flip-expansion rules fully determine the reachable
+    (assignment, bound) tree independent of visit order — the same
+    discovered path set.  Path *indices* reflect completion order, so
+    cross-mode comparisons should use ``ExplorationResult.path_set()``.
+
+    The parent process never executes the SUT, so executor-side state
+    (e.g. the interpreter's discovered symbolic inputs) stays untouched
+    in the parent; everything the caller needs is in the result.
+    """
+
+    def __init__(
+        self,
+        executor,
+        jobs: Optional[int] = None,
+        strategy: str = "dfs",
+        max_paths: int = 1_000_000,
+        seed: int = 0,
+        use_cache: bool = False,
+        dedup_flips: bool = True,
+    ):
+        self.executor = executor
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.strategy_name = strategy
+        self.max_paths = max_paths
+        self.seed = seed
+        self.use_cache = use_cache
+        self.dedup_flips = dedup_flips
+
+    def explore(self) -> ExplorationResult:
+        if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+            return self._fallback()
+        return self._explore_pool()
+
+    def _fallback(self) -> ExplorationResult:
+        return Explorer(
+            self.executor,
+            strategy=self.strategy_name,
+            max_paths=self.max_paths,
+            seed=self.seed,
+            jobs=1,
+            use_cache=self.use_cache,
+            dedup_flips=self.dedup_flips,
+        ).explore()
+
+    def _next_reply(self, result_queue, workers):
+        """Blocking get that notices dead workers instead of hanging.
+
+        ``_worker_main`` converts in-task exceptions into error replies,
+        but a hard-killed worker (OOM killer, segfault) posts nothing —
+        without a liveness check the parent would wait forever on a
+        reply that can never arrive.
+        """
+        while True:
+            try:
+                return result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                dead = [w for w in workers if w.exitcode is not None]
+                if dead:
+                    try:
+                        # A reply may have raced the death; drain first.
+                        return result_queue.get_nowait()
+                    except queue_module.Empty:
+                        codes = sorted({w.exitcode for w in dead})
+                        raise RuntimeError(
+                            f"exploration worker died without replying "
+                            f"(exit codes {codes})"
+                        ) from None
+
+    def _explore_pool(self) -> ExplorationResult:
+        context = multiprocessing.get_context("fork")
+        task_queue = context.SimpleQueue()
+        result_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    self.executor,
+                    self.use_cache,
+                    self.dedup_flips,
+                    task_queue,
+                    result_queue,
+                ),
+                daemon=True,
+            )
+            for _ in range(self.jobs)
+        ]
+        for worker in workers:
+            worker.start()
+
+        result = ExplorationResult(workers=self.jobs)
+        start = time.perf_counter()
+        frontier = Frontier(self.strategy_name, self.seed)
+        frontier.push(WorkItem(InputAssignment(), 0))
+        in_flight = 0
+        next_task = 0
+        dropped = False
+        # Flip-query digests of children already enqueued.  Worker tries
+        # are per-process, so when diverged runs on *different* workers
+        # re-derive the same flip, the duplicate is caught here — same
+        # path set as the serial driver's shared trie.
+        seen_digests: set = set()
+        try:
+            while frontier or in_flight:
+                while (
+                    frontier
+                    and in_flight < self.jobs
+                    and result.num_paths + in_flight < self.max_paths
+                ):
+                    item = frontier.pop()
+                    task_queue.put(
+                        (next_task, serialize_assignment(item.assignment), item.bound)
+                    )
+                    next_task += 1
+                    in_flight += 1
+                if not in_flight:
+                    break  # path budget exhausted with work left over
+                reply = self._next_reply(result_queue, workers)
+                in_flight -= 1
+                _, path_payload, children, stats_payload = reply
+                if path_payload is None:
+                    raise RuntimeError(f"exploration worker failed:\n{children}")
+                if result.num_paths < self.max_paths:
+                    self._record_path(result, path_payload)
+                else:
+                    dropped = True
+                stats = RunStats(
+                    sat_checks=stats_payload[0],
+                    unsat_checks=stats_payload[1],
+                    cache_hits=stats_payload[2],
+                    pruned_queries=stats_payload[3],
+                    solver_time=stats_payload[4],
+                    covered_pcs=set(stats_payload[5]),
+                )
+                novelty = len(stats.covered_pcs - result.covered_branches)
+                result.merge_run_stats(stats)
+                for assignment_payload, bound, digest in children:
+                    if digest is not None:
+                        if digest in seen_digests:
+                            result.pruned_queries += 1
+                            continue
+                        seen_digests.add(digest)
+                    frontier.push(
+                        WorkItem(
+                            deserialize_assignment(assignment_payload),
+                            bound,
+                            novelty=novelty,
+                            digest=digest,
+                        )
+                    )
+        finally:
+            for _ in workers:
+                task_queue.put(None)
+            for worker in workers:
+                worker.join(timeout=5)
+            for worker in workers:
+                if worker.is_alive():  # pragma: no cover - defensive
+                    worker.terminate()
+                    worker.join(timeout=5)
+        result.truncated = dropped or bool(frontier)
+        result.frontier_peak = frontier.peak
+        result.wall_time = time.perf_counter() - start
+        return result
+
+    def _record_path(self, result: ExplorationResult, payload) -> None:
+        halt_reason, exit_code, instret, trace_length, assignment, stdout, pc = payload
+        result.total_instructions += instret
+        result.paths.append(
+            PathInfo(
+                index=len(result.paths),
+                halt_reason=halt_reason,
+                exit_code=exit_code,
+                instret=instret,
+                trace_length=trace_length,
+                assignment=deserialize_assignment(assignment),
+                stdout=stdout,
+                final_pc=pc,
+            )
+        )

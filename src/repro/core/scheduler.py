@@ -1,0 +1,244 @@
+"""Work-queue scheduling for path exploration.
+
+This module is the seam between *what* gets explored and *how*: the
+exploration drivers (serial :class:`repro.core.explorer.Explorer`,
+multi-process :class:`repro.core.parallel.ProcessPoolExplorer`) both
+operate on
+
+* :class:`WorkItem` — one pending concolic run (input assignment plus
+  the branch index below which ancestors already enumerated flips),
+* :class:`Frontier` — the work queue, parameterized by a pluggable
+  :mod:`repro.core.strategy` policy (DFS, BFS, random, coverage-guided)
+  with push/pop/peak-size accounting,
+* :func:`expand_run` — the branch-flip step of the paper's offline
+  executor (Sect. III-B): pose one solver query per flippable branch
+  beyond the bound, collect satisfiable flips as new work items,
+* :class:`RunStats` — exact per-run solver accounting, merged into the
+  exploration result identically whether the run happened inline or on
+  a worker process.
+
+Assignments cross process boundaries by *name*: interned terms hash by
+identity, so a pickled term would no longer match its interner entry on
+the other side.  :func:`serialize_assignment` and
+:func:`deserialize_assignment` translate between term-keyed assignments
+and plain (name, width, value) tuples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..smt import terms as T
+from ..smt.solver import Result, Solver
+from .state import ExploredPrefixTrie, InputAssignment
+from .strategy import Strategy, make_strategy
+
+__all__ = [
+    "WorkItem",
+    "Frontier",
+    "RunStats",
+    "expand_run",
+    "query_digest",
+    "serialize_assignment",
+    "deserialize_assignment",
+]
+
+
+@dataclass
+class WorkItem:
+    """One pending concolic run.
+
+    ``bound`` is the classic concolic re-flip barrier: branch indices
+    below it were already enumerated by ancestors and must not be
+    flipped again.  ``novelty`` scores how much new branch coverage the
+    *parent* run contributed; the coverage-guided strategy prioritizes
+    on it and the others ignore it.  ``digest`` identifies the flip
+    query that produced this item (see :func:`query_digest`); the
+    parallel driver uses it to deduplicate children across workers.
+    """
+
+    assignment: InputAssignment
+    bound: int
+    novelty: int = 0
+    digest: Optional[int] = None
+
+
+# Structural digests are memoized per process; forked workers inherit
+# the parent's (stable) string hash seed, so digests agree between the
+# parent and every worker even for terms interned after the fork.
+# Keyed by the term object (identity hash, O(1)) rather than id() so a
+# term can never alias a stale entry after an interner reset.
+_DIGEST_MEMO: dict = {}
+
+
+def term_digest(term: T.Term) -> int:
+    """Process-family-stable structural hash of a term DAG.
+
+    Interned-term identity is only meaningful within one process, so
+    the parallel driver cannot compare conditions across workers
+    directly; this digest depends only on (op, width, payload,
+    children) and therefore agrees across forked processes.
+    """
+    memo = _DIGEST_MEMO
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    stack = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            for arg in node.args:
+                if arg not in memo:
+                    stack.append((arg, False))
+            continue
+        memo[node] = hash(
+            (node.op, node.width, node.payload, tuple(memo[a] for a in node.args))
+        )
+    return memo[term]
+
+
+def query_digest(conditions) -> int:
+    """Order-sensitive digest of a full flip query (prefix + negation)."""
+    return hash(tuple(term_digest(term) for term in conditions))
+
+
+class Frontier:
+    """The exploration work queue.
+
+    Wraps a :class:`repro.core.strategy.Strategy` (or builds one by
+    name) and keeps scheduling statistics.  Items are
+    :class:`WorkItem`s; the policy object itself stays item-agnostic.
+    """
+
+    def __init__(self, strategy="dfs", seed: int = 0):
+        if isinstance(strategy, Strategy):
+            self._strategy = strategy
+        else:
+            self._strategy = make_strategy(strategy, seed)
+        self.pushed = 0
+        self.popped = 0
+        self.peak = 0
+
+    def push(self, item: WorkItem) -> None:
+        self._strategy.push(item)
+        self.pushed += 1
+        self.peak = max(self.peak, len(self._strategy))
+
+    def pop(self) -> WorkItem:
+        self.popped += 1
+        return self._strategy.pop()
+
+    def __len__(self) -> int:
+        return len(self._strategy)
+
+    def __bool__(self) -> bool:
+        return len(self._strategy) > 0
+
+
+@dataclass
+class RunStats:
+    """Solver-side accounting for one concolic run's expansion."""
+
+    sat_checks: int = 0
+    unsat_checks: int = 0
+    cache_hits: int = 0
+    pruned_queries: int = 0
+    solver_time: float = 0.0
+    #: PCs of flippable branches seen in the run (for branch coverage).
+    covered_pcs: set = field(default_factory=set)
+
+    def merge(self, other: "RunStats") -> None:
+        self.sat_checks += other.sat_checks
+        self.unsat_checks += other.unsat_checks
+        self.cache_hits += other.cache_hits
+        self.pruned_queries += other.pruned_queries
+        self.solver_time += other.solver_time
+        self.covered_pcs |= other.covered_pcs
+
+
+def expand_run(
+    run,
+    bound: int,
+    solver: Solver,
+    variables,
+    stats: RunStats,
+    trie: Optional[ExploredPrefixTrie] = None,
+    compute_digests: bool = False,
+) -> list[WorkItem]:
+    """Generate flipped-branch children of a completed run.
+
+    Children are returned shallow-to-deep, so a LIFO frontier (DFS)
+    explores the deepest unexplored branch first — the classic
+    depth-first concolic schedule.  ``bound`` prevents re-flipping
+    decisions an ancestor already enumerated; the optional ``trie``
+    additionally skips flip queries some *other* path already issued
+    (which happens when a run diverges from its predicted path).
+
+    ``stats`` receives exact accounting: every answered query counts as
+    sat/unsat only when the solver actually ran — cache hits and trie
+    prunes are tracked separately — and ``solver_time`` covers model
+    extraction, not just the satisfiability check.
+
+    With ``compute_digests`` each child carries the structural digest
+    of the query that produced it, so a parent process coordinating
+    several workers (whose tries are per-process) can drop children of
+    flip queries another worker already expanded.
+    """
+    children: list[WorkItem] = []
+    records = run.trace.records
+    conditions = run.trace.conditions()
+    cache = getattr(solver, "cache", None)
+    node = trie.root() if trie is not None else None
+    for index, record in enumerate(records):
+        if record.flippable:
+            stats.covered_pcs.add(record.pc)
+        if index >= bound and record.flippable:
+            negated = record.negated()
+            if trie is not None and not trie.try_mark(node, negated):
+                stats.pruned_queries += 1
+            else:
+                query = conditions[:index] + [negated]
+                hits_before = cache.hits if cache is not None else 0
+                check_start = time.perf_counter()
+                verdict = solver.check(query)
+                if verdict is Result.SAT:
+                    model = solver.model()
+                    children.append(
+                        WorkItem(
+                            run.assignment.derive(model, variables),
+                            index + 1,
+                            digest=query_digest(query) if compute_digests else None,
+                        )
+                    )
+                stats.solver_time += time.perf_counter() - check_start
+                if cache is not None and cache.hits > hits_before:
+                    stats.cache_hits += 1
+                elif verdict is Result.SAT:
+                    stats.sat_checks += 1
+                else:
+                    stats.unsat_checks += 1
+        if trie is not None:
+            node = trie.step(node, record.condition)
+    return children
+
+
+def serialize_assignment(assignment: InputAssignment) -> tuple:
+    """Flatten a term-keyed assignment into picklable (name, width, value)s."""
+    return tuple(
+        (variable.payload, variable.width, value)
+        for variable, value in assignment.values.items()
+    )
+
+
+def deserialize_assignment(payload) -> InputAssignment:
+    """Rebuild an assignment, re-interning its variables in this process."""
+    values = {}
+    for name, width, value in payload:
+        variable = T.bv_var(name, width) if width else T.bool_var(name)
+        values[variable] = value
+    return InputAssignment(values)

@@ -18,7 +18,13 @@ from typing import Optional
 
 from ..smt import terms as T
 
-__all__ = ["BranchRecord", "PathTrace", "SymbolicInput", "InputAssignment"]
+__all__ = [
+    "BranchRecord",
+    "PathTrace",
+    "SymbolicInput",
+    "InputAssignment",
+    "ExploredPrefixTrie",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,73 @@ class PathTrace:
         return tuple(
             (record.pc, record.taken) for record in self.records if record.flippable
         )
+
+
+class _TrieNode:
+    __slots__ = ("children", "attempted")
+
+    def __init__(self) -> None:
+        self.children: dict[T.Term, _TrieNode] = {}
+        self.attempted = False
+
+
+class ExploredPrefixTrie:
+    """Prefix-sharing set of already-issued branch-flip queries.
+
+    Each query the explorer poses is a path-condition prefix plus one
+    negated branch condition.  Keys are the sequences of (interned)
+    condition terms, so the trie shares storage between the heavily
+    overlapping prefixes of sibling paths.  Marking a flip that was
+    already attempted returns False, letting the exploration driver skip
+    the solver query *and* the duplicate frontier entry it would create
+    — the situation arises when concolic runs diverge from their
+    predicted path and re-execute an already-enumerated prefix.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._flips = 0
+
+    def __len__(self) -> int:
+        """Number of distinct flip queries marked so far."""
+        return self._flips
+
+    def root(self) -> _TrieNode:
+        return self._root
+
+    def step(self, node: _TrieNode, condition: T.Term) -> _TrieNode:
+        """Advance one condition deeper, creating the child on demand."""
+        child = node.children.get(condition)
+        if child is None:
+            child = _TrieNode()
+            node.children[condition] = child
+        return child
+
+    def try_mark(self, node: _TrieNode, negated: T.Term) -> bool:
+        """Mark the flip ``negated`` under ``node``; False if seen before."""
+        child = self.step(node, negated)
+        if child.attempted:
+            return False
+        child.attempted = True
+        self._flips += 1
+        return True
+
+    def insert(self, conditions: list[T.Term]) -> bool:
+        """Mark a full query (prefix + negated flip); False if present."""
+        if not conditions:
+            return False
+        node = self._root
+        for condition in conditions[:-1]:
+            node = self.step(node, condition)
+        return self.try_mark(node, conditions[-1])
+
+    def contains(self, conditions: list[T.Term]) -> bool:
+        node = self._root
+        for condition in conditions:
+            node = node.children.get(condition)
+            if node is None:
+                return False
+        return node.attempted
 
 
 @dataclass

@@ -8,11 +8,20 @@ worklist policy: ``push`` pending flip candidates, ``pop`` the next one.
 
 from __future__ import annotations
 
+import heapq
 import random
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
-__all__ = ["Strategy", "DepthFirst", "BreadthFirst", "RandomChoice", "make_strategy"]
+__all__ = [
+    "Strategy",
+    "DepthFirst",
+    "BreadthFirst",
+    "RandomChoice",
+    "CoverageGuided",
+    "STRATEGIES",
+    "make_strategy",
+]
 
 
 class Strategy:
@@ -82,12 +91,45 @@ class RandomChoice(Strategy):
         return len(self._items)
 
 
+class CoverageGuided(Strategy):
+    """Max-heap on the pusher-supplied *novelty* score.
+
+    The exploration driver scores each frontier entry with the number of
+    previously-uncovered branch PCs its parent run discovered; entries
+    descending from coverage-expanding runs are explored first.  Items
+    without a ``novelty`` attribute score 0.  Ties break FIFO via a
+    monotone sequence number, which makes pop order fully deterministic
+    — the seed parameter exists only for interface uniformity.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._heap: list = []
+        self._seq = 0
+
+    def push(self, item) -> None:
+        novelty = getattr(item, "novelty", 0)
+        heapq.heappush(self._heap, (-novelty, self._seq, item))
+        self._seq += 1
+
+    def pop(self):
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+#: name -> factory taking the exploration seed.
+STRATEGIES = {
+    "dfs": lambda seed: DepthFirst(),
+    "bfs": lambda seed: BreadthFirst(),
+    "random": RandomChoice,
+    "coverage": CoverageGuided,
+}
+
+
 def make_strategy(name: str, seed: int = 0) -> Strategy:
-    """Factory: ``dfs`` (default), ``bfs`` or ``random``."""
-    if name == "dfs":
-        return DepthFirst()
-    if name == "bfs":
-        return BreadthFirst()
-    if name == "random":
-        return RandomChoice(seed)
-    raise ValueError(f"unknown strategy {name!r}")
+    """Factory: ``dfs`` (default), ``bfs``, ``random`` or ``coverage``."""
+    factory = STRATEGIES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown strategy {name!r}")
+    return factory(seed)

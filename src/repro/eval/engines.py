@@ -65,8 +65,20 @@ def explore_with(
     symbolic_registers=(),
     max_paths: int = 1_000_000,
     max_steps: int = 1_000_000,
+    strategy: str = "dfs",
+    jobs: int = 1,
+    use_cache: bool = False,
+    solver=None,
 ) -> ExplorationResult:
-    """Build an engine, explore the image, return the result."""
+    """Build an engine, explore the image, return the result.
+
+    The exploration knobs mirror :class:`repro.core.Explorer`: every
+    baseline engine implements the same executor interface, so parallel
+    workers and the cross-path query cache apply to all of them alike.
+    A ``solver`` can be shared across calls — exploring the same image
+    with several engines re-issues largely identical branch queries,
+    which a shared :class:`repro.smt.CachingSolver` answers from cache.
+    """
     engine = make_engine(
         key,
         isa if isa is not None else rv32im(),
@@ -74,4 +86,11 @@ def explore_with(
         symbolic_registers=symbolic_registers,
         max_steps=max_steps,
     )
-    return Explorer(engine, max_paths=max_paths).explore()
+    return Explorer(
+        engine,
+        solver=solver,
+        max_paths=max_paths,
+        strategy=strategy,
+        jobs=jobs,
+        use_cache=use_cache,
+    ).explore()

@@ -17,7 +17,15 @@ bitvector theory:
 
 from . import bvops, terms
 from .evalbv import evaluate
-from .solver import Model, Result, Solver, is_satisfiable, solve_for_model
+from .solver import (
+    CachingSolver,
+    Model,
+    QueryCache,
+    Result,
+    Solver,
+    is_satisfiable,
+    solve_for_model,
+)
 from .smtlib import script, term_to_smtlib
 from .terms import Term
 
@@ -26,6 +34,8 @@ __all__ = [
     "terms",
     "Term",
     "Solver",
+    "CachingSolver",
+    "QueryCache",
     "Result",
     "Model",
     "evaluate",

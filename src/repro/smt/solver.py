@@ -9,20 +9,28 @@ Scopes and assumptions are implemented with activation literals on top
 of the CDCL core, so nothing is ever re-encoded: the bit-blaster's term
 cache persists for the lifetime of the solver, which is what makes the
 offline executor's thousands of small branch queries affordable.
+
+The cross-path query layer lives here too: :class:`QueryCache` memoizes
+branch-flip answers keyed by the *canonicalized* path condition (a
+frozenset of interned condition terms, so permuted and duplicated
+prefixes collapse onto one entry), and :class:`CachingSolver` consults
+it before touching the CDCL core — exact hits, UNSAT-superset
+subsumption, and satisfying-model reuse all answer without a solve.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from typing import Iterable, Mapping, Optional
 
 from . import terms
 from .bitblast import BitBlaster
-from .evalbv import evaluate
+from .evalbv import EvalError, evaluate
 from .sat import SAT, SatSolver
 from .terms import Term
 
-__all__ = ["Solver", "Result", "Model"]
+__all__ = ["Solver", "Result", "Model", "QueryCache", "CachingSolver"]
 
 
 class Result(enum.Enum):
@@ -160,6 +168,229 @@ class Solver:
         stats["sat_vars"] = self._sat.num_vars
         stats["checks"] = self.num_checks
         return stats
+
+
+class QueryCache:
+    """Cross-path memo of satisfiability answers and models.
+
+    Keys are canonicalized path conditions: the ``frozenset`` of the
+    query's (interned) condition terms, so condition *order* and
+    duplicated conjuncts never cause a miss.  Three lookup tiers, each
+    sound on its own:
+
+    1. **exact** — the same condition set was answered before;
+    2. **UNSAT subsumption** — some cached UNSAT set is a subset of the
+       query (a conjunction stays UNSAT under extra conjuncts);
+    3. **model reuse** — a recently produced satisfying model, completed
+       with zeros for fresh variables, already satisfies every conjunct
+       (evaluated with the reference evaluator), so the query is SAT and
+       that completed model is a witness.
+
+    The cache is process-local: interned terms hash by identity, which
+    makes the keys O(1) but meaningless across processes.  Each parallel
+    exploration worker therefore owns one ``QueryCache``.
+    """
+
+    def __init__(
+        self,
+        max_models: int = 8,
+        max_unsat_sets: int = 512,
+        max_entries: int = 100_000,
+    ):
+        self._results: dict[frozenset, Result] = {}
+        self._models: dict[frozenset, Model] = {}
+        self._unsat_sets: deque = deque(maxlen=max_unsat_sets)
+        self._model_pool: deque = deque(maxlen=max_models)
+        self._vars_memo: dict[Term, frozenset] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.exact_hits = 0
+        self.subsumption_hits = 0
+        self.model_reuse_hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- lookup --------------------------------------------------------
+
+    def lookup(
+        self, key: frozenset, conditions: list[Term]
+    ) -> tuple[Optional[Result], Optional["Model"]]:
+        """Try to answer ``conditions`` (canonicalized as ``key``)."""
+        cached = self._results.get(key)
+        if cached is Result.UNSAT:
+            self.hits += 1
+            self.exact_hits += 1
+            return cached, None
+        if cached is Result.SAT:
+            model = self._models.get(key)
+            if model is not None:
+                self.hits += 1
+                self.exact_hits += 1
+                return cached, model
+            # SAT is known but no witness was ever extracted; a fresh
+            # solve (or model-reuse below) must produce one.
+        for unsat_set in self._unsat_sets:
+            if len(unsat_set) <= len(key) and unsat_set <= key:
+                self.hits += 1
+                self.subsumption_hits += 1
+                self._evict_if_full()
+                self._results[key] = Result.UNSAT
+                return Result.UNSAT, None
+        witness = self._reusable_model(key, conditions)
+        if witness is not None:
+            self.hits += 1
+            self.model_reuse_hits += 1
+            self._evict_if_full()
+            self._results[key] = Result.SAT
+            self._models[key] = witness
+            return Result.SAT, witness
+        self.misses += 1
+        return None, None
+
+    def _variables_of(self, term: Term) -> frozenset:
+        memo = self._vars_memo.get(term)
+        if memo is None:
+            memo = frozenset(term.variables())
+            self._vars_memo[term] = memo
+        return memo
+
+    def _reusable_model(
+        self, key: frozenset, conditions: list[Term]
+    ) -> Optional["Model"]:
+        """A cached model that satisfies every conjunct, or None.
+
+        The candidate assignment is completed with zeros for variables
+        the original model never saw; the returned :class:`Model` binds
+        those completions explicitly so downstream consumers (input
+        derivation) see exactly the assignment that was validated here.
+        """
+        if not self._model_pool:
+            return None
+        variables: set[Term] = set()
+        for term in key:
+            variables |= self._variables_of(term)
+        for values in self._model_pool:
+            completed = dict(values)
+            for var in variables:
+                completed.setdefault(var, 0)
+            try:
+                if all(evaluate(term, completed) for term in conditions):
+                    return Model(completed)
+            except EvalError:  # pragma: no cover - defensive
+                continue
+        return None
+
+    # -- store ---------------------------------------------------------
+
+    def _evict_if_full(self) -> None:
+        """FIFO-evict the memo when it reaches the entry cap.
+
+        Exploration query streams have no temporal locality worth an
+        LRU: the nearby (sibling-path) queries are the recent ones, so
+        dropping the oldest insertions loses the least.  dicts iterate
+        in insertion order, which gives FIFO for free.
+        """
+        if len(self._results) < self._max_entries:
+            return
+        oldest = next(iter(self._results))
+        del self._results[oldest]
+        self._models.pop(oldest, None)
+
+    def store_unsat(self, key: frozenset) -> None:
+        self._evict_if_full()
+        self._results[key] = Result.UNSAT
+        self._unsat_sets.append(key)
+
+    def store_sat(self, key: frozenset, model: "Model") -> None:
+        self._evict_if_full()
+        self._results[key] = Result.SAT
+        self._models[key] = model
+        self._model_pool.append(dict(model.items()))
+
+    @property
+    def statistics(self) -> Mapping[str, int]:
+        return {
+            "entries": len(self._results),
+            "hits": self.hits,
+            "exact_hits": self.exact_hits,
+            "subsumption_hits": self.subsumption_hits,
+            "model_reuse_hits": self.model_reuse_hits,
+            "misses": self.misses,
+        }
+
+
+class CachingSolver(Solver):
+    """:class:`Solver` with a cross-path :class:`QueryCache` in front.
+
+    Only assumption-style queries against an otherwise empty solver are
+    cached — the explorer's exact usage pattern.  As soon as ``add`` or
+    ``push`` introduces persistent state the cache is bypassed, because
+    the cache key would no longer capture the full formula.  Cache hits
+    do not bump ``num_checks`` (no CDCL search ran); they are counted in
+    :attr:`cache_hits` instead, which is how exploration statistics keep
+    "real" and "cached" query counts separate.
+    """
+
+    def __init__(self, cache: Optional[QueryCache] = None):
+        super().__init__()
+        self.cache = cache if cache is not None else QueryCache()
+        self._tainted = False
+        self._pending_key: Optional[frozenset] = None
+        self._reused_model: Optional[Model] = None
+
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.misses
+
+    def add(self, term: Term) -> None:
+        self._tainted = True
+        super().add(term)
+
+    def check(self, assumptions: Iterable[Term] = ()) -> Result:
+        conditions = list(assumptions)
+        self._pending_key = None
+        self._reused_model = None
+        if self._tainted or self._scopes:
+            return super().check(conditions)
+        key_terms = []
+        for term in conditions:
+            if term.is_const:
+                if not term.payload:
+                    # Constant-false conjunct: same fast path as the
+                    # base solver, not worth a cache entry.
+                    return super().check(conditions)
+            else:
+                key_terms.append(term)
+        key = frozenset(key_terms)
+        result, model = self.cache.lookup(key, conditions)
+        if result is Result.UNSAT or (result is Result.SAT and model is not None):
+            # A SAT hit is only usable when a witness was cached: the
+            # underlying SAT core did not run for this query, so a later
+            # model() call could not answer from its state.
+            self._last_result = result
+            self._reused_model = model
+            return result
+        verdict = super().check(conditions)
+        if verdict is Result.UNSAT:
+            self.cache.store_unsat(key)
+        else:
+            self._pending_key = key
+        return verdict
+
+    def model(self) -> Model:
+        if self._reused_model is not None:
+            return self._reused_model
+        model = super().model()
+        if self._pending_key is not None and self._last_result is Result.SAT:
+            self.cache.store_sat(self._pending_key, model)
+            self._pending_key = None
+        return model
 
 
 def is_satisfiable(term: Term) -> bool:

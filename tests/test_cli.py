@@ -114,6 +114,20 @@ done:
         assert main(["explore", "--symbolic", "0x30000:1", str(path)]) == 0
         assert "2 paths" in capsys.readouterr().out
 
+    def test_parallel_jobs(self, program_file, capsys):
+        assert main(["explore", "--jobs", "2", str(program_file)]) == 1
+        out = capsys.readouterr().out
+        assert "2 paths" in out
+        assert "assertion failure" in out
+
+    def test_coverage_strategy(self, program_file, capsys):
+        assert main(["explore", "--strategy", "coverage", str(program_file)]) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_query_cache_toggle(self, program_file, capsys):
+        assert main(["explore", "--no-query-cache", str(program_file)]) == 1
+        assert "2 paths" in capsys.readouterr().out
+
     def test_bad_symbolic_spec(self, program_file):
         with pytest.raises(SystemExit):
             main(["explore", "--symbolic", "garbage", str(program_file)])

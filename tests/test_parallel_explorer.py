@@ -1,0 +1,227 @@
+"""Tests for multi-process exploration (core.parallel).
+
+The load-bearing property: the flip-expansion rules fully determine the
+reachable (assignment, bound) tree, so parallel exploration must
+discover exactly the serial path set — only completion order may vary.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.asm import assemble
+from repro.core import BinSymExecutor, Explorer, ProcessPoolExplorer
+from repro.core.parallel import default_jobs
+from repro.eval.engines import make_engine
+from repro.eval.query_stats import RecordingSolver
+from repro.eval.workloads import WORKLOADS
+from repro.spec import rv32im
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+
+# The quickstart example's PIN check: 5 paths, one per matched prefix.
+PIN_CHECK = """\
+_start:
+    li a0, 0x30000
+    li a1, 4
+    li a7, 1337
+    ecall
+    li s0, 0x30000
+    la s1, secret
+    li t0, 0
+check:
+    li t1, 4
+    beq t0, t1, unlocked
+    add t2, s0, t0
+    lbu t3, 0(t2)
+    add t2, s1, t0
+    lbu t4, 0(t2)
+    bne t3, t4, locked
+    addi t0, t0, 1
+    j check
+unlocked:
+    li a0, 1
+    li a7, 93
+    ecall
+locked:
+    li a0, 0
+    li a7, 93
+    ecall
+.data
+secret:
+    .byte 0x13, 0x37, 0x42, 0x99
+"""
+
+FAILING = """\
+_start:
+    li a0, 0x30000
+    li a1, 1
+    li a7, 1337
+    ecall
+    li t0, 0x30000
+    lbu t1, 0(t0)
+    li t2, 7
+    beq t1, t2, lucky
+    li a0, 0
+    li a7, 93
+    ecall
+lucky:
+    ebreak
+"""
+
+
+def build_executor(source):
+    return BinSymExecutor(rv32im(), assemble(source))
+
+
+@needs_fork
+class TestParallelMatchesSerial:
+    def compare(self, executor_factory, jobs=2, **kwargs):
+        serial = Explorer(executor_factory(), **kwargs).explore()
+        parallel = Explorer(executor_factory(), jobs=jobs, **kwargs).explore()
+        assert parallel.workers == jobs
+        assert parallel.num_paths == serial.num_paths
+        assert parallel.path_set() == serial.path_set()
+        return serial, parallel
+
+    def test_quickstart_pin_check(self):
+        serial, parallel = self.compare(lambda: build_executor(PIN_CHECK))
+        assert serial.num_paths == 5
+        assert parallel.exit_codes == {0, 1}
+
+    def test_base64_workload(self):
+        image = WORKLOADS["base64-encode"].image(1)
+        expected = WORKLOADS["base64-encode"].expected_paths(1)
+        serial, parallel = self.compare(
+            lambda: BinSymExecutor(rv32im(), image)
+        )
+        assert parallel.num_paths == expected
+
+    def test_assertion_failures_found(self):
+        _, parallel = self.compare(lambda: build_executor(FAILING))
+        assert len(parallel.assertion_failures) == 1
+
+    @pytest.mark.parametrize("strategy", ["dfs", "bfs", "random", "coverage"])
+    def test_all_strategies(self, strategy):
+        self.compare(lambda: build_executor(PIN_CHECK), strategy=strategy, seed=3)
+
+    def test_baseline_engine_gets_parallelism(self):
+        image = WORKLOADS["bubble-sort"].image(3)
+        isa = rv32im()
+        self.compare(lambda: make_engine("binsec", isa, image))
+
+
+@needs_fork
+class TestParallelStats:
+    def test_worker_stats_aggregate_exactly(self):
+        serial = Explorer(build_executor(PIN_CHECK), use_cache=False).explore()
+        parallel = Explorer(
+            build_executor(PIN_CHECK), jobs=2, use_cache=False
+        ).explore()
+        # Same exploration tree => same total work, regardless of which
+        # worker performed it.
+        assert parallel.num_queries == serial.num_queries
+        assert parallel.sat_checks == serial.sat_checks
+        assert parallel.unsat_checks == serial.unsat_checks
+        assert parallel.total_instructions == serial.total_instructions
+        assert parallel.solver_time > 0.0
+        assert parallel.wall_time > 0.0
+
+    def test_max_paths_truncates(self):
+        result = Explorer(build_executor(PIN_CHECK), jobs=2, max_paths=2).explore()
+        assert result.num_paths <= 2
+        assert result.truncated
+
+    def test_summary_mentions_workers(self):
+        result = Explorer(build_executor(FAILING), jobs=2).explore()
+        assert "[2 workers]" in result.summary()
+
+
+class TestFallbacks:
+    def test_jobs_one_stays_in_process(self):
+        result = Explorer(build_executor(FAILING), jobs=1).explore()
+        assert result.workers == 1
+        assert result.num_paths == 2
+
+    def test_pool_explorer_fallback_path(self):
+        result = ProcessPoolExplorer(build_executor(FAILING), jobs=1).explore()
+        assert result.workers == 1
+        assert result.num_paths == 2
+
+    def test_explicit_solver_pins_serial(self):
+        solver = RecordingSolver()
+        result = Explorer(build_executor(FAILING), solver=solver, jobs=4).explore()
+        assert result.workers == 1
+        assert solver.stats.queries == result.num_queries
+        assert result.num_paths == 2
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+@needs_fork
+class TestWorkerFailure:
+    def test_worker_exception_propagates(self):
+        class ExplodingExecutor:
+            def execute(self, assignment):
+                raise RuntimeError("boom")
+
+            def input_variables(self):
+                return []
+
+        with pytest.raises(RuntimeError, match="worker failed"):
+            ProcessPoolExplorer(ExplodingExecutor(), jobs=2).explore()
+
+    def test_hard_killed_worker_detected(self):
+        """A worker that dies without replying must not hang the parent."""
+        import os
+
+        class DyingExecutor:
+            def execute(self, assignment):
+                os._exit(3)
+
+            def input_variables(self):
+                return []
+
+        with pytest.raises(RuntimeError, match="died without replying"):
+            ProcessPoolExplorer(DyingExecutor(), jobs=2).explore()
+
+
+@needs_fork
+class TestQueryDigest:
+    def test_digest_stable_across_fork(self):
+        """Terms interned *after* the fork must digest identically in
+        parent and child — the property cross-worker dedup relies on."""
+        import multiprocessing as mp
+
+        from repro.core.scheduler import query_digest
+        from repro.smt import terms as T
+
+        def fresh_query():
+            x = T.bv_var("digest_probe", 16)
+            return [T.ult(x, T.bv(0x1234, 16)), T.eq(x, T.bv(7, 16))]
+
+        context = mp.get_context("fork")
+        parent_conn, child_conn = context.Pipe()
+
+        def child_main(conn):
+            conn.send(query_digest(fresh_query()))
+            conn.close()
+
+        process = context.Process(target=child_main, args=(child_conn,))
+        process.start()
+        child_digest = parent_conn.recv()
+        process.join(timeout=10)
+        assert child_digest == query_digest(fresh_query())
+
+    def test_digest_distinguishes_order_and_structure(self):
+        from repro.core.scheduler import query_digest
+        from repro.smt import terms as T
+
+        x = T.bv_var("digest_probe2", 8)
+        a, b = T.ult(x, T.bv(3, 8)), T.eq(x, T.bv(1, 8))
+        assert query_digest([a, b]) != query_digest([b, a])
+        assert query_digest([a]) != query_digest([b])
+        assert query_digest([a, b]) == query_digest([a, b])
