@@ -2,15 +2,21 @@
 
 These locate where solving time goes (the paper's future-work question
 about SMT query complexity): term construction with/without interning
-payoff, bit-blasting cost per operation class, and CDCL behaviour on
-structured instances.
+payoff, bit-blasting cost per operation class, CDCL behaviour on
+structured instances, and — since PR 2 — the word-level preprocessing
+pipeline's effect on the number of queries that reach the CDCL core at
+all (bubble-sort and the Fig. 6 workload set).
 """
 
 import pytest
 
+from repro.core import BinSymExecutor, Explorer
+from repro.eval.workloads import WORKLOADS
 from repro.smt import terms as T
+from repro.smt.preprocess import PreprocessConfig
 from repro.smt.sat import SatSolver
-from repro.smt.solver import Result, Solver
+from repro.smt.solver import CachingSolver, Result, Solver
+from repro.spec import rv32im
 
 
 def build_chain(width, depth):
@@ -101,3 +107,71 @@ def test_incremental_assumption_queries(benchmark):
         return sat_count
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# Fig. 6 / Table I workload set at default scales (bubble-sort at 4, as
+# the acceptance criterion names it).
+_PIPELINE_WORKLOADS = (
+    "bubble-sort",
+    "insertion-sort",
+    "base64-encode",
+    "uri-parser",
+    "clif-parser",
+)
+
+
+def _explore_with_pipeline(image, config):
+    solver = CachingSolver(preprocess=config)
+    result = Explorer(BinSymExecutor(rv32im(), image), solver=solver).explore()
+    return result, solver
+
+
+@pytest.mark.parametrize("workload", _PIPELINE_WORKLOADS)
+def test_pipeline_reduces_sat_core_solves(benchmark, workload):
+    """The PR 2 contract: preprocessing on => strictly fewer CDCL
+    ``solve()`` calls than preprocessing off, identical path sets."""
+    benchmark.group = "preprocess"
+    image = WORKLOADS[workload].image(WORKLOADS[workload].default_scale)
+    off_result, off_solver = _explore_with_pipeline(
+        image, PreprocessConfig(slicing=False, rewrite=False, intervals=False)
+    )
+
+    def run():
+        return _explore_with_pipeline(image, PreprocessConfig())
+
+    on_result, on_solver = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert on_result.path_set() == off_result.path_set()
+    assert on_solver.num_solves < off_solver.num_solves
+    benchmark.extra_info["solves_off"] = off_solver.num_solves
+    benchmark.extra_info["solves_on"] = on_solver.num_solves
+    benchmark.extra_info["fast_path"] = on_solver.fast_path_answers
+    benchmark.extra_info["paths"] = on_result.num_paths
+
+
+def test_pipeline_ablation_query_counts(benchmark):
+    """Each stage alone must never *increase* core solves vs all-off."""
+    benchmark.group = "preprocess"
+    image = WORKLOADS["bubble-sort"].image(4)
+    configs = {
+        "off": PreprocessConfig(slicing=False, rewrite=False, intervals=False),
+        "slicing": PreprocessConfig(rewrite=False, intervals=False),
+        "rewrite": PreprocessConfig(slicing=False, intervals=False),
+        "intervals": PreprocessConfig(slicing=False, rewrite=False),
+        "full": PreprocessConfig(),
+    }
+
+    def run():
+        counts = {}
+        reference = None
+        for name, config in configs.items():
+            result, solver = _explore_with_pipeline(image, config)
+            if reference is None:
+                reference = result.path_set()
+            assert result.path_set() == reference
+            counts[name] = solver.num_solves
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, solves in counts.items():
+        assert solves <= counts["off"], (name, counts)
+        benchmark.extra_info[f"solves_{name}"] = solves

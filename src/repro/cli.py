@@ -24,6 +24,7 @@ from .asm.disasm import disassemble_image
 from .concrete import ConcreteInterpreter, HostPlatform, TracingInterpreter
 from .core import Explorer
 from .eval.engines import make_engine
+from .smt.preprocess import PreprocessConfig
 from .loader import read_elf, write_elf
 from .loader.image import Image
 from .spec import rv32im, rv32im_zbb, rv32im_zimadd
@@ -102,6 +103,9 @@ def _cmd_explore(args) -> int:
         # Configure harness-driven symbolic input on top of any
         # make_symbolic calls the program itself performs.
         engine.symbolic_memory = tuple(symbolic_memory)
+    preprocess = PreprocessConfig(
+        slicing=args.slicing, rewrite=args.rewrite, intervals=args.intervals
+    )
     result = Explorer(
         engine,
         strategy=args.strategy,
@@ -109,8 +113,18 @@ def _cmd_explore(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         use_cache=args.query_cache,
+        preprocess=preprocess,
     ).explore()
     print(result.summary())
+    if args.stats:
+        print("query pipeline statistics:")
+        print(f"  queries answered     : {result.num_queries} solved, "
+              f"{result.cache_hits} from cache, "
+              f"{result.fast_path_answers} fast-path, "
+              f"{result.pruned_queries} pruned")
+        print(f"  SAT-core solve() calls: {result.sat_solves}")
+        for key in sorted(result.solver_stats):
+            print(f"  {key:21s}: {result.solver_stats[key]}")
     for path in result.paths[: args.show_paths]:
         marker = "FAIL" if path.is_assertion_failure else f"exit={path.exit_code}"
         print(f"  path {path.index:4d}: {marker:10s} {path.assignment}")
@@ -163,7 +177,20 @@ def main(argv=None) -> int:
                            help="seed for the random search strategy")
     p_explore.add_argument("--no-query-cache", dest="query_cache",
                            action="store_false", default=True,
-                           help="disable the cross-path solver query cache")
+                           help="disable the whole query layer: cross-path "
+                                "cache AND preprocessing pipeline (plain "
+                                "solver; --no-* pipeline flags are moot)")
+    p_explore.add_argument("--no-slicing", dest="slicing",
+                           action="store_false", default=True,
+                           help="disable independence slicing of queries")
+    p_explore.add_argument("--no-rewrite", dest="rewrite",
+                           action="store_false", default=True,
+                           help="disable word-level query rewriting")
+    p_explore.add_argument("--no-intervals", dest="intervals",
+                           action="store_false", default=True,
+                           help="disable the interval fast path")
+    p_explore.add_argument("--stats", action="store_true",
+                           help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)
     p_explore.add_argument("--max-steps", type=int, default=1_000_000)
     p_explore.add_argument("--show-paths", type=int, default=20)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..arch.hart import HaltReason
+from ..smt.preprocess import PreprocessConfig
 from ..smt.solver import CachingSolver, Solver
 from .executor import RunResult
 from .scheduler import Frontier, RunStats, WorkItem, expand_run
@@ -59,15 +60,21 @@ class ExplorationResult:
 
     Query accounting is exact in both execution modes: ``sat_checks``
     and ``unsat_checks`` count queries the SAT core actually solved
-    (summed over all workers in parallel mode), while ``cache_hits``
-    and ``pruned_queries`` count work the query cache and the
-    explored-prefix trie avoided.
+    (summed over all workers in parallel mode), ``sat_solves`` the raw
+    per-slice CDCL invocations behind them, while ``cache_hits``,
+    ``fast_path_answers`` and ``pruned_queries`` count work the query
+    cache, the preprocessing pipeline and the explored-prefix trie
+    avoided.  ``solver_stats`` carries the flat cache/pipeline counter
+    dict (:attr:`repro.smt.solver.CachingSolver.pipeline_statistics`),
+    key-wise summed across workers.
     """
 
     paths: list[PathInfo] = field(default_factory=list)
     sat_checks: int = 0
     unsat_checks: int = 0
     cache_hits: int = 0
+    fast_path_answers: int = 0
+    sat_solves: int = 0
     pruned_queries: int = 0
     total_instructions: int = 0
     wall_time: float = 0.0
@@ -79,6 +86,9 @@ class ExplorationResult:
     frontier_peak: int = 0
     #: PCs of symbolic branches seen during exploration (branch coverage).
     covered_branches: set = field(default_factory=set)
+    #: Flat solver-side counters (cache tiers, pipeline stages, core
+    #: solves), exactly summed over every worker's solver.
+    solver_stats: dict = field(default_factory=dict)
 
     @property
     def num_paths(self) -> int:
@@ -113,9 +123,16 @@ class ExplorationResult:
         self.sat_checks += stats.sat_checks
         self.unsat_checks += stats.unsat_checks
         self.cache_hits += stats.cache_hits
+        self.fast_path_answers += stats.fast_path_answers
+        self.sat_solves += stats.sat_solves
         self.pruned_queries += stats.pruned_queries
         self.solver_time += stats.solver_time
         self.covered_branches |= stats.covered_pcs
+
+    def merge_solver_stats(self, stats: dict) -> None:
+        """Key-wise sum of one solver's flat counter dict."""
+        for key, value in stats.items():
+            self.solver_stats[key] = self.solver_stats.get(key, 0) + value
 
     def summary(self) -> str:
         text = (
@@ -127,9 +144,10 @@ class ExplorationResult:
             f"{self.total_instructions} instructions, "
             f"{self.wall_time:.2f}s"
         )
-        if self.cache_hits or self.pruned_queries:
+        if self.cache_hits or self.fast_path_answers or self.pruned_queries:
             text += (
                 f" [{self.cache_hits} cache hits, "
+                f"{self.fast_path_answers} fast-path, "
                 f"{self.pruned_queries} pruned]"
             )
         if self.workers > 1:
@@ -142,10 +160,12 @@ class Explorer:
 
     ``jobs > 1`` delegates to the multi-process driver (each worker owns
     its own solver and query cache); ``use_cache`` enables the
-    cross-path query cache in the single-process driver.  An explicitly
-    supplied ``solver`` pins the exploration to a single process, since
-    a user-provided facade (e.g. the query-complexity recorder) cannot
-    be replicated onto workers.
+    cross-path query cache in the single-process driver, and
+    ``preprocess`` configures the word-level query pipeline in front of
+    it (slicing / rewriting / intervals — all on by default).  An
+    explicitly supplied ``solver`` pins the exploration to a single
+    process, since a user-provided facade (e.g. the query-complexity
+    recorder) cannot be replicated onto workers.
     """
 
     def __init__(
@@ -158,10 +178,11 @@ class Explorer:
         jobs: int = 1,
         use_cache: bool = False,
         dedup_flips: bool = True,
+        preprocess: Optional[PreprocessConfig] = None,
     ):
         self._solver_provided = solver is not None
         if solver is None:
-            solver = CachingSolver() if use_cache else Solver()
+            solver = CachingSolver(preprocess=preprocess) if use_cache else Solver()
         self.executor = executor
         self.solver = solver
         self.strategy_name = strategy
@@ -170,6 +191,7 @@ class Explorer:
         self.jobs = jobs
         self.use_cache = use_cache
         self.dedup_flips = dedup_flips
+        self.preprocess = preprocess
 
     def explore(self) -> ExplorationResult:
         """Run the full exploration; returns all discovered paths."""
@@ -184,6 +206,7 @@ class Explorer:
                 seed=self.seed,
                 use_cache=self.use_cache,
                 dedup_flips=self.dedup_flips,
+                preprocess=self.preprocess,
             ).explore()
         return self._explore_serial()
 
@@ -213,6 +236,11 @@ class Explorer:
                 frontier.push(child)
         result.truncated = bool(frontier)
         result.frontier_peak = frontier.peak
+        solver_stats = getattr(self.solver, "pipeline_statistics", None)
+        if solver_stats is not None:
+            result.merge_solver_stats(dict(solver_stats))
+        else:
+            result.merge_solver_stats({"sat_core_solves": self.solver.num_solves})
         result.wall_time = time.perf_counter() - start
         return result
 

@@ -34,6 +34,7 @@ import time
 import traceback
 from typing import Optional
 
+from ..smt.preprocess import PreprocessConfig
 from ..smt.solver import CachingSolver, Solver
 from .explorer import ExplorationResult, Explorer, PathInfo
 from .scheduler import (
@@ -54,14 +55,25 @@ def default_jobs() -> int:
     return min(os.cpu_count() or 1, 8)
 
 
-def _worker_main(executor, use_cache, dedup_flips, task_queue, result_queue):
+def _worker_main(
+    executor, worker_id, use_cache, dedup_flips, preprocess, task_queue, result_queue
+):
     """Worker loop: execute runs and expand their branch flips.
 
     Replies are ``(task_id, path_payload, children, stats_payload)`` on
     success or ``(task_id, None, traceback_text, None)`` on failure.
     ``None`` on the task queue shuts the worker down.
+
+    The stats payload carries, besides the per-run :class:`RunStats`
+    fields, the worker id and the solver's *cumulative* flat counter
+    dict: the parent keeps the latest dict per worker and sums them at
+    the end, which is exact — a worker only accrues counters while
+    producing replies, so its last reply carries its final totals.
     """
-    solver = CachingSolver() if use_cache else Solver()
+    if use_cache:
+        solver = CachingSolver(preprocess=preprocess)
+    else:
+        solver = Solver()
     trie = ExploredPrefixTrie() if dedup_flips else None
     while True:
         task = task_queue.get()
@@ -94,13 +106,20 @@ def _worker_main(executor, use_cache, dedup_flips, task_queue, result_queue):
                 (serialize_assignment(child.assignment), child.bound, child.digest)
                 for child in children
             ]
+            solver_stats = getattr(solver, "pipeline_statistics", None)
+            if solver_stats is None:
+                solver_stats = {"sat_core_solves": solver.num_solves}
             stats_payload = (
                 stats.sat_checks,
                 stats.unsat_checks,
                 stats.cache_hits,
+                stats.fast_path_answers,
+                stats.sat_solves,
                 stats.pruned_queries,
                 stats.solver_time,
                 tuple(stats.covered_pcs),
+                worker_id,
+                dict(solver_stats),
             )
             result_queue.put((task_id, path_payload, child_payloads, stats_payload))
         except Exception:
@@ -131,6 +150,7 @@ class ProcessPoolExplorer:
         seed: int = 0,
         use_cache: bool = False,
         dedup_flips: bool = True,
+        preprocess: Optional[PreprocessConfig] = None,
     ):
         self.executor = executor
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -139,6 +159,7 @@ class ProcessPoolExplorer:
         self.seed = seed
         self.use_cache = use_cache
         self.dedup_flips = dedup_flips
+        self.preprocess = preprocess
 
     def explore(self) -> ExplorationResult:
         if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -154,6 +175,7 @@ class ProcessPoolExplorer:
             jobs=1,
             use_cache=self.use_cache,
             dedup_flips=self.dedup_flips,
+            preprocess=self.preprocess,
         ).explore()
 
     def _next_reply(self, result_queue, workers):
@@ -189,14 +211,16 @@ class ProcessPoolExplorer:
                 target=_worker_main,
                 args=(
                     self.executor,
+                    worker_id,
                     self.use_cache,
                     self.dedup_flips,
+                    self.preprocess,
                     task_queue,
                     result_queue,
                 ),
                 daemon=True,
             )
-            for _ in range(self.jobs)
+            for worker_id in range(self.jobs)
         ]
         for worker in workers:
             worker.start()
@@ -213,6 +237,9 @@ class ProcessPoolExplorer:
         # re-derive the same flip, the duplicate is caught here — same
         # path set as the serial driver's shared trie.
         seen_digests: set = set()
+        # Latest cumulative solver-counter dict per worker (see
+        # _worker_main); summed into the result after the pool drains.
+        worker_solver_stats: dict[int, dict] = {}
         try:
             while frontier or in_flight:
                 while (
@@ -241,10 +268,13 @@ class ProcessPoolExplorer:
                     sat_checks=stats_payload[0],
                     unsat_checks=stats_payload[1],
                     cache_hits=stats_payload[2],
-                    pruned_queries=stats_payload[3],
-                    solver_time=stats_payload[4],
-                    covered_pcs=set(stats_payload[5]),
+                    fast_path_answers=stats_payload[3],
+                    sat_solves=stats_payload[4],
+                    pruned_queries=stats_payload[5],
+                    solver_time=stats_payload[6],
+                    covered_pcs=set(stats_payload[7]),
                 )
+                worker_solver_stats[stats_payload[8]] = stats_payload[9]
                 novelty = len(stats.covered_pcs - result.covered_branches)
                 result.merge_run_stats(stats)
                 for assignment_payload, bound, digest in children:
@@ -272,6 +302,8 @@ class ProcessPoolExplorer:
                     worker.join(timeout=5)
         result.truncated = dropped or bool(frontier)
         result.frontier_peak = frontier.peak
+        for stats_dict in worker_solver_stats.values():
+            result.merge_solver_stats(stats_dict)
         result.wall_time = time.perf_counter() - start
         return result
 

@@ -142,11 +142,22 @@ class Frontier:
 
 @dataclass
 class RunStats:
-    """Solver-side accounting for one concolic run's expansion."""
+    """Solver-side accounting for one concolic run's expansion.
+
+    Per-query attribution is three-way and exact: a flip query counts
+    towards ``sat_checks``/``unsat_checks`` only when the CDCL core
+    actually ran for it, towards ``cache_hits`` when the query cache
+    answered without a solve, and towards ``fast_path_answers`` when
+    the preprocessing pipeline (rewriting / intervals) decided it with
+    neither.  ``sat_solves`` additionally counts the raw per-slice CDCL
+    invocations those solved queries needed.
+    """
 
     sat_checks: int = 0
     unsat_checks: int = 0
     cache_hits: int = 0
+    fast_path_answers: int = 0
+    sat_solves: int = 0
     pruned_queries: int = 0
     solver_time: float = 0.0
     #: PCs of flippable branches seen in the run (for branch coverage).
@@ -156,6 +167,8 @@ class RunStats:
         self.sat_checks += other.sat_checks
         self.unsat_checks += other.unsat_checks
         self.cache_hits += other.cache_hits
+        self.fast_path_answers += other.fast_path_answers
+        self.sat_solves += other.sat_solves
         self.pruned_queries += other.pruned_queries
         self.solver_time += other.solver_time
         self.covered_pcs |= other.covered_pcs
@@ -180,9 +193,10 @@ def expand_run(
     (which happens when a run diverges from its predicted path).
 
     ``stats`` receives exact accounting: every answered query counts as
-    sat/unsat only when the solver actually ran — cache hits and trie
-    prunes are tracked separately — and ``solver_time`` covers model
-    extraction, not just the satisfiability check.
+    sat/unsat only when the CDCL core actually ran — cache hits,
+    preprocessing fast-path answers and trie prunes are tracked
+    separately — and ``solver_time`` covers model extraction, not just
+    the satisfiability check.
 
     With ``compute_digests`` each child carries the structural digest
     of the query that produced it, so a parent process coordinating
@@ -204,6 +218,7 @@ def expand_run(
             else:
                 query = conditions[:index] + [negated]
                 hits_before = cache.hits if cache is not None else 0
+                solves_before = solver.num_solves
                 check_start = time.perf_counter()
                 verdict = solver.check(query)
                 if verdict is Result.SAT:
@@ -216,12 +231,17 @@ def expand_run(
                         )
                     )
                 stats.solver_time += time.perf_counter() - check_start
-                if cache is not None and cache.hits > hits_before:
+                delta_solves = solver.num_solves - solves_before
+                if delta_solves:
+                    stats.sat_solves += delta_solves
+                    if verdict is Result.SAT:
+                        stats.sat_checks += 1
+                    else:
+                        stats.unsat_checks += 1
+                elif cache is not None and cache.hits > hits_before:
                     stats.cache_hits += 1
-                elif verdict is Result.SAT:
-                    stats.sat_checks += 1
                 else:
-                    stats.unsat_checks += 1
+                    stats.fast_path_answers += 1
         if trie is not None:
             node = trie.step(node, record.condition)
     return children

@@ -9,6 +9,8 @@ an exploration issues and records structural metrics —
 * number of conditions per query,
 * total/distinct term-DAG nodes (after hash-consing),
 * number of distinct input variables involved,
+* number of variable-independent *slices* per query (the structure the
+  preprocessing pipeline exploits),
 
 then compares engines on the same workload.  Because all engines share
 the term language and solver, differences are attributable to the
@@ -16,9 +18,16 @@ the term language and solver, differences are attributable to the
 angr-like engine's claripy-style always-build-terms shows up directly
 in node counts.
 
+``--pipeline`` reports the query *answer* breakdown instead: per
+engine, how many queries the SAT core solved vs how many the cache and
+the word-level pipeline (slicing / rewriting / intervals) answered, and
+how many raw CDCL solves that took.  With ``--jobs N`` the counters are
+summed exactly across the worker processes.
+
 Run as a module::
 
     python -m repro.eval.query_stats [--workload NAME] [--scale N]
+    python -m repro.eval.query_stats --pipeline [--jobs N]
 """
 
 from __future__ import annotations
@@ -28,13 +37,22 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.explorer import Explorer
+from ..smt.preprocess import slice_conditions
 from ..smt.solver import Solver
 from ..spec.isa import rv32im
 from .engines import make_engine
 from .report import format_table
 from .workloads import WORKLOADS
 
-__all__ = ["QueryStats", "RecordingSolver", "measure_engine", "compare_engines", "main"]
+__all__ = [
+    "QueryStats",
+    "RecordingSolver",
+    "measure_engine",
+    "compare_engines",
+    "measure_pipeline",
+    "compare_pipeline",
+    "main",
+]
 
 
 @dataclass
@@ -47,6 +65,8 @@ class QueryStats:
     max_nodes: int = 0
     total_variables: int = 0
     max_variables: int = 0
+    total_slices: int = 0
+    max_slices: int = 0
 
     def record(self, assumptions) -> None:
         nodes = 0
@@ -56,12 +76,15 @@ class QueryStats:
             count += 1
             nodes += term.size()
             variables.update(term.variables())
+        slices = len(slice_conditions([t for t in assumptions if not t.is_const]))
         self.queries += 1
         self.total_conditions += count
         self.total_nodes += nodes
         self.max_nodes = max(self.max_nodes, nodes)
         self.total_variables += len(variables)
         self.max_variables = max(self.max_variables, len(variables))
+        self.total_slices += slices
+        self.max_slices = max(self.max_slices, slices)
 
     @property
     def mean_conditions(self) -> float:
@@ -74,6 +97,10 @@ class QueryStats:
     @property
     def mean_variables(self) -> float:
         return self.total_variables / self.queries if self.queries else 0.0
+
+    @property
+    def mean_slices(self) -> float:
+        return self.total_slices / self.queries if self.queries else 0.0
 
 
 class RecordingSolver(Solver):
@@ -125,14 +152,73 @@ def render(comparison: dict[str, QueryStats], workload: str) -> str:
                 f"{stats.mean_nodes:.1f}",
                 stats.max_nodes,
                 f"{stats.mean_variables:.1f}",
+                f"{stats.mean_slices:.1f}",
             ]
         )
     return format_table(
         ["engine", "queries", "mean conds", "mean DAG nodes", "max nodes",
-         "mean vars"],
+         "mean vars", "mean slices"],
         rows,
         title=f"SMT query complexity on {workload} "
               "(paper Sect. V-B future work)",
+    )
+
+
+def measure_pipeline(
+    key: str, workload: str, scale: Optional[int] = None, jobs: int = 1
+) -> dict:
+    """Explore one workload; return the query-answer breakdown.
+
+    The returned dict separates, exactly (summed across workers when
+    ``jobs > 1``): queries the SAT core solved, queries the cross-path
+    cache answered, queries the preprocessing fast path answered, and
+    the raw CDCL ``solve()`` calls behind the solved ones.
+    """
+    spec = WORKLOADS[workload]
+    image = spec.image(scale or spec.default_scale)
+    engine = make_engine(key, rv32im(), image)
+    result = Explorer(engine, jobs=jobs, use_cache=True).explore()
+    return {
+        "paths": result.num_paths,
+        "solved": result.num_queries,
+        "cache_hits": result.cache_hits,
+        "fast_path": result.fast_path_answers,
+        "sat_core_solves": result.sat_solves,
+        "slices": result.solver_stats.get("slices", 0),
+        "workers": result.workers,
+    }
+
+
+def compare_pipeline(
+    workload: str,
+    scale: Optional[int] = None,
+    jobs: int = 1,
+    engines=("binsym", "binsec", "symex-vp", "angr"),
+) -> dict[str, dict]:
+    return {
+        key: measure_pipeline(key, workload, scale, jobs) for key in engines
+    }
+
+
+def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
+    rows = []
+    for key, stats in comparison.items():
+        rows.append(
+            [
+                key,
+                stats["paths"],
+                stats["solved"],
+                stats["cache_hits"],
+                stats["fast_path"],
+                stats["sat_core_solves"],
+                stats["slices"],
+            ]
+        )
+    return format_table(
+        ["engine", "paths", "solved", "cache hits", "fast path",
+         "core solves", "slices"],
+        rows,
+        title=f"query pipeline breakdown on {workload}",
     )
 
 
@@ -146,7 +232,21 @@ def main(argv=None) -> int:
         help="disable algebraic term simplification during measurement "
              "(shows the raw per-translation term shapes)",
     )
+    parser.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="report the query-answer breakdown (solved / cached / "
+             "fast-path / core solves) instead of structural metrics",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="explore on N worker processes (breakdown sums exactly)",
+    )
     args = parser.parse_args(argv)
+    if args.pipeline:
+        breakdown = compare_pipeline(args.workload, args.scale, args.jobs)
+        print(render_pipeline(breakdown, args.workload))
+        return 0
     from ..smt import terms
 
     previous = terms.simplification_enabled()

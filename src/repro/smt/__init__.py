@@ -8,6 +8,10 @@ bitvector theory:
   constructors,
 * :mod:`repro.smt.sat` — CDCL SAT solver,
 * :mod:`repro.smt.bitblast` — Tseitin bit-blasting of terms to CNF,
+* :mod:`repro.smt.preprocess` — word-level query pipeline: independence
+  slicing and equality-substitution rewriting,
+* :mod:`repro.smt.intervals` — interval abstract domain (the pipeline's
+  zero-SAT-call fast path),
 * :mod:`repro.smt.solver` — incremental ``add``/``push``/``pop``/
   ``check``/``model`` facade used by every SE engine in the repo,
 * :mod:`repro.smt.smtlib` — SMT-LIB v2 printing (Fig. 2 reproduction),
@@ -17,6 +21,7 @@ bitvector theory:
 
 from . import bvops, terms
 from .evalbv import evaluate
+from .preprocess import PreprocessConfig
 from .solver import (
     CachingSolver,
     Model,
@@ -36,6 +41,7 @@ __all__ = [
     "Solver",
     "CachingSolver",
     "QueryCache",
+    "PreprocessConfig",
     "Result",
     "Model",
     "evaluate",

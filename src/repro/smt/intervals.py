@@ -1,0 +1,660 @@
+"""Unsigned/signed interval abstract domain for word-level preprocessing.
+
+This is the "interval fast path" of the query pipeline: before a sliced
+conjunction reaches the bit-blaster, every conjunct is evaluated in a
+cheap interval abstraction of the bitvector theory.  Three outcomes pay
+for the pass:
+
+* a conjunct that is *provably false* over the variable bounds implied
+  by its siblings makes the whole slice UNSAT with zero SAT calls — the
+  common ``pc``-range and bounds-check branch flips answer here;
+* a conjunct that is *provably true* over the bounds implied by the
+  other conjuncts is dropped, shrinking the formula the CDCL core sees;
+* when the interval box is non-empty, a handful of candidate points
+  from the box are checked against the exact reference evaluator
+  (:mod:`repro.smt.evalbv`) — a verified hit answers SAT, witness
+  included, again with zero SAT calls.
+
+Soundness is local and checkable: UNSAT verdicts follow from the box
+over-approximating the solution set; SAT verdicts are always validated
+with the exact evaluator before being trusted; and dropped conjuncts
+are only ever justified against bounds derived from the *other*
+conjuncts (leave-one-out), so the residual formula retains the
+generators of every bound used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import bvops
+from .evalbv import EvalError, evaluate
+from .terms import Term
+
+__all__ = [
+    "Interval",
+    "IntervalOutcome",
+    "analyze_slice",
+    "eval_interval",
+    "eval_bool",
+    "refinements_of",
+]
+
+#: Three-valued boolean "unknown" (distinct from None for internal use).
+_UNKNOWN = object()
+
+#: Sentinel for a conjunct whose refinement is the empty set (e.g.
+#: ``slt(x, INT_MIN)``): the slice is UNSAT outright.
+_INFEASIBLE = object()
+
+#: Leave-one-out dropping is quadratic in the slice size; beyond this
+#: many conjuncts only the (linear) UNSAT check and witness probe run.
+_LOO_LIMIT = 16
+
+
+class Interval:
+    """A non-empty unsigned range ``[lo, hi]`` of a ``width``-bit value."""
+
+    __slots__ = ("width", "lo", "hi")
+
+    def __init__(self, width: int, lo: int, hi: int):
+        self.width = width
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def top(cls, width: int) -> "Interval":
+        return cls(width, 0, bvops.mask(width))
+
+    @classmethod
+    def const(cls, value: int, width: int) -> "Interval":
+        return cls(width, value, value)
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == 0 and self.hi == bvops.mask(self.width)
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection; None when empty."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(self.width, lo, hi)
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(
+            self.width, min(self.lo, other.lo), max(self.hi, other.hi)
+        )
+
+    def signed_bounds(self) -> tuple[int, int]:
+        """Two's-complement (min, max) of the values in this interval."""
+        sign_bit = 1 << (self.width - 1)
+        if self.hi < sign_bit:  # all non-negative
+            return self.lo, self.hi
+        if self.lo >= sign_bit:  # all negative
+            return (
+                bvops.to_signed(self.lo, self.width),
+                bvops.to_signed(self.hi, self.width),
+            )
+        # Straddles the sign boundary: both extremes are reachable.
+        return -sign_bit, sign_bit - 1
+
+    def __contains__(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.width == other.width
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.lo, self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo:#x}, {self.hi:#x}]u{self.width}"
+
+
+# Environment: bitvector vars map to Intervals, boolean vars to bools.
+Env = dict
+
+
+def _bin_interval(op: str, a: Interval, b: Interval, width: int) -> Interval:
+    m = bvops.mask(width)
+    if op == "add":
+        hi = a.hi + b.hi
+        if hi <= m:
+            return Interval(width, a.lo + b.lo, hi)
+        return Interval.top(width)
+    if op == "sub":
+        if a.lo >= b.hi:
+            return Interval(width, a.lo - b.hi, a.hi - b.lo)
+        return Interval.top(width)
+    if op == "mul":
+        hi = a.hi * b.hi
+        if hi <= m:
+            return Interval(width, a.lo * b.lo, hi)
+        return Interval.top(width)
+    if op == "udiv":
+        # SMT-LIB: bvudiv x 0 is all-ones.
+        parts = []
+        if b.hi >= 1:
+            parts.append((a.lo // b.hi, a.hi // max(b.lo, 1)))
+        if b.lo == 0:
+            parts.append((m, m))
+        return Interval(
+            width, min(p[0] for p in parts), max(p[1] for p in parts)
+        )
+    if op == "urem":
+        # SMT-LIB: bvurem x 0 is x.
+        parts = []
+        if b.hi >= 1:
+            if a.hi < max(b.lo, 1):
+                parts.append((a.lo, a.hi))  # a < b => a mod b == a
+            else:
+                parts.append((0, b.hi - 1))
+        if b.lo == 0:
+            parts.append((a.lo, a.hi))
+        return Interval(
+            width, min(p[0] for p in parts), max(p[1] for p in parts)
+        )
+    if op == "and":
+        return Interval(width, 0, min(a.hi, b.hi))
+    if op == "or":
+        hi = (1 << max(a.hi.bit_length(), b.hi.bit_length())) - 1
+        return Interval(width, max(a.lo, b.lo), min(hi, m))
+    if op == "xor":
+        hi = (1 << max(a.hi.bit_length(), b.hi.bit_length())) - 1
+        return Interval(width, 0, min(hi, m))
+    if op == "shl":
+        if b.is_const:
+            shift = b.lo
+            if shift >= width:
+                return Interval.const(0, width)
+            hi = a.hi << shift
+            if hi <= m:
+                return Interval(width, a.lo << shift, hi)
+        return Interval.top(width)
+    if op == "lshr":
+        if b.is_const:
+            shift = b.lo
+            if shift >= width:
+                return Interval.const(0, width)
+            return Interval(width, a.lo >> shift, a.hi >> shift)
+        return Interval(width, 0, a.hi)  # right shift never grows
+    if op == "ashr":
+        sign_bit = 1 << (width - 1)
+        if b.is_const:
+            shift = b.lo
+            if a.hi < sign_bit:  # non-negative: behaves like lshr
+                if shift >= width:
+                    return Interval.const(0, width)
+                return Interval(width, a.lo >> shift, a.hi >> shift)
+            if a.lo >= sign_bit:  # all negative: unsigned-order preserving
+                return Interval(
+                    width,
+                    bvops.bv_ashr(a.lo, shift, width),
+                    bvops.bv_ashr(a.hi, shift, width),
+                )
+        return Interval.top(width)
+    # sdiv/srem: sign-dependent wrapping; not worth modelling precisely.
+    return Interval.top(width)
+
+
+def _node_interval(node: Term, args: list, env: Env):
+    """Abstract value of one node given its children's abstract values."""
+    op = node.op
+    width = node.width
+    if op == "const":
+        if node.is_bool:
+            return bool(node.payload)
+        return Interval.const(node.payload, width)
+    if op == "var":
+        bound = env.get(node)
+        if bound is not None:
+            return bound
+        return _UNKNOWN if node.is_bool else Interval.top(width)
+
+    if node.is_bool:
+        if op == "bnot":
+            (a,) = args
+            return _UNKNOWN if a is _UNKNOWN else (not a)
+        if op == "band":
+            a, b = args
+            if a is False or b is False:
+                return False
+            if a is True and b is True:
+                return True
+            return _UNKNOWN
+        if op == "bor":
+            a, b = args
+            if a is True or b is True:
+                return True
+            if a is False and b is False:
+                return False
+            return _UNKNOWN
+        if op == "bxor":
+            a, b = args
+            if a is _UNKNOWN or b is _UNKNOWN:
+                return _UNKNOWN
+            return a != b
+        a, b = args
+        if op == "eq":
+            if a.is_const and b.is_const:
+                return a.lo == b.lo
+            if a.meet(b) is None:
+                return False
+            return _UNKNOWN
+        if op == "ult":
+            if a.hi < b.lo:
+                return True
+            if a.lo >= b.hi:
+                return False
+            return _UNKNOWN
+        if op == "ule":
+            if a.hi <= b.lo:
+                return True
+            if a.lo > b.hi:
+                return False
+            return _UNKNOWN
+        if op == "slt":
+            amin, amax = a.signed_bounds()
+            bmin, bmax = b.signed_bounds()
+            if amax < bmin:
+                return True
+            if amin >= bmax:
+                return False
+            return _UNKNOWN
+        if op == "sle":
+            amin, amax = a.signed_bounds()
+            bmin, bmax = b.signed_bounds()
+            if amax <= bmin:
+                return True
+            if amin > bmax:
+                return False
+            return _UNKNOWN
+        return _UNKNOWN  # pragma: no cover - no other boolean ops exist
+
+    # Bitvector-sorted operations.
+    if op == "not":
+        (a,) = args
+        m = bvops.mask(width)
+        return Interval(width, m - a.hi, m - a.lo)
+    if op == "neg":
+        (a,) = args
+        if a.is_const and a.lo == 0:
+            return Interval.const(0, width)
+        if a.lo >= 1:
+            size = 1 << width
+            return Interval(width, size - a.hi, size - a.lo)
+        return Interval.top(width)
+    if op == "concat":
+        hi_iv, lo_iv = args
+        lo_width = node.args[1].width
+        return Interval(
+            width,
+            (hi_iv.lo << lo_width) + lo_iv.lo,
+            (hi_iv.hi << lo_width) + lo_iv.hi,
+        )
+    if op == "extract":
+        (a,) = args
+        high, low = node.payload
+        # Exact when the bits above the extraction window are constant
+        # over the whole interval (no wraparound inside the window).
+        if (a.lo >> (high + 1)) == (a.hi >> (high + 1)):
+            window = bvops.mask(high + 1)
+            return Interval(width, (a.lo & window) >> low, (a.hi & window) >> low)
+        return Interval.top(width)
+    if op == "zext":
+        (a,) = args
+        return Interval(width, a.lo, a.hi)
+    if op == "sext":
+        (a,) = args
+        base_width = node.args[0].width
+        extra = node.payload
+        sign_bit = 1 << (base_width - 1)
+        if a.hi < sign_bit or a.lo >= sign_bit:
+            return Interval(
+                width,
+                bvops.bv_sext(a.lo, base_width, extra),
+                bvops.bv_sext(a.hi, base_width, extra),
+            )
+        return Interval.top(width)
+    if op == "ite":
+        cond, then_iv, else_iv = args
+        if cond is True:
+            return then_iv
+        if cond is False:
+            return else_iv
+        return then_iv.join(else_iv)
+    if op == "bool2bv":
+        (cond,) = args
+        if cond is True:
+            return Interval.const(1, 1)
+        if cond is False:
+            return Interval.const(0, 1)
+        return Interval(1, 0, 1)
+    if len(args) == 2:
+        return _bin_interval(op, args[0], args[1], width)
+    return Interval.top(width)  # pragma: no cover - defensive
+
+
+def _abstract_eval(term: Term, env: Env):
+    """Iterative post-order abstract evaluation over the term DAG."""
+    memo: dict[Term, object] = {}
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in memo:
+            continue
+        if not ready:
+            stack.append((node, True))
+            stack.extend((arg, False) for arg in node.args if arg not in memo)
+            continue
+        memo[node] = _node_interval(node, [memo[a] for a in node.args], env)
+    return memo[term]
+
+
+def eval_interval(term: Term, env: Optional[Env] = None) -> Interval:
+    """Interval over-approximation of a bitvector term's value."""
+    if term.is_bool:
+        raise ValueError("eval_interval expects a bitvector term")
+    return _abstract_eval(term, env or {})
+
+
+def eval_bool(term: Term, env: Optional[Env] = None) -> Optional[bool]:
+    """Three-valued truth of a boolean term (None when undecided)."""
+    if not term.is_bool:
+        raise ValueError("eval_bool expects a boolean term")
+    result = _abstract_eval(term, env or {})
+    return None if result is _UNKNOWN else result
+
+
+# ---------------------------------------------------------------------------
+# Refinements: what a single conjunct says about a single variable
+# ---------------------------------------------------------------------------
+
+
+def _signed_box(width: int, smin: int, smax: int):
+    """Unsigned interval of ``{x : smin <= signed(x) <= smax}``.
+
+    Returns None when the set is a *wrapped* pair of unsigned ranges
+    (not representable), or ``_INFEASIBLE`` when it is empty.
+    """
+    bound = 1 << (width - 1)
+    smin = max(smin, -bound)
+    smax = min(smax, bound - 1)
+    if smin > smax:
+        return _INFEASIBLE
+    if smin >= 0:
+        return Interval(width, smin, smax)
+    if smax < 0:
+        return Interval(width, smin + (1 << width), smax + (1 << width))
+    return None
+
+
+def _comparison_refinement(op: str, a: Term, b: Term, negate: bool):
+    """Refinement for one (possibly negated) comparison atom, or None."""
+    if negate:
+        # not(a < b) == b <= a ; not(a <= b) == b < a — swap and weaken.
+        flipped = {"ult": "ule", "ule": "ult", "slt": "sle", "sle": "slt"}
+        if op == "eq":
+            return None  # disequalities handled by boundary trimming
+        op = flipped.get(op)
+        if op is None:
+            return None
+        a, b = b, a
+    if a.is_var and b.is_const:
+        var, c, var_left = a, b.payload, True
+    elif b.is_var and a.is_const:
+        var, c, var_left = b, a.payload, False
+    else:
+        return None
+    width = var.width
+    m = bvops.mask(width)
+    if op == "eq":
+        return (var, Interval.const(c, width))
+    if op == "ult":
+        if var_left:  # var < c
+            return _INFEASIBLE if c == 0 else (var, Interval(width, 0, c - 1))
+        # c < var
+        return _INFEASIBLE if c == m else (var, Interval(width, c + 1, m))
+    if op == "ule":
+        if var_left:  # var <= c
+            return (var, Interval(width, 0, c))
+        return (var, Interval(width, c, m))  # c <= var
+    sc = bvops.to_signed(c, width)
+    bound = 1 << (width - 1)
+    if op == "slt":
+        box = (
+            _signed_box(width, -bound, sc - 1)
+            if var_left
+            else _signed_box(width, sc + 1, bound - 1)
+        )
+    elif op == "sle":
+        box = (
+            _signed_box(width, -bound, sc)
+            if var_left
+            else _signed_box(width, sc, bound - 1)
+        )
+    else:
+        return None
+    if box is _INFEASIBLE:
+        return _INFEASIBLE
+    if box is None:
+        return None
+    return (var, box)
+
+
+def refinements_of(cond: Term):
+    """Variable bounds implied by one conjunct.
+
+    Returns a list of ``(var, Interval | bool)`` pairs (empty when the
+    conjunct implies no single-variable interval), or ``_INFEASIBLE``
+    when the conjunct itself is unsatisfiable.
+    """
+    if cond.is_var:
+        return [(cond, True)]
+    negate = False
+    inner = cond
+    if cond.op == "bnot":
+        negate = True
+        inner = cond.args[0]
+        if inner.is_var:
+            return [(inner, False)]
+    if inner.op in ("eq", "ult", "ule", "slt", "sle") and not inner.is_var:
+        a, b = inner.args
+        if a.is_bool:
+            return []
+        result = _comparison_refinement(inner.op, a, b, negate)
+        if result is _INFEASIBLE:
+            return _INFEASIBLE
+        if result is None:
+            return []
+        return [result]
+    return []
+
+
+def _meet_value(current, new):
+    """Meet of two env values (Interval or bool); None when empty."""
+    if current is None:
+        return new
+    if isinstance(current, bool) or isinstance(new, bool):
+        if current == new:
+            return current
+        return None
+    return current.meet(new)
+
+
+@dataclass
+class IntervalOutcome:
+    """Result of the interval pass over one slice.
+
+    ``verdict`` is True (SAT, ``witness`` is a validated assignment),
+    False (UNSAT), or None (undecided; ``residual`` still needs the SAT
+    core and ``dropped`` lists conjuncts proven redundant).
+    """
+
+    verdict: Optional[bool]
+    residual: list = field(default_factory=list)
+    witness: Optional[dict] = None
+    dropped: list = field(default_factory=list)
+
+
+def _build_env(refinements: list, skip: int = -1) -> Optional[Env]:
+    env: Env = {}
+    for index, pairs in enumerate(refinements):
+        if index == skip:
+            continue
+        for var, value in pairs:
+            merged = _meet_value(env.get(var), value)
+            if merged is None:
+                return None
+            env[var] = merged
+    return env
+
+
+def _trim_disequalities(conds: list, env: Env):
+    """Shave ``x != c`` boundary points off env intervals (in place).
+
+    Returns False when an interval empties (slice UNSAT), otherwise the
+    set of conjuncts whose trim narrowed the box — the leave-one-out
+    pass must not justify dropping a conjunct with its *own* trim.
+    """
+    trimmers: set = set()
+    for _ in range(2):  # a trim can expose another boundary hit
+        changed = False
+        for cond in conds:
+            if cond.op != "bnot":
+                continue
+            inner = cond.args[0]
+            if inner.op != "eq":
+                continue
+            a, b = inner.args
+            if not (a.is_var and b.is_const) or a.is_bool:
+                continue
+            interval = env.get(a)
+            if interval is None or isinstance(interval, bool):
+                continue
+            c = b.payload
+            if interval.lo == interval.hi == c:
+                return False
+            if interval.lo == c:
+                env[a] = Interval(interval.width, c + 1, interval.hi)
+                trimmers.add(cond)
+                changed = True
+            elif interval.hi == c:
+                env[a] = Interval(interval.width, interval.lo, c - 1)
+                trimmers.add(cond)
+                changed = True
+        if not changed:
+            break
+    return trimmers
+
+
+def _candidate_points(variables: list, env: Env):
+    """Assignments to probe: box corners plus staggered interior points.
+
+    The staggered points give distinct values to distinct variables,
+    which satisfies the strict inequality chains that corner points
+    (where all unconstrained variables coincide) never can.
+    """
+    def clamp(var, value):
+        bound = env.get(var)
+        if bound is None:
+            if var.is_bool:
+                return 1 if value else 0
+            return value & bvops.mask(var.width)
+        if isinstance(bound, bool):
+            return 1 if bound else 0
+        return min(max(value, bound.lo), bound.hi)
+
+    ordered = sorted(variables, key=lambda v: str(v.payload))
+    yield {var: clamp(var, 0) for var in ordered}
+    yield {
+        var: clamp(var, bvops.mask(var.width) if not var.is_bool else 1)
+        for var in ordered
+    }
+    yield {var: clamp(var, index) for index, var in enumerate(ordered)}
+    yield {
+        var: clamp(var, bvops.mask(var.width) - index if not var.is_bool else 0)
+        for index, var in enumerate(ordered)
+    }
+
+
+def analyze_slice(conds: list) -> IntervalOutcome:
+    """Run the interval fast path over one sliced conjunction."""
+    if not conds:
+        return IntervalOutcome(True, witness={})
+    refinements = []
+    for cond in conds:
+        pairs = refinements_of(cond)
+        if pairs is _INFEASIBLE:
+            return IntervalOutcome(False)
+        refinements.append(pairs)
+    env = _build_env(refinements)
+    if env is None:
+        return IntervalOutcome(False)
+    trimmers = _trim_disequalities(conds, env)
+    if trimmers is False:
+        return IntervalOutcome(False)
+
+    # UNSAT detection under the full box (tightest available bounds).
+    for cond in conds:
+        if _abstract_eval(cond, env) is False:
+            return IntervalOutcome(False)
+
+    # Leave-one-out redundancy: a conjunct true over the box implied by
+    # its *siblings* is implied by them and can be dropped — the
+    # generators of that box remain in the residual.
+    kept: list = []
+    dropped: list = []
+    if len(conds) <= _LOO_LIMIT:
+        for index, cond in enumerate(conds):
+            if refinements[index]:
+                # Refinements-only box without this conjunct: looser
+                # than the trimmed env, but free of *every* trim and of
+                # this conjunct's own contribution — sound either way.
+                sibling_env = _build_env(refinements, index)
+            elif cond in trimmers:
+                # The shared env was narrowed by this very conjunct's
+                # disequality trim; using it would self-justify the
+                # drop (and provoke verify fallbacks downstream).
+                sibling_env = None
+            else:
+                sibling_env = env
+            if sibling_env is not None and _abstract_eval(cond, sibling_env) is True:
+                dropped.append(cond)
+            else:
+                kept.append(cond)
+    else:
+        kept = list(conds)
+
+    variables: set = set()
+    for cond in conds:
+        variables |= cond.free_vars()
+    variable_list = list(variables)
+
+    # Witness probe: every candidate is validated against *all* original
+    # conjuncts with the exact evaluator, so a hit is a real model.
+    for candidate in _candidate_points(variable_list, env):
+        try:
+            if all(evaluate(cond, candidate) for cond in conds):
+                return IntervalOutcome(True, witness=dict(candidate))
+        except EvalError:  # pragma: no cover - defensive
+            break
+
+    if not kept:
+        # Every conjunct is implied by its siblings, yet no probe point
+        # satisfied the box: fall back to the residual = original set
+        # rather than reasoning about mutual implication.
+        return IntervalOutcome(None, residual=list(conds), dropped=[])
+    return IntervalOutcome(None, residual=kept, dropped=dropped)

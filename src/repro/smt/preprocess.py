@@ -1,0 +1,279 @@
+"""Word-level query preprocessing: independence slicing and rewriting.
+
+This module (together with :mod:`repro.smt.intervals`) forms the
+pipeline that sits between :class:`repro.smt.solver.CachingSolver` and
+the bit-blaster:
+
+1. **Independence slicing** — partition the assertion set into
+   connected components by shared variables (union-find over each
+   conjunct's cached free-variable set).  Components are solved and
+   cached *per slice*: flipping one branch never re-solves unrelated
+   constraints, and :class:`repro.smt.solver.QueryCache` keys shrink to
+   slice-sized sets that recur across paths and workers.
+2. **Word-level rewriting** — a fixpoint pass over each slice doing
+   equality substitution (``x == c`` propagates into sibling
+   conjuncts), cross-assertion constant folding (through the smart
+   constructors in :mod:`repro.smt.terms`), and contradiction /
+   tautology elimination.
+3. The **interval fast path** (:func:`repro.smt.intervals.analyze_slice`)
+   then answers many slices outright; see that module.
+
+Every transformation is equivalence-preserving on the slice: rewriting
+substitutes only ``var == const`` facts (recorded as *bindings* so
+model stitching can re-materialize the eliminated variables), and
+slicing is a partition, so the conjunction of the slices is the
+original query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import terms as T
+from .terms import Term
+
+__all__ = [
+    "PreprocessConfig",
+    "RewriteOutcome",
+    "slice_conditions",
+    "substitute",
+    "rewrite_slice",
+]
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Which stages of the query pipeline are active.
+
+    Mirrors the CLI ablation flags: ``--no-slicing``, ``--no-rewrite``
+    and ``--no-intervals`` each clear one field.  With all three off the
+    caching solver degenerates to PR 1 behaviour (whole-query keys
+    straight to the bit-blaster).
+    """
+
+    slicing: bool = True
+    rewrite: bool = True
+    intervals: bool = True
+
+
+# ---------------------------------------------------------------------------
+# Independence slicing
+# ---------------------------------------------------------------------------
+
+
+def slice_conditions(conditions: list) -> list:
+    """Partition conjuncts into variable-connected components.
+
+    Two conjuncts land in the same slice iff they are connected through
+    shared free variables (transitively).  The partition is order-stable:
+    slices appear in order of their first conjunct, and conjuncts keep
+    their relative order within a slice — so a degenerate fully-connected
+    query yields exactly ``[conditions]``.
+
+    Variable-free conjuncts (which the smart constructors fold to
+    constants in practice) each form their own singleton slice.
+    """
+    parent: dict = {}
+
+    def find(x):
+        root = x
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[x] is not root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra is not rb:
+            parent[rb] = ra
+
+    anchors = []  # per condition: a representative variable or None
+    for cond in conditions:
+        variables = cond.free_vars()
+        anchor = None
+        for var in variables:
+            if var not in parent:
+                parent[var] = var
+            if anchor is None:
+                anchor = var
+            else:
+                union(anchor, var)
+        anchors.append(anchor)
+
+    groups: dict = {}
+    order: list = []
+    for cond, anchor in zip(conditions, anchors):
+        key = object() if anchor is None else find(anchor)
+        bucket = groups.get(key)
+        if bucket is None:
+            bucket = groups[key] = []
+            order.append(key)
+        bucket.append(cond)
+    return [groups[key] for key in order]
+
+
+# ---------------------------------------------------------------------------
+# Substitution through the smart constructors
+# ---------------------------------------------------------------------------
+
+_BINARY = {
+    "add": T.add,
+    "sub": T.sub,
+    "mul": T.mul,
+    "udiv": T.udiv,
+    "urem": T.urem,
+    "sdiv": T.sdiv,
+    "srem": T.srem,
+    "and": T.and_,
+    "or": T.or_,
+    "xor": T.xor,
+    "shl": T.shl,
+    "lshr": T.lshr,
+    "ashr": T.ashr,
+    "concat": T.concat,
+    "eq": T.eq,
+    "ult": T.ult,
+    "ule": T.ule,
+    "slt": T.slt,
+    "sle": T.sle,
+    "band": T.band,
+    "bor": T.bor,
+    "bxor": T.bxor,
+}
+
+_UNARY = {
+    "not": T.not_,
+    "neg": T.neg,
+    "bnot": T.bnot,
+    "bool2bv": T.bool_to_bv,
+}
+
+
+def _rebuild(node: Term, args: list) -> Term:
+    op = node.op
+    ctor = _BINARY.get(op)
+    if ctor is not None:
+        return ctor(args[0], args[1])
+    ctor = _UNARY.get(op)
+    if ctor is not None:
+        return ctor(args[0])
+    if op == "ite":
+        return T.ite(args[0], args[1], args[2])
+    if op == "extract":
+        high, low = node.payload
+        return T.extract(args[0], high, low)
+    if op == "zext":
+        return T.zext(args[0], node.payload)
+    if op == "sext":
+        return T.sext(args[0], node.payload)
+    raise ValueError(f"substitute: unknown operation {op!r}")
+
+
+def substitute(term: Term, bindings: dict) -> Term:
+    """Replace variables per ``bindings``, re-simplifying on the way up.
+
+    Rebuilding goes through the smart constructors, so substituting a
+    constant folds through the whole affected cone — this is what gives
+    the rewriter its cross-assertion constant propagation.  Subtrees
+    disjoint from the bindings are returned as-is (interned identity).
+    """
+    if not bindings or term.free_vars().isdisjoint(bindings):
+        return term
+    bound = frozenset(bindings)
+    memo: dict[Term, Term] = {}
+    stack: list[tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node in memo:
+            continue
+        if node.free_vars().isdisjoint(bound):
+            memo[node] = node
+            continue
+        if not ready:
+            stack.append((node, True))
+            stack.extend((arg, False) for arg in node.args if arg not in memo)
+            continue
+        if node.op == "var":
+            memo[node] = bindings[node]
+        else:
+            memo[node] = _rebuild(node, [memo[a] for a in node.args])
+    return memo[term]
+
+
+# ---------------------------------------------------------------------------
+# Word-level rewriting (per slice)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RewriteOutcome:
+    """Result of the rewrite fixpoint over one slice.
+
+    ``conditions`` is the residual conjunction (equivalent to the input
+    under ``bindings``); ``bindings`` maps eliminated variables to
+    constant terms; ``unsat`` reports a contradiction found purely by
+    folding (e.g. ``x == 3`` and ``x == 5`` in one slice).
+    """
+
+    conditions: list = field(default_factory=list)
+    bindings: dict = field(default_factory=dict)
+    unsat: bool = False
+
+
+def _binding_of(cond: Term):
+    """``(var, const)`` when the conjunct pins a variable, else None."""
+    if cond.is_var and cond.is_bool:
+        return cond, T.true()
+    if cond.op == "bnot" and cond.args[0].is_var:
+        return cond.args[0], T.false()
+    if cond.op == "eq":
+        a, b = cond.args
+        if a.is_var and b.is_const:
+            return a, b
+    return None
+
+
+def rewrite_slice(conditions: list) -> RewriteOutcome:
+    """Fixpoint equality-substitution / folding pass over one slice.
+
+    Each round harvests ``var == const`` conjuncts (plus pinned boolean
+    variables) into bindings and substitutes them into the remaining
+    conjuncts; folding may expose new equalities, so the loop runs until
+    no new bindings appear.  Termination: every round eliminates at
+    least one variable from every remaining conjunct.
+    """
+    conds = list(conditions)
+    bindings: dict = {}
+    while True:
+        fresh: dict = {}
+        rest = []
+        for cond in conds:
+            pinned = _binding_of(cond)
+            if pinned is not None:
+                var, value = pinned
+                previous = fresh.get(var)
+                if previous is not None and previous is not value:
+                    return RewriteOutcome(unsat=True)  # x == c1 and x == c2
+                fresh[var] = value
+            else:
+                rest.append(cond)
+        if not fresh:
+            conds = rest
+            break
+        bindings.update(fresh)
+        conds = []
+        for cond in rest:
+            rewritten = substitute(cond, fresh)
+            if rewritten.is_const:
+                if not rewritten.payload:
+                    return RewriteOutcome(bindings=bindings, unsat=True)
+                continue  # tautology under the bindings
+            conds.append(rewritten)
+    seen: set = set()
+    unique = []
+    for cond in conds:
+        if cond not in seen:
+            seen.add(cond)
+            unique.append(cond)
+    return RewriteOutcome(conditions=unique, bindings=bindings)

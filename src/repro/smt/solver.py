@@ -16,6 +16,15 @@ frozenset of interned condition terms, so permuted and duplicated
 prefixes collapse onto one entry), and :class:`CachingSolver` consults
 it before touching the CDCL core — exact hits, UNSAT-superset
 subsumption, and satisfying-model reuse all answer without a solve.
+
+On top of the cache, :class:`CachingSolver` runs the word-level
+preprocessing pipeline (PR 2): each query is partitioned into
+variable-independent *slices* (:mod:`repro.smt.preprocess`), every
+slice goes through cache lookup, equality-substitution rewriting and
+the interval fast path (:mod:`repro.smt.intervals`), and only the
+undecided residue reaches the bit-blaster — in a single joint SAT call
+whose model is then split back into per-slice cache entries.  Models
+are stitched across slices (plus rewrite bindings) into one witness.
 """
 
 from __future__ import annotations
@@ -27,10 +36,19 @@ from typing import Iterable, Mapping, Optional
 from . import terms
 from .bitblast import BitBlaster
 from .evalbv import EvalError, evaluate
+from .intervals import analyze_slice
+from .preprocess import PreprocessConfig, rewrite_slice, slice_conditions
 from .sat import SAT, SatSolver
 from .terms import Term
 
-__all__ = ["Solver", "Result", "Model", "QueryCache", "CachingSolver"]
+__all__ = [
+    "Solver",
+    "Result",
+    "Model",
+    "QueryCache",
+    "CachingSolver",
+    "PreprocessConfig",
+]
 
 
 class Result(enum.Enum):
@@ -91,6 +109,11 @@ class Solver:
         self._scopes: list[int] = []
         self._last_result: Optional[Result] = None
         self.num_checks = 0
+        #: CDCL ``solve()`` invocations — the cost the preprocessing
+        #: pipeline exists to avoid.  ``num_checks`` counts ``check``
+        #: calls that reached the core; a single pipelined check may
+        #: issue zero or several core solves.
+        self.num_solves = 0
 
     # ------------------------------------------------------------------
     # Assertions and scopes
@@ -139,6 +162,7 @@ class Solver:
                 return Result.UNSAT
             assumption_lits.append(self._blaster.lit(term))
         self.num_checks += 1
+        self.num_solves += 1
         outcome = self._sat.solve(assumption_lits)
         self._last_result = Result.SAT if outcome is SAT else Result.UNSAT
         return self._last_result
@@ -158,6 +182,30 @@ class Solver:
             values[var] = 1 if self._sat.value(abs(lit)) == (lit > 0) else 0
         return Model(values)
 
+    def value_of(self, var: Term) -> Optional[int]:
+        """Value of one variable after a sat check (None if never blasted).
+
+        Cheaper than :meth:`model` when only a known subset of the
+        variables matters — the pipeline's per-slice model extraction
+        uses this to avoid walking every variable the blaster has ever
+        seen once per slice.
+        """
+        if self._last_result is not Result.SAT:
+            raise RuntimeError("value_of() requires a preceding sat check")
+        if var.is_bool:
+            lit = self._blaster.bool_vars.get(var)
+            if lit is None:
+                return None
+            return 1 if self._sat.value(abs(lit)) == (lit > 0) else 0
+        bits = self._blaster.var_bits.get(var)
+        if bits is None:
+            return None
+        value = 0
+        for i, lit in enumerate(bits):
+            if self._sat.value(abs(lit)) == (lit > 0):
+                value |= 1 << i
+        return value
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -167,6 +215,7 @@ class Solver:
         stats = dict(self._sat.statistics)
         stats["sat_vars"] = self._sat.num_vars
         stats["checks"] = self.num_checks
+        stats["solves"] = self.num_solves
         return stats
 
 
@@ -186,6 +235,11 @@ class QueryCache:
        (evaluated with the reference evaluator), so the query is SAT and
        that completed model is a witness.
 
+    With the preprocessing pipeline active, keys are *slices* —
+    variable-connected components of a query — rather than whole path
+    conditions, so one entry answers every later query that contains
+    the same independent fragment, across paths and branch flips.
+
     The cache is process-local: interned terms hash by identity, which
     makes the keys O(1) but meaningless across processes.  Each parallel
     exploration worker therefore owns one ``QueryCache``.
@@ -201,13 +255,13 @@ class QueryCache:
         self._models: dict[frozenset, Model] = {}
         self._unsat_sets: deque = deque(maxlen=max_unsat_sets)
         self._model_pool: deque = deque(maxlen=max_models)
-        self._vars_memo: dict[Term, frozenset] = {}
         self._max_entries = max_entries
         self.hits = 0
         self.exact_hits = 0
         self.subsumption_hits = 0
         self.model_reuse_hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._results)
@@ -222,12 +276,14 @@ class QueryCache:
         if cached is Result.UNSAT:
             self.hits += 1
             self.exact_hits += 1
+            self._touch(key)
             return cached, None
         if cached is Result.SAT:
             model = self._models.get(key)
             if model is not None:
                 self.hits += 1
                 self.exact_hits += 1
+                self._touch(key)
                 return cached, model
             # SAT is known but no witness was ever extracted; a fresh
             # solve (or model-reuse below) must produce one.
@@ -249,12 +305,9 @@ class QueryCache:
         self.misses += 1
         return None, None
 
-    def _variables_of(self, term: Term) -> frozenset:
-        memo = self._vars_memo.get(term)
-        if memo is None:
-            memo = frozenset(term.variables())
-            self._vars_memo[term] = memo
-        return memo
+    def _touch(self, key: frozenset) -> None:
+        """Move ``key`` to the recently-used end of the memo (LRU)."""
+        self._results[key] = self._results.pop(key)
 
     def _reusable_model(
         self, key: frozenset, conditions: list[Term]
@@ -262,19 +315,19 @@ class QueryCache:
         """A cached model that satisfies every conjunct, or None.
 
         The candidate assignment is completed with zeros for variables
-        the original model never saw; the returned :class:`Model` binds
-        those completions explicitly so downstream consumers (input
-        derivation) see exactly the assignment that was validated here.
+        the original model never saw and *restricted* to the query's
+        own variables: the pool holds models of unrelated past slices,
+        and leaking their stale assignments into the returned witness
+        would corrupt cross-slice model stitching.  The returned
+        :class:`Model` binds exactly the assignment validated here.
         """
         if not self._model_pool:
             return None
         variables: set[Term] = set()
         for term in key:
-            variables |= self._variables_of(term)
+            variables |= term.free_vars()
         for values in self._model_pool:
-            completed = dict(values)
-            for var in variables:
-                completed.setdefault(var, 0)
+            completed = {var: values.get(var, 0) for var in variables}
             try:
                 if all(evaluate(term, completed) for term in conditions):
                     return Model(completed)
@@ -285,18 +338,20 @@ class QueryCache:
     # -- store ---------------------------------------------------------
 
     def _evict_if_full(self) -> None:
-        """FIFO-evict the memo when it reaches the entry cap.
+        """LRU-evict the memo when it reaches the entry cap.
 
-        Exploration query streams have no temporal locality worth an
-        LRU: the nearby (sibling-path) queries are the recent ones, so
-        dropping the oldest insertions loses the least.  dicts iterate
-        in insertion order, which gives FIFO for free.
+        ``lookup`` hits re-insert their key at the dict's tail (dicts
+        iterate in insertion order), so the head is always the least
+        *recently used* entry, not merely the oldest insertion — with
+        per-slice keys the hot shared-prefix slices are re-touched by
+        nearly every query and must outlive one-off deep-path entries.
         """
         if len(self._results) < self._max_entries:
             return
         oldest = next(iter(self._results))
         del self._results[oldest]
         self._models.pop(oldest, None)
+        self.evictions += 1
 
     def store_unsat(self, key: frozenset) -> None:
         self._evict_if_full()
@@ -318,27 +373,74 @@ class QueryCache:
             "subsumption_hits": self.subsumption_hits,
             "model_reuse_hits": self.model_reuse_hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 
+#: Counter keys of :attr:`CachingSolver.pipeline_stats`, in report order.
+PIPELINE_COUNTERS = (
+    "queries",
+    "slices",
+    "rewrite_unsat",
+    "rewrite_sat",
+    "interval_unsat",
+    "interval_sat",
+    "dropped_conjuncts",
+    "joint_solves",
+    "verify_fallbacks",
+    "fast_path_queries",
+)
+
+
+class _PendingSlice:
+    """One slice the preprocessing stages could not decide."""
+
+    __slots__ = ("key", "original", "residual", "bindings", "dropped")
+
+    def __init__(self, key, original, residual, bindings, dropped):
+        self.key = key
+        self.original = original
+        self.residual = residual
+        self.bindings = bindings
+        self.dropped = dropped
+
+
 class CachingSolver(Solver):
-    """:class:`Solver` with a cross-path :class:`QueryCache` in front.
+    """:class:`Solver` with the query pipeline and cache in front.
+
+    ``check`` runs slice → rewrite → intervals → SAT: the query is
+    partitioned into variable-independent slices, each slice is looked
+    up in the cross-path :class:`QueryCache` (exact / UNSAT-subsumption
+    / model-reuse), then rewritten word-level and attacked with the
+    interval fast path; only still-undecided slices reach the CDCL
+    core — together, in one joint solve, whose model is split back into
+    per-slice cache entries.  SAT answers stitch the per-slice models
+    (plus rewrite bindings) into a single witness.
 
     Only assumption-style queries against an otherwise empty solver are
-    cached — the explorer's exact usage pattern.  As soon as ``add`` or
-    ``push`` introduces persistent state the cache is bypassed, because
-    the cache key would no longer capture the full formula.  Cache hits
-    do not bump ``num_checks`` (no CDCL search ran); they are counted in
-    :attr:`cache_hits` instead, which is how exploration statistics keep
-    "real" and "cached" query counts separate.
+    preprocessed and cached — the explorer's exact usage pattern.  As
+    soon as ``add`` or ``push`` introduces persistent state the whole
+    pipeline is bypassed, because slice keys would no longer capture
+    the full formula.  Pipeline answers do not bump ``num_checks`` /
+    ``num_solves`` (no CDCL search ran): exploration statistics key off
+    those counters to keep "real", "cached" and "fast-path" query
+    counts separate.
     """
 
-    def __init__(self, cache: Optional[QueryCache] = None):
+    def __init__(
+        self,
+        cache: Optional[QueryCache] = None,
+        preprocess: Optional[PreprocessConfig] = None,
+    ):
         super().__init__()
         self.cache = cache if cache is not None else QueryCache()
+        self.preprocess = (
+            preprocess if preprocess is not None else PreprocessConfig()
+        )
         self._tainted = False
-        self._pending_key: Optional[frozenset] = None
         self._reused_model: Optional[Model] = None
+        self.fast_path_answers = 0
+        self.pipeline_stats: dict[str, int] = dict.fromkeys(PIPELINE_COUNTERS, 0)
 
     @property
     def cache_hits(self) -> int:
@@ -348,49 +450,231 @@ class CachingSolver(Solver):
     def cache_misses(self) -> int:
         return self.cache.misses
 
+    @property
+    def pipeline_statistics(self) -> Mapping[str, int]:
+        """Flat cache + pipeline counters (exactly summable across workers)."""
+        stats = {f"cache_{k}": v for k, v in self.cache.statistics.items()}
+        stats.update(self.pipeline_stats)
+        stats["sat_core_solves"] = self.num_solves
+        return stats
+
     def add(self, term: Term) -> None:
         self._tainted = True
         super().add(term)
 
+    # ------------------------------------------------------------------
+    # The pipelined check
+    # ------------------------------------------------------------------
+
     def check(self, assumptions: Iterable[Term] = ()) -> Result:
         conditions = list(assumptions)
-        self._pending_key = None
         self._reused_model = None
         if self._tainted or self._scopes:
             return super().check(conditions)
         key_terms = []
+        seen: set = set()
         for term in conditions:
             if term.is_const:
                 if not term.payload:
                     # Constant-false conjunct: same fast path as the
                     # base solver, not worth a cache entry.
                     return super().check(conditions)
-            else:
+            elif term not in seen:
+                seen.add(term)
                 key_terms.append(term)
-        key = frozenset(key_terms)
-        result, model = self.cache.lookup(key, conditions)
-        if result is Result.UNSAT or (result is Result.SAT and model is not None):
-            # A SAT hit is only usable when a witness was cached: the
-            # underlying SAT core did not run for this query, so a later
-            # model() call could not answer from its state.
-            self._last_result = result
-            self._reused_model = model
-            return result
-        verdict = super().check(conditions)
-        if verdict is Result.UNSAT:
-            self.cache.store_unsat(key)
+
+        config = self.preprocess
+        stats = self.pipeline_stats
+        stats["queries"] += 1
+        hits_before = self.cache.hits
+        solves_before = self.num_solves
+
+        if config.slicing:
+            slices = slice_conditions(key_terms)
         else:
-            self._pending_key = key
+            slices = [key_terms] if key_terms else []
+        stats["slices"] += len(slices)
+
+        stitched: dict[Term, int] = {}
+        pending: list[_PendingSlice] = []
+        verdict = Result.SAT
+        for slice_conds in slices:
+            outcome = self._preprocess_slice(slice_conds, config)
+            if outcome is None:
+                verdict = Result.UNSAT
+                break
+            resolved, payload = outcome
+            if resolved:
+                stitched.update(payload)
+            else:
+                pending.append(payload)
+        if verdict is Result.SAT and pending:
+            verdict = self._solve_pending(pending, stitched)
+        if verdict is Result.SAT:
+            # Slices partition key_terms and every SAT path binds all
+            # of its slice's variables, so stitched covers the query.
+            self._reused_model = Model(stitched)
+        self._last_result = verdict
+        if self.num_solves == solves_before and self.cache.hits == hits_before:
+            self.fast_path_answers += 1
+            stats["fast_path_queries"] += 1
         return verdict
+
+    def _preprocess_slice(self, slice_conds: list, config: PreprocessConfig):
+        """Answer one slice without the SAT core, or queue it.
+
+        Returns ``None`` for UNSAT, ``(True, values)`` for SAT, or
+        ``(False, _PendingSlice)`` when the core must decide.
+        """
+        stats = self.pipeline_stats
+        key = frozenset(slice_conds)
+        result, model = self.cache.lookup(key, slice_conds)
+        if result is Result.UNSAT:
+            return None
+        if result is Result.SAT and model is not None:
+            # A SAT hit is only usable when a witness was cached: the
+            # CDCL core did not run for this slice, so stitching must
+            # take the assignment from the cache entry — restricted to
+            # this slice's variables, in case the entry predates slicing
+            # (e.g. a cache shared with a pipeline-off solver).
+            values: dict[Term, int] = {}
+            for cond in slice_conds:
+                for var in cond.free_vars():
+                    if var not in values:
+                        values[var] = model.get(var, 0)
+            return True, values
+
+        conds = list(slice_conds)
+        bindings: dict = {}
+        if config.rewrite:
+            rewritten = rewrite_slice(conds)
+            if rewritten.unsat:
+                stats["rewrite_unsat"] += 1
+                self.cache.store_unsat(key)
+                return None
+            conds, bindings = rewritten.conditions, rewritten.bindings
+            if not conds:
+                stats["rewrite_sat"] += 1
+                values = self._slice_values(slice_conds, bindings, None)
+                self.cache.store_sat(key, Model(values))
+                return True, values
+
+        dropped: list = []
+        if config.intervals:
+            outcome = analyze_slice(conds)
+            if outcome.verdict is False:
+                stats["interval_unsat"] += 1
+                self.cache.store_unsat(key)
+                return None
+            if outcome.verdict is True:
+                stats["interval_sat"] += 1
+                values = self._slice_values(slice_conds, bindings, outcome.witness)
+                self.cache.store_sat(key, Model(values))
+                return True, values
+            dropped = outcome.dropped
+            stats["dropped_conjuncts"] += len(dropped)
+            conds = outcome.residual
+
+        return False, _PendingSlice(key, slice_conds, conds, bindings, dropped)
+
+    def _solve_pending(
+        self, pending: list, stitched: dict[Term, int]
+    ) -> Result:
+        """Joint SAT solve of all undecided slices, split back per slice.
+
+        One CDCL call decides the conjunction of every pending residue —
+        never more core work than the unpreprocessed query — and on SAT
+        the assignment is carved into per-slice models and cache
+        entries.  A joint UNSAT cannot name the guilty slice, so the
+        *union* of the pending originals is stored as the UNSAT set
+        (sound: the union is a subset of the full query that is itself
+        UNSAT, and subsumption handles supersets).
+        """
+        stats = self.pipeline_stats
+        if len(pending) == 1:
+            joint = pending[0].residual
+        else:
+            joint = [cond for entry in pending for cond in entry.residual]
+            stats["joint_solves"] += 1
+        verdict = super().check(joint)
+        if verdict is Result.UNSAT:
+            if len(pending) == 1:
+                self.cache.store_unsat(pending[0].key)
+            else:
+                union = frozenset(
+                    cond for entry in pending for cond in entry.original
+                )
+                self.cache.store_unsat(union)
+            return Result.UNSAT
+
+        # Extract every slice from the joint assignment *before* any
+        # verification fallback: a fallback re-solve replaces the SAT
+        # core's assignment, which must not leak into other slices.
+        extracted = [(entry, self._extract_slice(entry)) for entry in pending]
+        for entry, values in extracted:
+            if entry.dropped and not self._satisfied(values, entry.dropped):
+                # The joint model ignored a conjunct the interval pass
+                # dropped from *this* slice (its justification involved
+                # other dropped conjuncts).  Re-solve the slice exactly.
+                stats["verify_fallbacks"] += 1
+                verdict = super().check(entry.residual + entry.dropped)
+                if verdict is Result.UNSAT:
+                    self.cache.store_unsat(entry.key)
+                    return Result.UNSAT
+                values = self._extract_slice(entry)
+            self.cache.store_sat(entry.key, Model(values))
+            stitched.update(values)
+        self._last_result = Result.SAT
+        return Result.SAT
+
+    def _extract_slice(self, entry: "_PendingSlice") -> dict[Term, int]:
+        """Slice-restricted model values from the current SAT assignment."""
+        values: dict[Term, int] = {}
+        for cond in entry.original:
+            for var in cond.free_vars():
+                if var in values:
+                    continue
+                binding = entry.bindings.get(var)
+                if binding is not None:
+                    values[var] = binding.payload
+                    continue
+                extracted = self.value_of(var)
+                values[var] = extracted if extracted is not None else 0
+        return values
+
+    def _slice_values(
+        self, slice_conds: list, bindings: dict, witness: Optional[dict]
+    ) -> dict[Term, int]:
+        """Complete a preprocessing-produced witness over the slice vars."""
+        values: dict[Term, int] = {}
+        for cond in slice_conds:
+            for var in cond.free_vars():
+                if var in values:
+                    continue
+                binding = bindings.get(var)
+                if binding is not None:
+                    values[var] = binding.payload
+                elif witness is not None and var in witness:
+                    values[var] = witness[var]
+                else:
+                    values[var] = 0
+        return values
+
+    @staticmethod
+    def _satisfied(values: dict[Term, int], conds: list) -> bool:
+        assignment = dict(values)
+        for cond in conds:
+            for var in cond.free_vars():
+                assignment.setdefault(var, 0)
+        try:
+            return all(evaluate(cond, assignment) for cond in conds)
+        except EvalError:  # pragma: no cover - defensive
+            return False
 
     def model(self) -> Model:
         if self._reused_model is not None:
             return self._reused_model
-        model = super().model()
-        if self._pending_key is not None and self._last_result is Result.SAT:
-            self.cache.store_sat(self._pending_key, model)
-            self._pending_key = None
-        return model
+        return super().model()
 
 
 def is_satisfiable(term: Term) -> bool:

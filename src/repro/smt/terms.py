@@ -97,13 +97,14 @@ class Term:
         args: child terms.
     """
 
-    __slots__ = ("op", "width", "payload", "args")
+    __slots__ = ("op", "width", "payload", "args", "_free_vars")
 
     def __init__(self, op: str, width: int, payload, args: tuple):
         self.op = op
         self.width = width
         self.payload = payload
         self.args = args
+        self._free_vars: Optional[frozenset] = None
 
     # Identity-based equality/hash: interning guarantees structural
     # equality implies identity.
@@ -135,20 +136,42 @@ class Term:
             raise ValueError(f"not a variable term: {self!r}")
         return self.payload
 
+    def free_vars(self) -> "frozenset[Term]":
+        """Free variables of this DAG, computed once and cached per node.
+
+        The query-preprocessing layer (independence slicing, interval
+        refinement) calls this on every path-condition conjunct of every
+        query, so the result is memoized on the interned term itself and
+        shared through the DAG: each node's set is the union of its
+        children's cached sets.
+        """
+        cached = self._free_vars
+        if cached is not None:
+            return cached
+        stack: list[tuple[Term, bool]] = [(self, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node._free_vars is not None:
+                continue
+            if not ready:
+                stack.append((node, True))
+                stack.extend(
+                    (arg, False) for arg in node.args if arg._free_vars is None
+                )
+                continue
+            if node.op == "var":
+                node._free_vars = frozenset((node,))
+            elif not node.args:
+                node._free_vars = frozenset()
+            else:
+                node._free_vars = frozenset().union(
+                    *(arg._free_vars for arg in node.args)
+                )
+        return self._free_vars
+
     def variables(self) -> "set[Term]":
         """Return the set of variable terms occurring in this DAG."""
-        seen: set[int] = set()
-        out: set[Term] = set()
-        stack = [self]
-        while stack:
-            node = stack.pop()
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            if node.op == "var":
-                out.add(node)
-            stack.extend(node.args)
-        return out
+        return set(self.free_vars())
 
     def size(self) -> int:
         """Number of distinct DAG nodes reachable from this term."""
