@@ -1,0 +1,147 @@
+"""Staged-semantics throughput: instructions/sec staged vs unstaged.
+
+``BENCH_PR2.json`` showed SUT re-execution dominating exploration wall
+time once the solver side was cached and preprocessed.  PR 3's staging
+layer (:mod:`repro.spec.staged`) attacks exactly that: the benchmarks
+here measure *instructions per second* of the specification-derived
+interpreters with staging on vs off, on the Fig. 6 workload set —
+first pure SUT re-execution over the workload's discovered path inputs
+(the explorer's inner loop), then a concrete straight-line loop (the
+interpreter ceiling).  Identity contracts are asserted on every
+comparison: staged and unstaged execution must retire the same
+instruction counts, discover the same path sets, and attribute solver
+queries identically, serially and on a worker pool.  Timings and
+derived instructions/sec land in ``extra_info`` for the CI benchmark
+JSON artifact (compare against ``BENCH_PR3.json``).
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.asm import assemble
+from repro.concrete import ConcreteInterpreter
+from repro.core import BinSymExecutor, Explorer
+from repro.eval.workloads import TABLE1_WORKLOADS, WORKLOADS
+from repro.spec import rv32im
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+_CONCRETE_LOOP = """\
+_start:
+    li t0, 5000
+    li t1, 0
+loop:
+    addi t1, t1, 3
+    xor t2, t1, t0
+    slli t3, t2, 1
+    sub t4, t3, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    li a0, 0
+    ecall
+"""
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return rv32im()
+
+
+def _discover_paths(isa, name):
+    """Explore a workload; return its image, path inputs and instret.
+
+    Called inside each test (not a shared fixture): input assignments
+    are keyed by identity-interned variable terms, and the autouse
+    ``fresh_interner`` fixture resets the interner between tests.
+    """
+    image = WORKLOADS[name].image()
+    result = Explorer(BinSymExecutor(isa, image), use_cache=True).explore()
+    return image, [path.assignment for path in result.paths], result.total_instructions
+
+
+@pytest.mark.parametrize("staging", [True, False], ids=["staged", "unstaged"])
+@pytest.mark.parametrize("name", TABLE1_WORKLOADS)
+def test_sut_reexecution(benchmark, isa, name, staging):
+    """Re-execute every discovered path of a workload once (the SUT
+    side of the exploration loop, no solver involved)."""
+    benchmark.group = f"interp:reexec:{name}"
+    image, assignments, expected_instret = _discover_paths(isa, name)
+
+    def run():
+        executor = BinSymExecutor(isa, image, staging=staging)
+        return sum(executor.execute(a).instret for a in assignments)
+
+    start = time.perf_counter()
+    instret = benchmark.pedantic(run, rounds=3, iterations=1)
+    elapsed = (time.perf_counter() - start) / 3
+    # Identity contract: staging must not change what executes.
+    assert instret == expected_instret
+    benchmark.extra_info["paths"] = len(assignments)
+    benchmark.extra_info["instructions"] = instret
+    benchmark.extra_info["instructions_per_second"] = round(instret / elapsed)
+
+
+@pytest.mark.parametrize("staging", [True, False], ids=["staged", "unstaged"])
+def test_concrete_loop_throughput(benchmark, isa, staging):
+    """Interpreter ceiling: a concrete arithmetic loop, no symbolic data."""
+    benchmark.group = "interp:concrete-loop"
+    image = assemble(_CONCRETE_LOOP)
+
+    def run():
+        interp = ConcreteInterpreter(isa, staging=staging)
+        interp.load_image(image)
+        return interp.run().instret
+
+    start = time.perf_counter()
+    instret = benchmark.pedantic(run, rounds=3, iterations=1)
+    elapsed = (time.perf_counter() - start) / 3
+    assert instret > 30_000
+    benchmark.extra_info["instructions"] = instret
+    benchmark.extra_info["instructions_per_second"] = round(instret / elapsed)
+
+
+@pytest.mark.parametrize("name", TABLE1_WORKLOADS)
+def test_staging_ablation_contract(benchmark, isa, name):
+    """Full-exploration identity: path sets and exact solver-query
+    attribution are staging-invariant, serially and on a worker pool."""
+    benchmark.group = "interp:contract"
+    image = WORKLOADS[name].image(3)
+
+    def explore(staging, jobs):
+        return Explorer(
+            BinSymExecutor(isa, image),
+            jobs=jobs,
+            use_cache=True,
+            staging=staging,
+        ).explore()
+
+    def run():
+        staged = explore(True, 1)
+        unstaged = explore(False, 1)
+        assert staged.path_set() == unstaged.path_set()
+        assert staged.total_instructions == unstaged.total_instructions
+        assert staged.num_queries == unstaged.num_queries
+        assert staged.sat_solves == unstaged.sat_solves
+        assert staged.cache_hits == unstaged.cache_hits
+        assert staged.fast_path_answers == unstaged.fast_path_answers
+        assert staged.pruned_queries == unstaged.pruned_queries
+        assert staged.solver_stats == unstaged.solver_stats
+        if HAS_FORK:
+            # Parallel mode: per-worker caches make the solved-query
+            # split differ from serial (as since PR 1), but staged vs
+            # unstaged must still agree mode-for-mode.
+            parallel_staged = explore(True, 4)
+            parallel_unstaged = explore(False, 4)
+            assert parallel_staged.path_set() == staged.path_set()
+            assert parallel_unstaged.path_set() == staged.path_set()
+            assert (
+                parallel_staged.total_instructions
+                == parallel_unstaged.total_instructions
+            )
+        return staged.num_paths
+
+    paths = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["paths"] = paths

@@ -64,6 +64,22 @@ class ByteMemory:
             value |= self.read_byte(addr + i) << (8 * i)
         return value
 
+    def read_word(self, addr: int) -> int:
+        """Little-endian 32-bit read, specialized for instruction fetch.
+
+        Equivalent to ``read(addr, 32)`` but a single page probe and one
+        ``int.from_bytes`` when the access does not straddle a page —
+        the fetch in every interpreter step goes through here.
+        """
+        addr &= _ADDR_MASK
+        offset = addr & _PAGE_MASK
+        if offset <= _PAGE_SIZE - 4:
+            page = self._pages.get(addr >> _PAGE_BITS)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset : offset + 4], "little")
+        return self.read(addr, 32)
+
     def write(self, addr: int, value: int, width_bits: int) -> None:
         """Little-endian write of 8/16/32 bits."""
         if width_bits not in (8, 16, 32):
@@ -72,11 +88,39 @@ class ByteMemory:
             self.write_byte(addr + i, (value >> (8 * i)) & 0xFF)
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        for i, byte in enumerate(data):
-            self.write_byte(addr + i, byte)
+        """Bulk write via page-sized slice assignments.
+
+        Image loading calls this once per segment on every run reset
+        (the offline executor restarts the SUT per path), so it copies
+        whole pages instead of dict-probing per byte.
+        """
+        addr &= _ADDR_MASK
+        offset = 0
+        remaining = len(data)
+        while remaining:
+            page_offset = addr & _PAGE_MASK
+            chunk = min(remaining, _PAGE_SIZE - page_offset)
+            page = self._page_for(addr)
+            page[page_offset : page_offset + chunk] = data[offset : offset + chunk]
+            addr = (addr + chunk) & _ADDR_MASK
+            offset += chunk
+            remaining -= chunk
 
     def read_bytes(self, addr: int, length: int) -> bytes:
-        return bytes(self.read_byte(addr + i) for i in range(length))
+        addr &= _ADDR_MASK
+        out = bytearray()
+        remaining = length
+        while remaining:
+            page_offset = addr & _PAGE_MASK
+            chunk = min(remaining, _PAGE_SIZE - page_offset)
+            page = self._pages.get(addr >> _PAGE_BITS)
+            if page is None:
+                out.extend(b"\x00" * chunk)
+            else:
+                out.extend(page[page_offset : page_offset + chunk])
+            addr = (addr + chunk) & _ADDR_MASK
+            remaining -= chunk
+        return bytes(out)
 
     def read_cstring(self, addr: int, limit: int = 4096) -> bytes:
         """Read a NUL-terminated string (diagnostics / syscalls)."""

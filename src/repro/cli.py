@@ -98,6 +98,8 @@ def _cmd_explore(args) -> int:
     isa = _ISA_FACTORIES[args.isa]()
     image = _load_program(args.input, isa)
     symbolic_memory = [_parse_symbolic(s) for s in args.symbolic or ()]
+    # Staging (--no-staging) is applied by the Explorer below, which
+    # owns the ablation for serial and parallel runs alike.
     engine = make_engine(args.engine, isa, image, max_steps=args.max_steps)
     if symbolic_memory:
         # Configure harness-driven symbolic input on top of any
@@ -114,6 +116,7 @@ def _cmd_explore(args) -> int:
         jobs=args.jobs,
         use_cache=args.query_cache,
         preprocess=preprocess,
+        staging=args.staging,
     ).explore()
     print(result.summary())
     if args.stats:
@@ -189,6 +192,11 @@ def main(argv=None) -> int:
     p_explore.add_argument("--no-intervals", dest="intervals",
                            action="store_false", default=True,
                            help="disable the interval fast path")
+    p_explore.add_argument("--no-staging", dest="staging",
+                           action="store_false", default=True,
+                           help="disable staged semantics execution "
+                                "(compiled per-instruction plans); the "
+                                "specification is re-interpreted every step")
     p_explore.add_argument("--stats", action="store_true",
                            help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)

@@ -149,7 +149,7 @@ class DiftInterpreter:
         hart = self.hart
         if hart.halted:
             return
-        word = self.memory.read(hart.pc, 32)
+        word = self.memory.read_word(hart.pc)
         try:
             decoded = self.isa.decoder.decode(word, hart.pc)
         except IllegalInstruction:

@@ -19,10 +19,9 @@ from ..arch.hart import HaltReason, Hart
 from ..arch.memory import ByteMemory
 from ..loader.image import Image
 from ..smt import bvops
-from ..spec.decoder import IllegalInstruction
-from ..spec.dsl import execute_semantics
 from ..spec.expr import Expr, Val, eval_expr
 from ..spec.isa import ISA
+from ..spec.staged import StagedStepper
 from ..spec import fields
 from ..spec.primitives import (
     DecodeAndReadBType,
@@ -112,45 +111,64 @@ class IntDomain:
     def ite(self, cond: int, then_value: int, else_value: int, width: int) -> int:
         return then_value if cond else else_value
 
+    # -- staged-compilation hooks (see repro.spec.staged) ----------------
 
-class ConcreteInterpreter:
-    """RV32 emulator; also the `Handler` for the spec's primitives."""
+    def specialize_binop(self, op: str, width: int):
+        """Bind the bvops function directly: zero dispatch at replay."""
+        fn = self._BINOPS[op]
+        return lambda lhs, rhs: fn(lhs, rhs, width)
 
-    def __init__(self, isa: ISA, platform: Optional[Platform] = None):
+    def specialize_cmpop(self, op: str, width: int):
+        fn = self._CMPOPS[op]
+        return lambda lhs, rhs: 1 if fn(lhs, rhs, width) else 0
+
+    def specialize_unop(self, op: str, width: int):
+        if op == "not":
+            return lambda arg: bvops.bv_not(arg, width)
+        if op == "neg":
+            return lambda arg: bvops.bv_neg(arg, width)
+        raise ValueError(f"unknown unary op {op}")
+
+
+class ConcreteInterpreter(StagedStepper):
+    """RV32 emulator; also the `Handler` for the spec's primitives.
+
+    ``staging=True`` (the default) executes instructions through the
+    compiled per-word plans of :mod:`repro.spec.staged` where the
+    semantics are staged, falling back to driving the semantics
+    generator otherwise; ``staging=False`` always interprets.  Both
+    modes share the decoder's process-wide decode cache; the step loop
+    itself lives in :class:`~repro.spec.staged.StagedStepper`.
+    """
+
+    #: Identifies IntDomain behaviour for the ISA's compiled-plan cache
+    #: (the domain is stateless, so one key covers every instance).
+    _domain_key = ("int",)
+
+    def __init__(
+        self,
+        isa: ISA,
+        platform: Optional[Platform] = None,
+        staging: bool = True,
+    ):
         self.isa = isa
         self.domain = IntDomain()
         self.memory = ByteMemory()
         self.hart: Hart[int] = Hart(zero_value=0)
         self.platform = platform if platform is not None else HostPlatform()
+        self.staging = staging
         self._current_word = 0
         self._next_pc = 0
+        # word -> (CompiledPlan | None, semantics generator function)
+        self._exec_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
-    # Program setup and the fetch-decode-execute loop
+    # Program setup
     # ------------------------------------------------------------------
 
     def load_image(self, image: Image) -> None:
         image.load_into(self.memory)
         self.hart.reset(image.entry)
-
-    def step(self) -> None:
-        """Fetch, decode and execute a single instruction."""
-        hart = self.hart
-        if hart.halted:
-            return
-        word = self.memory.read(hart.pc, 32)
-        try:
-            decoded = self.isa.decoder.decode(word, hart.pc)
-        except IllegalInstruction:
-            hart.halt(HaltReason.ILLEGAL)
-            raise
-        self._current_word = word
-        self._next_pc = (hart.pc + 4) & _WORD
-        semantics = self.isa.semantics_for(decoded.name)
-        execute_semantics(semantics(), self)
-        hart.instret += 1
-        if not hart.halted:
-            hart.pc = self._next_pc
 
     def run(self, max_steps: int = 10_000_000) -> Hart:
         """Run until the hart halts or the step budget is exhausted."""
@@ -176,6 +194,40 @@ class ConcreteInterpreter:
 
     def make_symbolic(self, base: int, length: int) -> None:
         """Concrete execution: symbolic input marking is a no-op."""
+
+    # ------------------------------------------------------------------
+    # PlanHost interface: staged replay over integer machine state
+    # ------------------------------------------------------------------
+
+    def plan_reg(self, index: int) -> int:
+        return self.hart.regs.read(index)
+
+    def plan_pc(self) -> int:
+        return self.hart.pc
+
+    def plan_load(self, width: int, address: int) -> int:
+        return self.memory.read(address, width)
+
+    def plan_write_reg(self, index: int, value: int) -> None:
+        self.hart.regs.write(index, value)
+
+    def plan_write_pc(self, value: int) -> None:
+        self._next_pc = value
+
+    def plan_store(self, width: int, address: int, value: int) -> None:
+        self.memory.write(address, value, width)
+
+    def plan_branch(self, value: int) -> bool:
+        return bool(value)
+
+    def plan_ecall(self) -> None:
+        self.platform.ecall(self)
+
+    def plan_ebreak(self) -> None:
+        self.hart.halt(HaltReason.EBREAK)
+
+    def plan_fence(self) -> None:
+        pass
 
     # ------------------------------------------------------------------
     # Handler interface: the integer meaning of each primitive

@@ -41,8 +41,11 @@ class TraceEntry:
 class TracingInterpreter:
     """Concrete interpreter + per-instruction trace log."""
 
-    def __init__(self, isa: ISA, max_entries: int = 100_000):
-        self.interpreter = ConcreteInterpreter(isa)
+    def __init__(self, isa: ISA, max_entries: int = 100_000, staging: bool = True):
+        # The tracer inherits staged execution through composition: the
+        # wrapped interpreter replays the same compiled plans (and the
+        # disassembler shares the decoder's decode cache).
+        self.interpreter = ConcreteInterpreter(isa, staging=staging)
         self.disassembler = Disassembler(isa)
         self.trace: list[TraceEntry] = []
         self.max_entries = max_entries

@@ -50,9 +50,14 @@ class BinSymExecutor:
         concretization: ConcretizationPolicy = ConcretizationPolicy.PIN,
         force_terms: bool = False,
         max_steps: int = 1_000_000,
+        staging: bool = True,
     ):
         self.interpreter = SymbolicInterpreter(
-            isa, image, concretization=concretization, force_terms=force_terms
+            isa,
+            image,
+            concretization=concretization,
+            force_terms=force_terms,
+            staging=staging,
         )
         self.symbolic_memory = tuple(symbolic_memory)
         self.symbolic_registers = tuple(symbolic_registers)
@@ -60,6 +65,10 @@ class BinSymExecutor:
         self._register_vars: dict[int, T.Term] = {
             index: T.bv_var(f"reg_{index}", 32) for index in self.symbolic_registers
         }
+
+    def set_staging(self, staging: bool) -> None:
+        """Toggle staged semantics execution (the --no-staging ablation)."""
+        self.interpreter.set_staging(staging)
 
     def execute(self, assignment: InputAssignment) -> RunResult:
         """Run the SUT once under ``assignment``; collect the trace."""

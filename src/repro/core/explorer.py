@@ -33,7 +33,23 @@ from .executor import RunResult
 from .scheduler import Frontier, RunStats, WorkItem, expand_run
 from .state import ExploredPrefixTrie, InputAssignment
 
-__all__ = ["PathInfo", "ExplorationResult", "Explorer"]
+__all__ = ["PathInfo", "ExplorationResult", "Explorer", "apply_staging"]
+
+
+def apply_staging(executor, staging: Optional[bool]) -> Optional[bool]:
+    """Apply the staged-semantics ablation (--no-staging) to an executor.
+
+    Called once at every exploration entry point (serial and pooled)
+    *before* any run — and before the fork, so workers inherit the
+    setting and serial/parallel behave identically.  Returns the value
+    to forward downstream: ``None`` once applied, so a delegation chain
+    reconfigures the executor exactly once.  ``None`` in leaves the
+    executor's own configuration untouched.
+    """
+    if staging is not None and hasattr(executor, "set_staging"):
+        executor.set_staging(staging)
+        return None
+    return staging
 
 
 @dataclass
@@ -179,6 +195,7 @@ class Explorer:
         use_cache: bool = False,
         dedup_flips: bool = True,
         preprocess: Optional[PreprocessConfig] = None,
+        staging: Optional[bool] = None,
     ):
         self._solver_provided = solver is not None
         if solver is None:
@@ -192,6 +209,7 @@ class Explorer:
         self.use_cache = use_cache
         self.dedup_flips = dedup_flips
         self.preprocess = preprocess
+        self.staging = apply_staging(executor, staging)
 
     def explore(self) -> ExplorationResult:
         """Run the full exploration; returns all discovered paths."""
@@ -207,6 +225,7 @@ class Explorer:
                 use_cache=self.use_cache,
                 dedup_flips=self.dedup_flips,
                 preprocess=self.preprocess,
+                staging=self.staging,
             ).explore()
         return self._explore_serial()
 

@@ -24,10 +24,9 @@ from ..arch.hart import HaltReason, Hart
 from ..arch.memory import ByteMemory, ShadowMemory
 from ..loader.image import Image
 from ..smt import terms as T
-from ..spec.decoder import IllegalInstruction
-from ..spec.dsl import execute_semantics
 from ..spec.expr import Expr, Val, eval_expr
 from ..spec.isa import ISA
+from ..spec.staged import StagedStepper
 from ..spec import fields
 from ..spec.primitives import (
     DecodeAndReadBType,
@@ -57,12 +56,14 @@ __all__ = ["SymbolicInterpreter"]
 _WORD = 0xFFFFFFFF
 
 
-class SymbolicInterpreter:
+class SymbolicInterpreter(StagedStepper):
     """One concolic execution of an RV32 program.
 
     The interpreter is reset per run via :meth:`reset`; symbolic input
     *variables* persist across runs (they identify input bytes), while
     their concrete values come from the run's :class:`InputAssignment`.
+    The fetch/execute step loop (staged plans plus the ``--no-staging``
+    ablation path) comes from :class:`~repro.spec.staged.StagedStepper`.
     """
 
     def __init__(
@@ -71,11 +72,19 @@ class SymbolicInterpreter:
         image: Image,
         concretization: ConcretizationPolicy = ConcretizationPolicy.PIN,
         force_terms: bool = False,
+        staging: bool = True,
     ):
         self.isa = isa
         self.image = image
         self.domain = SymDomain(force_terms=force_terms)
         self.concretization = concretization
+        self.staging = staging
+        # Identifies SymDomain behaviour for the compiled-plan cache:
+        # plans compiled for one SymDomain serve every instance with the
+        # same force_terms setting (the domain is otherwise stateless).
+        self._domain_key = ("sym", force_terms)
+        # word -> (CompiledPlan | None, semantics generator function)
+        self._exec_cache: dict[int, tuple] = {}
         # Stable input variables: (address -> SymbolicInput), shared
         # across runs so solver models translate into new inputs.
         self.inputs: dict[int, SymbolicInput] = {}
@@ -120,23 +129,7 @@ class SymbolicInterpreter:
         self.hart.halt(HaltReason.OUT_OF_FUEL)
         return self.hart
 
-    def step(self) -> None:
-        hart = self.hart
-        if hart.halted:
-            return
-        word = self.memory.read(hart.pc, 32)
-        try:
-            decoded = self.isa.decoder.decode(word, hart.pc)
-        except IllegalInstruction:
-            hart.halt(HaltReason.ILLEGAL)
-            raise
-        self._current_word = word
-        self._next_pc = (hart.pc + 4) & _WORD
-        semantics = self.isa.semantics_for(decoded.name)
-        execute_semantics(semantics(), self)
-        hart.instret += 1
-        if not hart.halted:
-            hart.pc = self._next_pc
+    # step() is inherited from StagedStepper.
 
     # ------------------------------------------------------------------
     # Symbolic input marking (the make_symbolic ecall / harness hook)
@@ -212,6 +205,56 @@ class SymbolicInterpreter:
                 self.shadow.set(
                     byte_addr, T.extract(value.term, 8 * i + 7, 8 * i)
                 )
+
+    # ------------------------------------------------------------------
+    # PlanHost interface: staged replay over concolic machine state.
+    # Each method is the staged twin of the matching `handle` case and
+    # must stay behaviourally identical to it (the differential tests in
+    # tests/test_staged.py pin this).
+    # ------------------------------------------------------------------
+
+    def plan_reg(self, index: int) -> SymValue:
+        return self.hart.regs.read(index)
+
+    def plan_pc(self) -> SymValue:
+        return SymValue(self.hart.pc, 32)
+
+    def plan_load(self, width: int, address: SymValue) -> SymValue:
+        concrete_addr = concretize_address(
+            address, self.concretization, self.trace, self.hart.pc
+        )
+        return self._load(concrete_addr, width)
+
+    def plan_write_reg(self, index: int, value: SymValue) -> None:
+        self.hart.regs.write(index, value)
+
+    def plan_write_pc(self, value: SymValue) -> None:
+        if value.term is not None:
+            pinned = T.eq(value.term, T.bv(value.concrete, 32))
+            self.trace.add_assumption(pinned, self.hart.pc)
+        self._next_pc = value.concrete
+
+    def plan_store(self, width: int, address: SymValue, value: SymValue) -> None:
+        concrete_addr = concretize_address(
+            address, self.concretization, self.trace, self.hart.pc
+        )
+        self._store(concrete_addr, value, width)
+
+    def plan_branch(self, value: SymValue) -> bool:
+        """Staged twin of :meth:`branch`: the condition is pre-evaluated."""
+        taken = bool(value.concrete)
+        if value.term is not None and not value.term.is_const:
+            self.trace.add_branch(value.condition_term(), self.hart.pc, taken)
+        return taken
+
+    def plan_ecall(self) -> None:
+        self._ecall()
+
+    def plan_ebreak(self) -> None:
+        self.hart.halt(HaltReason.EBREAK)
+
+    def plan_fence(self) -> None:
+        pass
 
     # ------------------------------------------------------------------
     # Handler interface

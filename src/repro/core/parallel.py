@@ -36,7 +36,7 @@ from typing import Optional
 
 from ..smt.preprocess import PreprocessConfig
 from ..smt.solver import CachingSolver, Solver
-from .explorer import ExplorationResult, Explorer, PathInfo
+from .explorer import ExplorationResult, Explorer, PathInfo, apply_staging
 from .scheduler import (
     Frontier,
     RunStats,
@@ -151,6 +151,7 @@ class ProcessPoolExplorer:
         use_cache: bool = False,
         dedup_flips: bool = True,
         preprocess: Optional[PreprocessConfig] = None,
+        staging: Optional[bool] = None,
     ):
         self.executor = executor
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -160,6 +161,11 @@ class ProcessPoolExplorer:
         self.use_cache = use_cache
         self.dedup_flips = dedup_flips
         self.preprocess = preprocess
+        # Applied before the fork so every worker inherits the setting;
+        # the staged plan/decode caches themselves are pure per-word
+        # memos, so each worker's copy-on-write copy stays coherent as
+        # it grows independently (see repro.spec.isa).
+        self.staging = apply_staging(executor, staging)
 
     def explore(self) -> ExplorationResult:
         if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -176,6 +182,7 @@ class ProcessPoolExplorer:
             use_cache=self.use_cache,
             dedup_flips=self.dedup_flips,
             preprocess=self.preprocess,
+            staging=self.staging,
         ).explore()
 
     def _next_reply(self, result_queue, workers):

@@ -65,6 +65,75 @@ def _concrete(value: int, width: int) -> SymValue:
     return SymValue(value, width)
 
 
+_INT_BINOPS = {
+    "add": bvops.bv_add,
+    "sub": bvops.bv_sub,
+    "mul": bvops.bv_mul,
+    "udiv": bvops.bv_udiv,
+    "sdiv": bvops.bv_sdiv,
+    "urem": bvops.bv_urem,
+    "srem": bvops.bv_srem,
+    "and": bvops.bv_and,
+    "or": bvops.bv_or,
+    "xor": bvops.bv_xor,
+    "shl": bvops.bv_shl,
+    "lshr": bvops.bv_lshr,
+    "ashr": bvops.bv_ashr,
+}
+
+_TERM_BINOPS = {
+    "add": T.add,
+    "sub": T.sub,
+    "mul": T.mul,
+    "udiv": T.udiv,
+    "sdiv": T.sdiv,
+    "urem": T.urem,
+    "srem": T.srem,
+    "and": T.and_,
+    "or": T.or_,
+    "xor": T.xor,
+    "shl": T.shl,
+    "lshr": T.lshr,
+    "ashr": T.ashr,
+}
+
+_INT_CMPOPS = {
+    "eq": lambda a, b, w: a == b,
+    "ne": lambda a, b, w: a != b,
+    "ult": bvops.bv_ult,
+    "ule": bvops.bv_ule,
+    "ugt": lambda a, b, w: a > b,
+    "uge": lambda a, b, w: a >= b,
+    "slt": bvops.bv_slt,
+    "sle": bvops.bv_sle,
+    "sgt": lambda a, b, w: bvops.bv_slt(b, a, w),
+    "sge": lambda a, b, w: bvops.bv_sle(b, a, w),
+}
+
+_TERM_CMPOPS = {
+    "eq": T.eq,
+    "ne": T.ne,
+    "ult": T.ult,
+    "ule": T.ule,
+    "ugt": T.ugt,
+    "uge": T.uge,
+    "slt": T.slt,
+    "sle": T.sle,
+    "sgt": T.sgt,
+    "sge": T.sge,
+}
+
+_INT_UNOPS = {"not": bvops.bv_not, "neg": bvops.bv_neg}
+_TERM_UNOPS = {"not": T.not_, "neg": T.neg}
+
+# Single-lookup dispatch: op name -> (concrete fn, term builder).  One
+# dict probe per evaluated operation instead of two, and no per-call
+# if/elif chains (PR 3 hot-loop micro-opt; numbers in the PR notes).
+_BINOP_PAIRS = {op: (_INT_BINOPS[op], _TERM_BINOPS[op]) for op in _INT_BINOPS}
+_CMPOP_PAIRS = {op: (_INT_CMPOPS[op], _TERM_CMPOPS[op]) for op in _INT_CMPOPS}
+_UNOP_PAIRS = {op: (_INT_UNOPS[op], _TERM_UNOPS[op]) for op in _INT_UNOPS}
+
+
 class SymDomain:
     """Expression evaluation over :class:`SymValue`.
 
@@ -74,68 +143,18 @@ class SymDomain:
     (used by the fast-path ablation to measure the cost of always
     building terms: pass ``force_terms=True`` instead to disable the
     fast path).
+
+    The domain is stateless apart from the ``force_terms`` flag, which
+    is what lets staged plans compiled against one instance be shared by
+    every behaviourally identical instance (see
+    :meth:`repro.spec.isa.ISA.compiled_plan`).
     """
-
-    _INT_BINOPS = {
-        "add": bvops.bv_add,
-        "sub": bvops.bv_sub,
-        "mul": bvops.bv_mul,
-        "udiv": bvops.bv_udiv,
-        "sdiv": bvops.bv_sdiv,
-        "urem": bvops.bv_urem,
-        "srem": bvops.bv_srem,
-        "and": bvops.bv_and,
-        "or": bvops.bv_or,
-        "xor": bvops.bv_xor,
-        "shl": bvops.bv_shl,
-        "lshr": bvops.bv_lshr,
-        "ashr": bvops.bv_ashr,
-    }
-
-    _TERM_BINOPS = {
-        "add": T.add,
-        "sub": T.sub,
-        "mul": T.mul,
-        "udiv": T.udiv,
-        "sdiv": T.sdiv,
-        "urem": T.urem,
-        "srem": T.srem,
-        "and": T.and_,
-        "or": T.or_,
-        "xor": T.xor,
-        "shl": T.shl,
-        "lshr": T.lshr,
-        "ashr": T.ashr,
-    }
-
-    _INT_CMPOPS = {
-        "eq": lambda a, b, w: a == b,
-        "ne": lambda a, b, w: a != b,
-        "ult": bvops.bv_ult,
-        "ule": bvops.bv_ule,
-        "ugt": lambda a, b, w: a > b,
-        "uge": lambda a, b, w: a >= b,
-        "slt": bvops.bv_slt,
-        "sle": bvops.bv_sle,
-        "sgt": lambda a, b, w: bvops.bv_slt(b, a, w),
-        "sge": lambda a, b, w: bvops.bv_sle(b, a, w),
-    }
-
-    _TERM_CMPOPS = {
-        "eq": T.eq,
-        "ne": T.ne,
-        "ult": T.ult,
-        "ule": T.ule,
-        "ugt": T.ugt,
-        "uge": T.uge,
-        "slt": T.slt,
-        "sle": T.sle,
-        "sgt": T.sgt,
-        "sge": T.sge,
-    }
 
     def __init__(self, force_terms: bool = False):
         self.force_terms = force_terms
+        # Constants fold at plan-compile time only when they carry no
+        # interned term (terms must not outlive reset_interner()).
+        self.supports_const_folding = not force_terms
 
     # -- leaves ---------------------------------------------------------
 
@@ -155,31 +174,30 @@ class SymDomain:
         return self.force_terms or any(op.term is not None for op in operands)
 
     def binop(self, op: str, lhs: SymValue, rhs: SymValue, width: int) -> SymValue:
-        concrete = self._INT_BINOPS[op](lhs.concrete, rhs.concrete, width)
-        if not self._needs_term(lhs, rhs):
+        int_fn, term_fn = _BINOP_PAIRS[op]
+        concrete = int_fn(lhs.concrete, rhs.concrete, width)
+        if lhs.term is None and rhs.term is None and not self.force_terms:
             return SymValue(concrete, width)
-        term = self._TERM_BINOPS[op](lhs.term_or_const(), rhs.term_or_const())
+        term = term_fn(lhs.term_or_const(), rhs.term_or_const())
         return SymValue(concrete, width, term)
 
     def cmpop(self, op: str, lhs: SymValue, rhs: SymValue, width: int) -> SymValue:
-        concrete = 1 if self._INT_CMPOPS[op](lhs.concrete, rhs.concrete, width) else 0
-        if not self._needs_term(lhs, rhs):
+        int_fn, term_fn = _CMPOP_PAIRS[op]
+        concrete = 1 if int_fn(lhs.concrete, rhs.concrete, width) else 0
+        if lhs.term is None and rhs.term is None and not self.force_terms:
             return SymValue(concrete, 1)
-        cond = self._TERM_CMPOPS[op](lhs.term_or_const(), rhs.term_or_const())
+        cond = term_fn(lhs.term_or_const(), rhs.term_or_const())
         return SymValue(concrete, 1, T.bool_to_bv(cond))
 
     def unop(self, op: str, arg: SymValue, width: int) -> SymValue:
-        if op == "not":
-            concrete = bvops.bv_not(arg.concrete, width)
-            builder = T.not_
-        elif op == "neg":
-            concrete = bvops.bv_neg(arg.concrete, width)
-            builder = T.neg
-        else:
-            raise ValueError(f"unknown unary op {op}")
-        if not self._needs_term(arg):
+        try:
+            int_fn, term_fn = _UNOP_PAIRS[op]
+        except KeyError:
+            raise ValueError(f"unknown unary op {op}") from None
+        concrete = int_fn(arg.concrete, width)
+        if arg.term is None and not self.force_terms:
             return SymValue(concrete, width)
-        return SymValue(concrete, width, builder(arg.term_or_const()))
+        return SymValue(concrete, width, term_fn(arg.term_or_const()))
 
     def ext(self, kind: str, arg: SymValue, amount: int, from_width: int) -> SymValue:
         if kind == "zext":
@@ -189,9 +207,50 @@ class SymDomain:
             concrete = bvops.bv_sext(arg.concrete, from_width, amount)
             builder = T.sext
         width = from_width + amount
-        if not self._needs_term(arg):
+        if arg.term is None and not self.force_terms:
             return SymValue(concrete, width)
         return SymValue(concrete, width, builder(arg.term_or_const(), amount))
+
+    # -- staged-compilation hooks (see repro.spec.staged) ----------------
+
+    def specialize_binop(self, op: str, width: int):
+        """A pre-dispatched binop closure for compiled plans."""
+        int_fn, term_fn = _BINOP_PAIRS[op]
+        force = self.force_terms
+
+        def run(lhs: SymValue, rhs: SymValue) -> SymValue:
+            concrete = int_fn(lhs.concrete, rhs.concrete, width)
+            if lhs.term is None and rhs.term is None and not force:
+                return SymValue(concrete, width)
+            term = term_fn(lhs.term_or_const(), rhs.term_or_const())
+            return SymValue(concrete, width, term)
+
+        return run
+
+    def specialize_cmpop(self, op: str, width: int):
+        int_fn, term_fn = _CMPOP_PAIRS[op]
+        force = self.force_terms
+
+        def run(lhs: SymValue, rhs: SymValue) -> SymValue:
+            concrete = 1 if int_fn(lhs.concrete, rhs.concrete, width) else 0
+            if lhs.term is None and rhs.term is None and not force:
+                return SymValue(concrete, 1)
+            cond = term_fn(lhs.term_or_const(), rhs.term_or_const())
+            return SymValue(concrete, 1, T.bool_to_bv(cond))
+
+        return run
+
+    def specialize_unop(self, op: str, width: int):
+        int_fn, term_fn = _UNOP_PAIRS[op]
+        force = self.force_terms
+
+        def run(arg: SymValue) -> SymValue:
+            concrete = int_fn(arg.concrete, width)
+            if arg.term is None and not force:
+                return SymValue(concrete, width)
+            return SymValue(concrete, width, term_fn(arg.term_or_const()))
+
+        return run
 
     def extract(self, arg: SymValue, high: int, low: int) -> SymValue:
         concrete = bvops.bv_extract(arg.concrete, high, low)

@@ -38,15 +38,20 @@ def make_engine(
     image: Image,
     symbolic_registers=(),
     max_steps: int = 1_000_000,
+    staging: bool = True,
 ):
     """Instantiate an engine by key.
 
     Keys: ``binsym``, ``binsec``, ``symex-vp``, ``angr`` (fixed lifter)
     and ``angr-buggy`` (the five historical lifter bugs seeded).
+
+    ``staging`` toggles staged semantics execution for the
+    specification-derived engine (``binsym``); the IR-based baselines
+    have their own translation caches and ignore it.
     """
     common = dict(symbolic_registers=symbolic_registers, max_steps=max_steps)
     if key == "binsym":
-        return BinSymExecutor(isa, image, **common)
+        return BinSymExecutor(isa, image, staging=staging, **common)
     if key == "binsec":
         return DbaEngine(isa, image, **common)
     if key == "symex-vp":

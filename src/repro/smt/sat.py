@@ -190,16 +190,33 @@ class SatSolver:
     # ------------------------------------------------------------------
 
     def _propagate(self) -> Optional[_Clause]:
-        """Propagate all enqueued facts; return a conflicting clause or None."""
+        """Propagate all enqueued facts; return a conflicting clause or None.
+
+        This is the solver's innermost loop (the profile's hottest
+        frame), so ``self`` attribute traffic is hoisted into locals and
+        ``_lit_value``/``_widx`` are inlined over the local ``assign``
+        list — the containers are only ever mutated in place, so the
+        local aliases stay valid across ``_enqueue`` calls.
+        """
         stats_props = 0
-        while self._propagate_head < len(self._trail):
-            lit = self._trail[self._propagate_head]
-            self._propagate_head += 1
+        trail = self._trail
+        watches = self._watches
+        assign = self._assign
+        enqueue = self._enqueue
+        head = self._propagate_head
+        conflict: Optional[_Clause] = None
+        while head < len(trail):
+            lit = trail[head]
+            head += 1
             stats_props += 1
             false_lit = -lit
-            watch_list = self._watches[self._widx(false_lit)]
+            # Inlined _widx(false_lit).
+            if false_lit > 0:
+                watch_list = watches[2 * false_lit]
+            else:
+                watch_list = watches[-2 * false_lit + 1]
             new_list: list[_Clause] = []
-            conflict: Optional[_Clause] = None
+            append_kept = new_list.append
             index = 0
             count = len(watch_list)
             while index < count:
@@ -210,32 +227,37 @@ class SatSolver:
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
-                if self._lit_value(first) == 1:
-                    new_list.append(clause)
+                # Inlined _lit_value(first) == 1 (literal is true).
+                if (assign[first] if first > 0 else -assign[-first]) == 1:
+                    append_kept(clause)
                     continue
                 # Search for a new literal to watch.
                 found = False
                 for k in range(2, len(lits)):
-                    if self._lit_value(lits[k]) != -1:
-                        lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[self._widx(lits[1])].append(clause)
+                    other = lits[k]
+                    if (assign[other] if other > 0 else -assign[-other]) != -1:
+                        lits[1], lits[k] = other, lits[1]
+                        if other > 0:
+                            watches[2 * other].append(clause)
+                        else:
+                            watches[-2 * other + 1].append(clause)
                         found = True
                         break
                 if found:
                     continue
-                new_list.append(clause)
-                if self._lit_value(first) == -1:
+                append_kept(clause)
+                if (assign[first] if first > 0 else -assign[-first]) == -1:
                     # Conflict: keep remaining watches, signal conflict.
                     new_list.extend(watch_list[index:])
                     conflict = clause
                     break
-                self._enqueue(first, clause)
+                enqueue(first, clause)
             watch_list[:] = new_list
             if conflict is not None:
-                self.statistics["propagations"] += stats_props
-                return conflict
+                break
+        self._propagate_head = head
         self.statistics["propagations"] += stats_props
-        return None
+        return conflict
 
     # ------------------------------------------------------------------
     # Conflict analysis (first UIP)

@@ -13,12 +13,15 @@ from riscv-opcodes style ``(mask, match)`` tables
 (:mod:`repro.spec.opcodes`) from which the decoder is derived
 (:mod:`repro.spec.decoder`).  :mod:`repro.spec.isa` composes base ISA
 and extensions; :mod:`repro.spec.zimadd` is the paper's Sect. IV custom
-instruction case study.
+instruction case study.  :mod:`repro.spec.staged` partially evaluates
+the specification into cached per-instruction executors (PR 3) without
+changing the DSL the semantics are written in.
 """
 
 from . import expr, fields, primitives
 from .decoder import DecodedInstruction, Decoder, IllegalInstruction
 from .dsl import Handler, execute_semantics
+from .staged import CompiledPlan, Plan, bind_plan, compile_expr, record_plan
 from .isa import ISA, Extension, rv32i, rv32im, rv32im_zbb, rv32im_zimadd
 from .opcodes import (
     RV32I_ENCODINGS,
@@ -37,6 +40,11 @@ __all__ = [
     "IllegalInstruction",
     "Handler",
     "execute_semantics",
+    "Plan",
+    "CompiledPlan",
+    "record_plan",
+    "compile_expr",
+    "bind_plan",
     "ISA",
     "Extension",
     "rv32i",

@@ -46,7 +46,20 @@ class DecodedInstruction:
 
 
 class Decoder:
-    """Decoder for a set of instruction encodings."""
+    """Decoder for a set of instruction encodings.
+
+    Successful decodes are memoized in a per-decoder LRU cache (a
+    decoder is shared by every interpreter instantiated from one ISA,
+    so the cache is effectively process-wide): programs re-execute the
+    same instruction words across loop iterations, paths and runs, and
+    the mask-group probe only ever runs once per distinct word.  The
+    cache is a pure function of the word, so forked exploration workers
+    inherit it coherently and extend their copies independently.
+    """
+
+    #: Upper bound on cached decoded words (a 128Ki-entry working set
+    #: is far beyond any SUT in this repo; eviction is true LRU).
+    CACHE_CAPACITY = 1 << 17
 
     def __init__(self, encodings: Iterable[Encoding]):
         self._groups: dict[int, dict[int, Encoding]] = {}
@@ -66,14 +79,34 @@ class Decoder:
         self._mask_order = sorted(
             self._groups, key=lambda m: bin(m).count("1"), reverse=True
         )
+        # word -> DecodedInstruction, in LRU order (oldest first).
+        self._cache: dict[int, DecodedInstruction] = {}
 
     def decode(self, word: int, pc: Optional[int] = None) -> DecodedInstruction:
         """Decode a 32-bit instruction word or raise IllegalInstruction."""
+        cache = self._cache
+        cached = cache.get(word)
+        if cached is not None:
+            # Move-to-end keeps insertion order = recency order.
+            del cache[word]
+            cache[word] = cached
+            return cached
         for mask in self._mask_order:
             encoding = self._groups[mask].get(word & mask)
             if encoding is not None:
-                return DecodedInstruction(word, encoding)
+                decoded = DecodedInstruction(word, encoding)
+                if len(cache) >= self.CACHE_CAPACITY:
+                    del cache[next(iter(cache))]
+                cache[word] = decoded
+                return decoded
         raise IllegalInstruction(word, pc)
+
+    def cache_info(self) -> tuple[int, int]:
+        """``(entries, capacity)`` of the decode cache (diagnostics)."""
+        return len(self._cache), self.CACHE_CAPACITY
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
 
     def try_decode(self, word: int) -> Optional[DecodedInstruction]:
         """Decode, returning None instead of raising."""

@@ -46,25 +46,32 @@ class Handler(Protocol):
 
 def execute_semantics(generator: SemanticsGenerator, handler: Handler) -> None:
     """Drive one instruction's semantics generator to completion."""
+    # The control-flow primitives are final (never subclassed), so exact
+    # type tests replace the isinstance chain in this trampoline — it is
+    # the hot loop for every semantics staging cannot specialize.
     answer: Any = None
+    send = generator.send
+    handle = handler.handle
+    branch = handler.branch
     while True:
         try:
-            primitive = generator.send(answer)
+            primitive = send(answer)
         except StopIteration:
             return
-        if isinstance(primitive, RunIfElse):
-            taken = handler.branch(primitive.cond)
+        cls = primitive.__class__
+        if cls is RunIfElse:
+            taken = branch(primitive.cond)
             chosen = primitive.then_block if taken else primitive.else_block
             if chosen is not None:
                 execute_semantics(chosen(), handler)
             answer = None
-        elif isinstance(primitive, RunIf):
-            taken = handler.branch(primitive.cond)
+        elif cls is RunIf:
+            taken = branch(primitive.cond)
             if taken and primitive.block is not None:
                 execute_semantics(primitive.block(), handler)
             answer = None
         else:
-            answer = handler.handle(primitive)
+            answer = handle(primitive)
 
 
 # ---------------------------------------------------------------------------

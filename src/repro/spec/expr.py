@@ -22,6 +22,7 @@ __all__ = [
     "Expr",
     "Val",
     "Imm",
+    "SlotRef",
     "BinOp",
     "UnOp",
     "Ext",
@@ -120,6 +121,22 @@ class Imm(Expr):
 
 
 @dataclass(frozen=True)
+class SlotRef(Expr):
+    """An abstract operand leaf used by staged plans (:mod:`.staged`).
+
+    During plan recording the staging handler answers decode/read
+    primitives with ``SlotRef`` leaves instead of concrete ``Val``
+    leaves; at replay time the compiled executor resolves slot ``slot``
+    from the per-execution environment.  ``SlotRef`` never reaches
+    :func:`eval_expr` — recording aborts before a slot-bearing
+    expression can leak into the interpretive path.
+    """
+
+    slot: int
+    width: int
+
+
+@dataclass(frozen=True)
 class BinOp(Expr):
     """Binary operation; ``op`` is one of BINARY_OPS or COMPARISON_OPS."""
 
@@ -214,6 +231,11 @@ def eval_expr(expr: Expr, domain: Domain) -> Any:
             eval_expr(expr.then_expr, domain),
             eval_expr(expr.else_expr, domain),
             expr.width,
+        )
+    if isinstance(expr, SlotRef):
+        raise TypeError(
+            f"staged slot {expr!r} leaked into eval_expr; "
+            "slot-bearing expressions are replayed via repro.spec.staged"
         )
     raise TypeError(f"not a specification expression: {expr!r}")
 

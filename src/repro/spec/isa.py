@@ -51,6 +51,13 @@ class ISA:
         self.encodings = tuple(encodings)
         self.decoder = Decoder(encodings)
         self._semantics = semantics
+        # Staging caches (see repro.spec.staged).  Plans are a pure
+        # function of (word, this ISA's semantics) and compiled plans
+        # additionally of the domain configuration, so both caches are
+        # shared by every interpreter instance over this ISA and are
+        # inherited coherently by forked exploration workers.
+        self._plan_cache: dict[int, object] = {}
+        self._compiled_cache: dict[tuple, object] = {}
 
     @property
     def name(self) -> str:
@@ -59,6 +66,55 @@ class ISA:
     def semantics_for(self, mnemonic: str) -> Callable:
         """The semantics generator function for a mnemonic."""
         return self._semantics[mnemonic.lower()]
+
+    # ------------------------------------------------------------------
+    # Staged execution (PR 3): per-word plans and domain-bound executors
+    # ------------------------------------------------------------------
+
+    #: Upper bound on cached plans / compiled plans per ISA.  Distinct
+    #: executed instruction words are bounded by the SUT's text segment,
+    #: so these caches never churn in practice; the cap is a backstop.
+    STAGED_CACHE_CAPACITY = 1 << 17
+
+    def plan_for(self, word: int, mnemonic: str):
+        """The recorded :class:`~repro.spec.staged.Plan` for ``word``.
+
+        ``RunIf``/``RunIfElse`` semantics stage as guarded sub-plans;
+        ``None`` is returned (and the verdict cached) only when the
+        semantics yield a primitive the recorder does not know.
+        """
+        from .staged import record_plan
+
+        cache = self._plan_cache
+        if word in cache:
+            return cache[word]
+        plan = record_plan(self._semantics[mnemonic], word)
+        if len(cache) >= self.STAGED_CACHE_CAPACITY:
+            del cache[next(iter(cache))]
+        cache[word] = plan
+        return plan
+
+    def compiled_plan(self, word: int, mnemonic: str, domain, domain_key: tuple):
+        """A :class:`~repro.spec.staged.CompiledPlan` for ``word``.
+
+        ``domain_key`` must uniquely identify the *behaviour* of
+        ``domain`` (e.g. ``("sym", force_terms)``): compiled plans are
+        shared across interpreter instances whose domains are
+        behaviourally identical.  Returns ``None`` for unstageable
+        words.
+        """
+        from .staged import bind_plan
+
+        key = (domain_key, word)
+        cache = self._compiled_cache
+        if key in cache:
+            return cache[key]
+        plan = self.plan_for(word, mnemonic)
+        compiled = None if plan is None else bind_plan(plan, domain)
+        if len(cache) >= self.STAGED_CACHE_CAPACITY:
+            del cache[next(iter(cache))]
+        cache[key] = compiled
+        return compiled
 
     def has_instruction(self, mnemonic: str) -> bool:
         return mnemonic.lower() in self._semantics

@@ -128,6 +128,16 @@ done:
         assert main(["explore", "--no-query-cache", str(program_file)]) == 1
         assert "2 paths" in capsys.readouterr().out
 
+    def test_staging_toggle(self, program_file, capsys):
+        assert main(["explore", "--no-staging", str(program_file)]) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_staging_toggle_parallel(self, program_file, capsys):
+        assert main(
+            ["explore", "--no-staging", "--jobs", "2", str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+
     def test_bad_symbolic_spec(self, program_file):
         with pytest.raises(SystemExit):
             main(["explore", "--symbolic", "garbage", str(program_file)])
