@@ -106,7 +106,11 @@ def _cmd_explore(args) -> int:
         # make_symbolic calls the program itself performs.
         engine.symbolic_memory = tuple(symbolic_memory)
     preprocess = PreprocessConfig(
-        slicing=args.slicing, rewrite=args.rewrite, intervals=args.intervals
+        slicing=args.slicing,
+        rewrite=args.rewrite,
+        intervals=args.intervals,
+        unsat_cores=args.unsat_cores,
+        trail_reuse=args.trail_reuse,
     )
     result = Explorer(
         engine,
@@ -192,6 +196,16 @@ def main(argv=None) -> int:
     p_explore.add_argument("--no-intervals", dest="intervals",
                            action="store_false", default=True,
                            help="disable the interval fast path")
+    p_explore.add_argument("--no-unsat-cores", dest="unsat_cores",
+                           action="store_false", default=True,
+                           help="disable assumption-level UNSAT cores "
+                                "(the cache falls back to whole-query "
+                                "UNSAT sets for subsumption)")
+    p_explore.add_argument("--no-trail-reuse", dest="trail_reuse",
+                           action="store_false", default=True,
+                           help="disable shared-assumption-prefix trail "
+                                "reuse in the CDCL core (every query "
+                                "re-propagates from decision level 0)")
     p_explore.add_argument("--no-staging", dest="staging",
                            action="store_false", default=True,
                            help="disable staged semantics execution "

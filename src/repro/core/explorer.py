@@ -33,7 +33,27 @@ from .executor import RunResult
 from .scheduler import Frontier, RunStats, WorkItem, expand_run
 from .state import ExploredPrefixTrie, InputAssignment
 
-__all__ = ["PathInfo", "ExplorationResult", "Explorer", "apply_staging"]
+__all__ = [
+    "PathInfo",
+    "ExplorationResult",
+    "Explorer",
+    "apply_staging",
+    "make_solver",
+]
+
+
+def make_solver(use_cache: bool, preprocess: Optional[PreprocessConfig]):
+    """Build the exploration solver for one driver (or one worker).
+
+    ``use_cache`` selects the pipelined :class:`CachingSolver`; without
+    it the plain :class:`Solver` still honours the solver-layer knobs
+    (trail reuse) carried by the preprocess config, so the ablation
+    flags behave identically in cached and uncached runs.
+    """
+    if use_cache:
+        return CachingSolver(preprocess=preprocess)
+    trail_reuse = preprocess.trail_reuse if preprocess is not None else True
+    return Solver(trail_reuse=trail_reuse)
 
 
 def apply_staging(executor, staging: Optional[bool]) -> Optional[bool]:
@@ -199,7 +219,7 @@ class Explorer:
     ):
         self._solver_provided = solver is not None
         if solver is None:
-            solver = CachingSolver(preprocess=preprocess) if use_cache else Solver()
+            solver = make_solver(use_cache, preprocess)
         self.executor = executor
         self.solver = solver
         self.strategy_name = strategy

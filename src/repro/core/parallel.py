@@ -35,8 +35,13 @@ import traceback
 from typing import Optional
 
 from ..smt.preprocess import PreprocessConfig
-from ..smt.solver import CachingSolver, Solver
-from .explorer import ExplorationResult, Explorer, PathInfo, apply_staging
+from .explorer import (
+    ExplorationResult,
+    Explorer,
+    PathInfo,
+    apply_staging,
+    make_solver,
+)
 from .scheduler import (
     Frontier,
     RunStats,
@@ -70,10 +75,7 @@ def _worker_main(
     the end, which is exact — a worker only accrues counters while
     producing replies, so its last reply carries its final totals.
     """
-    if use_cache:
-        solver = CachingSolver(preprocess=preprocess)
-    else:
-        solver = Solver()
+    solver = make_solver(use_cache, preprocess)
     trie = ExploredPrefixTrie() if dedup_flips else None
     while True:
         task = task_queue.get()

@@ -185,6 +185,8 @@ def measure_pipeline(
         "fast_path": result.fast_path_answers,
         "sat_core_solves": result.sat_solves,
         "slices": result.solver_stats.get("slices", 0),
+        "subsumption_hits": result.solver_stats.get("cache_subsumption_hits", 0),
+        "unsat_cores": result.solver_stats.get("unsat_cores", 0),
         "workers": result.workers,
     }
 
@@ -209,14 +211,16 @@ def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
                 stats["paths"],
                 stats["solved"],
                 stats["cache_hits"],
+                stats["subsumption_hits"],
                 stats["fast_path"],
                 stats["sat_core_solves"],
+                stats["unsat_cores"],
                 stats["slices"],
             ]
         )
     return format_table(
-        ["engine", "paths", "solved", "cache hits", "fast path",
-         "core solves", "slices"],
+        ["engine", "paths", "solved", "cache hits", "subsumed", "fast path",
+         "core solves", "min cores", "slices"],
         rows,
         title=f"query pipeline breakdown on {workload}",
     )

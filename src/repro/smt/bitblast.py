@@ -17,6 +17,15 @@ Encodings:
 * sdiv/srem — sign-compensated wrappers around the unsigned encodings,
 * shifts by a non-constant amount — logarithmic barrel shifter,
 * comparisons — LSB-to-MSB carry chains (signed via MSB flip).
+
+On top of the per-term cache, whole *networks* are structurally hashed
+at the literal-vector level: adder, comparator and multiplier requests
+over bit-identical operand vectors return the previously built output
+literals instead of re-encoding — so structurally identical subterms
+(``a+b`` vs ``b+a``, the same comparison reached through different term
+shapes, re-sliced extract/concat recombinations) share one circuit.
+Fully constant operand vectors are folded arithmetically at blast time
+and never touch the gate builder at all.
 """
 
 from __future__ import annotations
@@ -37,9 +46,35 @@ class BitBlaster:
         self._bv_cache: dict[Term, list[int]] = {}
         self._bool_cache: dict[Term, int] = {}
         self._divrem_cache: dict = {}
+        # Network-level structural hashing: literal-vector keyed caches
+        # for adder / comparator / multiplier circuits, shared across
+        # every term that blasts to the same operand bits.
+        self._add_cache: dict[tuple, tuple[list[int], int]] = {}
+        self._ult_cache: dict[tuple, int] = {}
+        self._eq_cache: dict[tuple, int] = {}
+        self._mul_cache: dict[tuple, list[int]] = {}
+        #: Network cache hits by kind, for the solver statistics.
+        self.network_hits: dict[str, int] = {"add": 0, "ult": 0, "eq": 0, "mul": 0}
         # BV variable name -> literal list, for model extraction.
         self.var_bits: dict[Term, list[int]] = {}
         self.bool_vars: dict[Term, int] = {}
+
+    def _const_value(self, bits: list[int]) -> "int | None":
+        """Integer value of a fully constant literal vector, else None.
+
+        Hot pre-check on every network-cache request, so the constant
+        test is inlined (no GateBuilder calls) and bails at the first
+        non-constant bit — the common case for variable operands.
+        """
+        true_lit = self.gates.true_lit
+        false_lit = -true_lit
+        value = 0
+        for i, lit in enumerate(bits):
+            if lit == true_lit:
+                value |= 1 << i
+            elif lit != false_lit:
+                return None
+        return value
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -149,25 +184,75 @@ class BitBlaster:
     def _ripple_add(
         self, a: list[int], b: list[int], carry_in: int
     ) -> tuple[list[int], int]:
-        """Ripple-carry addition; returns (sum bits, carry out)."""
+        """Ripple-carry addition; returns (sum bits, carry out).
+
+        Constant operands fold arithmetically; otherwise the adder
+        network is hash-consed on its (commutatively normalized)
+        operand vectors, so ``a+b`` and ``b+a`` share one circuit.
+        """
         g = self.gates
+        if g.is_const(carry_in):
+            a_val = self._const_value(a)
+            if a_val is not None:
+                b_val = self._const_value(b)
+                if b_val is not None:
+                    width = len(a)
+                    total = a_val + b_val + (1 if g.const_value(carry_in) else 0)
+                    out = self._const_vector(total & ((1 << width) - 1), width)
+                    return out, g.const(bool(total >> width))
+        key_a, key_b = tuple(a), tuple(b)
+        if key_b < key_a:
+            key_a, key_b = key_b, key_a
+        key = (key_a, key_b, carry_in)
+        cached = self._add_cache.get(key)
+        if cached is not None:
+            self.network_hits["add"] += 1
+            return list(cached[0]), cached[1]
         out: list[int] = []
         carry = carry_in
         for x, y in zip(a, b):
             s, carry = g.full_adder(x, y, carry)
             out.append(s)
+        self._add_cache[key] = (list(out), carry)
         return out, carry
 
     def _multiply(self, a: list[int], b: list[int], width: int) -> list[int]:
-        """Shift-and-add multiplier truncated to ``width`` bits."""
+        """Shift-and-add multiplier truncated to ``width`` bits.
+
+        Fully constant products fold to a constant vector; the partial
+        product loop is driven by whichever operand has more known-zero
+        bits (multiplication mod ``2**width`` is commutative), and the
+        whole network is hash-consed on the operand vectors.
+        """
         g = self.gates
+        a_val = self._const_value(a)
+        b_val = self._const_value(b)
+        if a_val is not None and b_val is not None:
+            return self._const_vector((a_val * b_val) & ((1 << width) - 1), width)
+        # Fewer non-zero multiplier bits => fewer partial products;
+        # break ties lexicographically so mul(a,b) and mul(b,a) key
+        # onto the same cached network.
+        false_lit = g.false_lit
+        if len(a) == len(b):
+            nonzero_a = sum(1 for x in a if x != false_lit)
+            nonzero_b = sum(1 for x in b if x != false_lit)
+            if nonzero_a < nonzero_b or (
+                nonzero_a == nonzero_b and tuple(b) < tuple(a)
+            ):
+                a, b = b, a
+        key = (tuple(a), tuple(b), width)
+        cached = self._mul_cache.get(key)
+        if cached is not None:
+            self.network_hits["mul"] += 1
+            return list(cached)
         accum = self._const_vector(0, width)
         for i, b_bit in enumerate(b):
-            if b_bit == g.false_lit:
+            if b_bit == false_lit:
                 continue
             # Partial product: (a << i) AND b_bit, truncated to width.
-            partial = [g.false_lit] * i + [g.and2(x, b_bit) for x in a[: width - i]]
-            accum, _ = self._ripple_add(accum, partial, g.false_lit)
+            partial = [false_lit] * i + [g.and2(x, b_bit) for x in a[: width - i]]
+            accum, _ = self._ripple_add(accum, partial, false_lit)
+        self._mul_cache[key] = list(accum)
         return accum
 
     def _multiply_full(self, a: list[int], b: list[int]) -> list[int]:
@@ -307,9 +392,7 @@ class BitBlaster:
         if op == "bxor":
             return g.xor2(self.lit(term.args[0]), self.lit(term.args[1]))
         if op == "eq":
-            a = self.bits(term.args[0])
-            b = self.bits(term.args[1])
-            return g.big_and([g.iff(x, y) for x, y in zip(a, b)])
+            return self._eq_vec(self.bits(term.args[0]), self.bits(term.args[1]))
         if op == "ult":
             return self._ult(self.bits(term.args[0]), self.bits(term.args[1]))
         if op == "ule":
@@ -328,12 +411,48 @@ class BitBlaster:
     def _flip_msb(bits: list[int]) -> list[int]:
         return bits[:-1] + [-bits[-1]]
 
-    def _ult(self, a: list[int], b: list[int]) -> int:
-        """Unsigned less-than over literal vectors (LSB first)."""
+    def _eq_vec(self, a: list[int], b: list[int]) -> int:
+        """Equality comparator over literal vectors, hash-consed."""
         g = self.gates
+        a_val = self._const_value(a)
+        if a_val is not None:
+            b_val = self._const_value(b)
+            if b_val is not None:
+                return g.const(a_val == b_val)
+        key_a, key_b = tuple(a), tuple(b)
+        if key_b < key_a:
+            key_a, key_b = key_b, key_a
+        key = (key_a, key_b)
+        cached = self._eq_cache.get(key)
+        if cached is not None:
+            self.network_hits["eq"] += 1
+            return cached
+        out = g.big_and([g.iff(x, y) for x, y in zip(a, b)])
+        self._eq_cache[key] = out
+        return out
+
+    def _ult(self, a: list[int], b: list[int]) -> int:
+        """Unsigned less-than over literal vectors (LSB first).
+
+        Constant comparisons fold; otherwise the carry chain is
+        hash-consed per (a, b) operand pair (ordered — ult is not
+        commutative).
+        """
+        g = self.gates
+        a_val = self._const_value(a)
+        if a_val is not None:
+            b_val = self._const_value(b)
+            if b_val is not None:
+                return g.const(a_val < b_val)
+        key = (tuple(a), tuple(b))
+        cached = self._ult_cache.get(key)
+        if cached is not None:
+            self.network_hits["ult"] += 1
+            return cached
         lt = g.false_lit
         for x, y in zip(a, b):
             bit_lt = g.and2(-x, y)
             bit_eq = g.iff(x, y)
             lt = g.or2(bit_lt, g.and2(bit_eq, lt))
+        self._ult_cache[key] = lt
         return lt

@@ -46,14 +46,23 @@ class PreprocessConfig:
     """Which stages of the query pipeline are active.
 
     Mirrors the CLI ablation flags: ``--no-slicing``, ``--no-rewrite``
-    and ``--no-intervals`` each clear one field.  With all three off the
-    caching solver degenerates to PR 1 behaviour (whole-query keys
-    straight to the bit-blaster).
+    and ``--no-intervals`` each clear one pipeline stage.  With all
+    three off the caching solver degenerates to PR 1 behaviour
+    (whole-query keys straight to the bit-blaster).
+
+    The two solver-layer knobs ride along in the same config object
+    because it is what already crosses the process boundary to every
+    exploration worker: ``unsat_cores`` (``--no-unsat-cores``) controls
+    assumption-level UNSAT core extraction + minimal-core caching, and
+    ``trail_reuse`` (``--no-trail-reuse``) the CDCL core's
+    shared-assumption-prefix trail retention between queries.
     """
 
     slicing: bool = True
     rewrite: bool = True
     intervals: bool = True
+    unsat_cores: bool = True
+    trail_reuse: bool = True
 
 
 # ---------------------------------------------------------------------------
@@ -214,11 +223,20 @@ class RewriteOutcome:
     under ``bindings``); ``bindings`` maps eliminated variables to
     constant terms; ``unsat`` reports a contradiction found purely by
     folding (e.g. ``x == 3`` and ``x == 5`` in one slice).
+
+    Provenance, for UNSAT-core mapping: ``origins[i]`` is the frozenset
+    of *input* conjuncts whose conjunction implies ``conditions[i]``
+    (the conjunct it was rewritten from plus every binding-producing
+    conjunct substituted into it), and ``conflict_origin`` names the
+    input subset that already implies falsity when ``unsat`` is set —
+    both are sound unsatisfiable-core building blocks on their own.
     """
 
     conditions: list = field(default_factory=list)
     bindings: dict = field(default_factory=dict)
     unsat: bool = False
+    origins: list = field(default_factory=list)
+    conflict_origin: "frozenset | None" = None
 
 
 def _binding_of(cond: Term):
@@ -242,38 +260,62 @@ def rewrite_slice(conditions: list) -> RewriteOutcome:
     conjuncts; folding may expose new equalities, so the loop runs until
     no new bindings appear.  Termination: every round eliminates at
     least one variable from every remaining conjunct.
+
+    Every intermediate conjunct carries its *origin set* — the input
+    conjuncts that entail it — so a later UNSAT core over the residual
+    conditions translates back to a subset of the original query (see
+    :class:`RewriteOutcome`).
     """
-    conds = list(conditions)
+    conds: list[tuple[Term, frozenset]] = [
+        (cond, frozenset((cond,))) for cond in conditions
+    ]
     bindings: dict = {}
+    binding_origin: dict = {}
     while True:
         fresh: dict = {}
+        fresh_origin: dict = {}
         rest = []
-        for cond in conds:
+        for cond, origin in conds:
             pinned = _binding_of(cond)
             if pinned is not None:
                 var, value = pinned
                 previous = fresh.get(var)
                 if previous is not None and previous is not value:
-                    return RewriteOutcome(unsat=True)  # x == c1 and x == c2
+                    # x == c1 and x == c2: both pinning conjuncts'
+                    # origins together refute the slice.
+                    return RewriteOutcome(
+                        unsat=True, conflict_origin=origin | fresh_origin[var]
+                    )
                 fresh[var] = value
+                fresh_origin[var] = origin
             else:
-                rest.append(cond)
+                rest.append((cond, origin))
         if not fresh:
             conds = rest
             break
         bindings.update(fresh)
+        binding_origin.update(fresh_origin)
         conds = []
-        for cond in rest:
+        for cond, origin in rest:
+            free = cond.free_vars()
+            applied = origin
+            for var in fresh:
+                if var in free:
+                    applied |= fresh_origin[var]
             rewritten = substitute(cond, fresh)
             if rewritten.is_const:
                 if not rewritten.payload:
-                    return RewriteOutcome(bindings=bindings, unsat=True)
+                    return RewriteOutcome(
+                        bindings=bindings, unsat=True, conflict_origin=applied
+                    )
                 continue  # tautology under the bindings
-            conds.append(rewritten)
+            conds.append((rewritten, applied))
     seen: set = set()
     unique = []
-    for cond in conds:
+    origins = []
+    for cond, origin in conds:
         if cond not in seen:
             seen.add(cond)
             unique.append(cond)
-    return RewriteOutcome(conditions=unique, bindings=bindings)
+            origins.append(origin)
+    return RewriteOutcome(conditions=unique, bindings=bindings, origins=origins)

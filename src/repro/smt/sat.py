@@ -10,14 +10,23 @@ appears as ``v`` (positive) or ``-v`` (negated).  The solver supports
 * incremental clause addition between ``solve`` calls,
 * solving under *assumptions* (the mechanism used by the SMT layer to
   implement push/pop and per-query path conditions),
+* assumption-level UNSAT cores: after an UNSAT answer under
+  assumptions, :meth:`unsat_core` names the subset of assumption
+  literals the final conflict actually used (MiniSat's
+  ``analyzeFinal``), and :meth:`minimize_core` greedily shrinks it,
 * first-UIP conflict clause learning with backjumping,
-* VSIDS variable activities with exponential decay,
-* phase saving and Luby-sequence restarts,
-* activity-based learned-clause database reduction.
+* LBD ("glue") tracking per learned clause, driving a tiered
+  core/mid/local clause-database reduction and a Glucose-style
+  glue-aware restart trigger on top of the Luby schedule,
+* shared-assumption-prefix trail reuse: consecutive ``solve`` calls
+  whose assumption lists share an ordered prefix keep the trail
+  segment that prefix justifies instead of cancelling to level 0,
+* VSIDS variable activities with exponential decay and phase saving.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Iterable, Optional, Sequence
 
@@ -28,16 +37,26 @@ UNSAT = False
 
 _UNASSIGNED = 0
 
+#: LBD at or below which a learned clause is "glue" and never deleted.
+_GLUE_LBD = 2
+#: LBD at or below which a learned clause is mid-tier (deleted last).
+_MID_LBD = 6
+#: Window of recent learned-clause LBDs driving the glue restart.
+_LBD_WINDOW = 50
+#: Glucose's K: restart when 0.8 * recent-avg-LBD > global-avg-LBD.
+_GLUE_K = 0.8
+
 
 class _Clause:
     """A clause; the first two literals are the watched ones."""
 
-    __slots__ = ("lits", "learned", "activity")
+    __slots__ = ("lits", "learned", "activity", "lbd")
 
-    def __init__(self, lits: list[int], learned: bool):
+    def __init__(self, lits: list[int], learned: bool, lbd: int = 0):
         self.lits = lits
         self.learned = learned
         self.activity = 0.0
+        self.lbd = lbd
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Clause({self.lits}{' L' if self.learned else ''})"
@@ -56,7 +75,7 @@ class SatSolver:
         assert solver.value(b) is True
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trail_reuse: bool = True) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based): +1 true, -1 false, 0 unassigned.
         self._assign: list[int] = [0]
@@ -79,12 +98,27 @@ class SatSolver:
         self._model: list[int] = [0]
         self._order_heap: list[tuple[float, int]] = []
         self._max_learned = 4000
+        self._trail_reuse = trail_reuse
+        # Assumption list of the previous solve(); decision level i+1 of
+        # a kept trail corresponds to _prev_assumptions[i].
+        self._prev_assumptions: list[int] = []
+        # Assumption literals of the last UNSAT answer (analyzeFinal).
+        self._conflict_core: list[int] = []
+        # Glue restart bookkeeping: rolling window of recent LBDs plus
+        # the global LBD sum over all conflicts.
+        self._lbd_recent: deque = deque(maxlen=_LBD_WINDOW)
+        self._lbd_recent_sum = 0
+        self._lbd_total = 0
         self.statistics = {
             "conflicts": 0,
             "decisions": 0,
             "propagations": 0,
             "restarts": 0,
+            "glue_restarts": 0,
             "learned_deleted": 0,
+            "trail_reused_lits": 0,
+            "cores_extracted": 0,
+            "core_minimize_solves": 0,
         }
 
     # ------------------------------------------------------------------
@@ -121,9 +155,12 @@ class SatSolver:
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause; returns False if the instance became trivially UNSAT.
 
-        Must be called at decision level 0 (i.e. between ``solve`` calls).
+        May be called between ``solve`` calls even when a reused trail is
+        still standing: the solver falls back to decision level 0 first
+        (new clauses invalidate the kept assumption prefix).
         """
-        assert not self._trail_lim, "add_clause called during search"
+        if self._trail_lim:
+            self._cancel_until(0)
         if not self._ok:
             return False
         seen: set[int] = set()
@@ -316,7 +353,10 @@ class SatSolver:
                 pos = clause.lits.index(lit)
                 clause.lits[0], clause.lits[pos] = clause.lits[pos], clause.lits[0]
         learned[0] = -lit
-        # Clause minimization: drop literals implied by the rest.
+        # Clause minimization: drop literals implied by the rest.  The
+        # membership test is one O(|learned|) set build + O(1) lookups
+        # (the clause contents do not change during this pass).
+        learned_vars = {abs(q) for q in learned}
         minimized = [learned[0]]
         for q in learned[1:]:
             reason = self._reason[abs(q)]
@@ -324,7 +364,7 @@ class SatSolver:
                 minimized.append(q)
                 continue
             redundant = all(
-                seen_lit(abs(r), learned) or self._level[abs(r)] == 0
+                abs(r) in learned_vars or self._level[abs(r)] == 0
                 for r in reason.lits[1:]
             )
             if not redundant:
@@ -342,6 +382,95 @@ class SatSolver:
                 max_index = i
         learned[1], learned[max_index] = learned[max_index], learned[1]
         return learned, max_level
+
+    def _clause_lbd(self, lits: list[int]) -> int:
+        """Literal Block Distance: distinct decision levels in the clause.
+
+        Computed at learn time, before backjumping invalidates levels.
+        """
+        levels = set()
+        level = self._level
+        for q in lits:
+            lvl = level[abs(q)]
+            if lvl > 0:
+                levels.add(lvl)
+        return len(levels) or 1
+
+    def _analyze_final(self, failed: int) -> list[int]:
+        """Assumption literals whose conjunction forced ``failed`` false.
+
+        MiniSat's ``analyzeFinal``: walk the implication graph backwards
+        from the trail literal falsifying the assumption ``failed``;
+        every assumption *decision* reached is part of the core.  The
+        returned list always contains ``failed`` itself and is a subset
+        of the assumptions of the current ``solve`` call.
+        """
+        core = [failed]
+        if self._decision_level() == 0:
+            return core
+        seen = bytearray(self._num_vars + 1)
+        seen[abs(failed)] = 1
+        level = self._level
+        bound = self._trail_lim[0]
+        for trail_lit in reversed(self._trail[bound:]):
+            var = abs(trail_lit)
+            if not seen[var]:
+                continue
+            seen[var] = 0
+            reason = self._reason[var]
+            if reason is None:
+                # A decision below the assumption prefix IS an
+                # assumption literal (search decisions only happen once
+                # every assumption level is established).
+                core.append(trail_lit)
+            else:
+                for q in reason.lits:
+                    qv = abs(q)
+                    if qv != var and level[qv] > 0:
+                        seen[qv] = 1
+        return core
+
+    def unsat_core(self) -> list[int]:
+        """Assumption literals of the last UNSAT answer.
+
+        A subset of the assumptions passed to the failing :meth:`solve`
+        whose conjunction is already unsatisfiable with the clause
+        database.  Empty when the clause database itself is UNSAT (any
+        assumption set fails) or when the last answer was SAT.
+        """
+        return list(self._conflict_core)
+
+    def minimize_core(self, core: Sequence[int], budget: int = 8) -> list[int]:
+        """Greedy deletion-based minimization of an assumption core.
+
+        Tries dropping one literal at a time and re-solving under the
+        remainder; every UNSAT answer both confirms the drop and
+        clause-set-refines the candidate through the fresh
+        ``analyzeFinal`` core.  ``budget`` caps the extra ``solve``
+        calls, so minimization degrades gracefully on hard instances.
+        The result is UNSAT standing alone and a subset of ``core``.
+        """
+        current = list(core)
+        attempts = 0
+        index = 0
+        while index < len(current) and attempts < budget and len(current) > 1:
+            if not self._ok:
+                break
+            candidate = current[:index] + current[index + 1:]
+            attempts += 1
+            self.statistics["core_minimize_solves"] += 1
+            if self.solve(candidate) is UNSAT:
+                refined = self._conflict_core
+                if refined and len(refined) < len(candidate):
+                    current = list(refined)
+                    index = 0
+                else:
+                    current = candidate
+                # index stays: the next literal shifted into this slot.
+            else:
+                index += 1
+        self._conflict_core = list(current)
+        return current
 
     # ------------------------------------------------------------------
     # Decision heuristic
@@ -371,30 +500,42 @@ class SatSolver:
         _heapify(self._order_heap)
 
     # ------------------------------------------------------------------
-    # Learned clause DB reduction
+    # Learned clause DB reduction (LBD-tiered)
     # ------------------------------------------------------------------
 
     def _reduce_db(self) -> None:
+        """Drop the least valuable half of the deletable learned clauses.
+
+        Three retention tiers by glue value: *core* clauses (LBD <= 2)
+        and binaries are immortal, *local* clauses (LBD > 6) go first
+        (highest LBD, then lowest activity), *mid* clauses (LBD 3..6)
+        are only sacrificed when the local tier alone cannot relieve
+        the cap.  Clauses currently locked as reasons are never touched.
+        """
         if len(self._learned) <= self._max_learned:
             return
-        self._learned.sort(key=lambda c: c.activity)
-        keep_from = len(self._learned) // 2
         locked = set()
         for var in range(1, self._num_vars + 1):
             reason = self._reason[var]
             if reason is not None and reason.learned:
                 locked.add(id(reason))
-        removed = []
-        kept = []
-        for i, clause in enumerate(self._learned):
-            if i < keep_from and id(clause) not in locked and len(clause.lits) > 2:
-                removed.append(clause)
-            else:
-                kept.append(clause)
+        removable = [
+            clause
+            for clause in self._learned
+            if clause.lbd > _GLUE_LBD
+            and len(clause.lits) > 2
+            and id(clause) not in locked
+        ]
+        if not removable:
+            return
+        # Worst first: local tier by descending LBD, ties (and the mid
+        # tier) by ascending activity.
+        removable.sort(key=lambda c: (-c.lbd, c.activity))
+        removed = removable[: len(removable) // 2]
         remove_ids = {id(c) for c in removed}
         if not remove_ids:
             return
-        self._learned = kept
+        self._learned = [c for c in self._learned if id(c) not in remove_ids]
         for watch_list in self._watches:
             watch_list[:] = [c for c in watch_list if id(c) not in remove_ids]
         self.statistics["learned_deleted"] += len(removed)
@@ -404,20 +545,50 @@ class SatSolver:
     # Main search loop
     # ------------------------------------------------------------------
 
+    def _record_lbd(self, lbd: int) -> None:
+        window = self._lbd_recent
+        if len(window) == _LBD_WINDOW:
+            self._lbd_recent_sum -= window[0]
+        window.append(lbd)
+        self._lbd_recent_sum += lbd
+        self._lbd_total += lbd
+
+    def _glue_restart_due(self) -> bool:
+        """Glucose trigger: recent glue much worse than the global mean."""
+        if len(self._lbd_recent) < _LBD_WINDOW:
+            return False
+        conflicts = self.statistics["conflicts"]
+        return (
+            self._lbd_recent_sum * _GLUE_K * conflicts
+            > self._lbd_total * _LBD_WINDOW
+        )
+
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
         """Solve under the given assumption literals.
 
         Returns :data:`SAT` when a model exists, :data:`UNSAT` otherwise.
-        After SAT, :meth:`value` reads the model; the model remains valid
-        until the next call that modifies the solver.
+        After SAT, :meth:`value` reads the model; after UNSAT under
+        assumptions, :meth:`unsat_core` names the guilty subset.  With
+        trail reuse enabled the trail is left standing between calls:
+        the next ``solve`` keeps the segment justified by the shared
+        ordered assumption prefix instead of re-propagating it.
         """
+        self._conflict_core = []
         if not self._ok:
             return UNSAT
-        self._cancel_until(0)
-        conflict = self._propagate()
-        if conflict is not None:
-            self._ok = False
-            return UNSAT
+        assumptions = list(assumptions)
+        keep = 0
+        if self._trail_reuse:
+            previous = self._prev_assumptions
+            limit = min(len(assumptions), len(previous), self._decision_level())
+            while keep < limit and assumptions[keep] == previous[keep]:
+                keep += 1
+        self._cancel_until(keep)
+        if keep:
+            self.statistics["trail_reused_lits"] += (
+                len(self._trail) - self._trail_lim[0]
+            )
+        self._prev_assumptions = assumptions
         self._rebuild_heap()
         restart_count = 0
         conflicts_until_restart = _luby(restart_count) * 100
@@ -430,8 +601,13 @@ class SatSolver:
                 if self._decision_level() == 0:
                     self._cancel_until(0)
                     self._ok = False
+                    self._prev_assumptions = []
                     return UNSAT
                 learned, backjump_level = self._analyze(conflict)
+                # Glue is computed before backjumping, while the levels
+                # of the learned literals are still meaningful.
+                lbd = self._clause_lbd(learned)
+                self._record_lbd(lbd)
                 # Never backjump above the assumption prefix: re-deciding
                 # assumptions is handled by restarting the prefix below.
                 self._cancel_until(backjump_level)
@@ -442,7 +618,7 @@ class SatSolver:
                         self._cancel_until(0)
                         self._enqueue(learned[0], None)
                 else:
-                    clause = _Clause(learned, learned=True)
+                    clause = _Clause(learned, learned=True, lbd=lbd)
                     self._learned.append(clause)
                     self._watches[self._widx(learned[0])].append(clause)
                     self._watches[self._widx(learned[1])].append(clause)
@@ -450,11 +626,17 @@ class SatSolver:
                     self._enqueue(learned[0], clause)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= self._cla_decay
-                if conflict_budget_used >= conflicts_until_restart:
-                    restart_count += 1
+                glue_due = self._glue_restart_due()
+                if glue_due or conflict_budget_used >= conflicts_until_restart:
+                    if glue_due:
+                        self.statistics["glue_restarts"] += 1
+                    else:
+                        restart_count += 1
+                        conflicts_until_restart = _luby(restart_count) * 100
                     self.statistics["restarts"] += 1
-                    conflicts_until_restart = _luby(restart_count) * 100
                     conflict_budget_used = 0
+                    self._lbd_recent.clear()
+                    self._lbd_recent_sum = 0
                     self._cancel_until(0)
                     self._reduce_db()
                 continue
@@ -468,16 +650,25 @@ class SatSolver:
                     self._trail_lim.append(len(self._trail))
                     continue
                 if value == -1:
-                    self._cancel_until(0)
-                    return UNSAT  # assumption conflicts with the formula
+                    # Assumption conflicts with the formula: extract the
+                    # final-conflict core, keep the (still consistent)
+                    # established prefix for the next call's reuse.
+                    self._conflict_core = self._analyze_final(lit)
+                    self.statistics["cores_extracted"] += 1
+                    self._prev_assumptions = assumptions[: self._decision_level()]
+                    if not self._trail_reuse:
+                        self._cancel_until(0)
+                    return UNSAT
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(lit, None)
                 continue
             var = self._pick_branch_var()
             if var == 0:
-                # Snapshot the model, then leave the solver reusable.
+                # Snapshot the model; the trail stays standing so the
+                # next solve can reuse the shared assumption prefix.
                 self._model = list(self._assign)
-                self._cancel_until(0)
+                if not self._trail_reuse:
+                    self._cancel_until(0)
                 return SAT
             self.statistics["decisions"] += 1
             self._trail_lim.append(len(self._trail))
@@ -493,11 +684,6 @@ class SatSolver:
         if var < len(self._model):
             return self._model[var] == 1
         return False
-
-
-def seen_lit(var: int, learned: list[int]) -> bool:
-    """Whether ``var`` occurs (in either phase) in the learned clause."""
-    return any(abs(l) == var for l in learned)
 
 
 def _luby(i: int) -> int:

@@ -101,13 +101,30 @@ class Model:
 
 
 class Solver:
-    """Incremental bit-blasting solver for QF_BV terms."""
+    """Incremental bit-blasting solver for QF_BV terms.
 
-    def __init__(self) -> None:
-        self._sat = SatSolver()
+    ``trail_reuse`` enables the CDCL core's shared-assumption-prefix
+    trail retention between ``check`` calls (on by default; a pure
+    perf knob).  ``unsat_cores`` additionally extracts and greedily
+    minimizes an assumption-level UNSAT core after every unsatisfiable
+    scope-free ``check``, publishing it as :attr:`last_core` — a
+    frozenset of the guilty assumption *terms* (off by default because
+    minimization re-solves; :class:`CachingSolver` switches it on to
+    feed the query cache minimal UNSAT sets).
+    """
+
+    def __init__(self, trail_reuse: bool = True, unsat_cores: bool = False) -> None:
+        self._sat = SatSolver(trail_reuse=trail_reuse)
         self._blaster = BitBlaster(self._sat)
         self._scopes: list[int] = []
         self._last_result: Optional[Result] = None
+        self._unsat_cores = unsat_cores
+        self._has_assertions = False
+        #: After an UNSAT ``check``: the subset of the assumption terms
+        #: whose conjunction is already unsatisfiable, or None when no
+        #: core could be attributed (scopes active, cores disabled, or
+        #: the clause database itself is inconsistent).
+        self.last_core: Optional[frozenset] = None
         self.num_checks = 0
         #: CDCL ``solve()`` invocations — the cost the preprocessing
         #: pipeline exists to avoid.  ``num_checks`` counts ``check``
@@ -128,6 +145,7 @@ class Solver:
             self._sat.add_clause([-self._scopes[-1], lit])
         else:
             self._sat.add_clause([lit])
+        self._has_assertions = True
         self._last_result = None
 
     def push(self) -> None:
@@ -138,6 +156,7 @@ class Solver:
         """Discard the most recent assertion scope."""
         act = self._scopes.pop()
         self._sat.add_clause([-act])
+        self._has_assertions = True
         self._last_result = None
 
     @property
@@ -151,6 +170,8 @@ class Solver:
     def check(self, assumptions: Iterable[Term] = ()) -> Result:
         """Check satisfiability of the asserted formula + assumptions."""
         assumption_lits = list(self._scopes)
+        lit_terms: dict[int, Term] = {}
+        self.last_core = None
         for term in assumptions:
             if not term.is_bool:
                 raise TypeError("assumptions must be boolean terms")
@@ -159,12 +180,31 @@ class Solver:
                     continue
                 self._last_result = Result.UNSAT
                 self.num_checks += 1
+                if self._unsat_cores:
+                    self.last_core = frozenset((term,))
                 return Result.UNSAT
-            assumption_lits.append(self._blaster.lit(term))
+            lit = self._blaster.lit(term)
+            lit_terms.setdefault(lit, term)
+            assumption_lits.append(lit)
         self.num_checks += 1
+        if not assumption_lits and not self._has_assertions:
+            # Every assumption was a constant-true term pruned above and
+            # nothing was ever asserted: trivially SAT.  Attributed as a
+            # fast-path answer, not a core solve.
+            self._last_result = Result.SAT
+            return Result.SAT
         self.num_solves += 1
         outcome = self._sat.solve(assumption_lits)
-        self._last_result = Result.SAT if outcome is SAT else Result.UNSAT
+        if outcome is SAT:
+            self._last_result = Result.SAT
+            return self._last_result
+        self._last_result = Result.UNSAT
+        if self._unsat_cores and not self._scopes:
+            core = self._sat.unsat_core()
+            if core and all(lit in lit_terms for lit in core):
+                if len(core) > 1:
+                    core = self._sat.minimize_core(core)
+                self.last_core = frozenset(lit_terms[lit] for lit in core)
         return self._last_result
 
     def model(self) -> Model:
@@ -216,6 +256,8 @@ class Solver:
         stats["sat_vars"] = self._sat.num_vars
         stats["checks"] = self.num_checks
         stats["solves"] = self.num_solves
+        for kind, hits in self._blaster.network_hits.items():
+            stats[f"blaster_{kind}_reuse"] = hits
         return stats
 
 
@@ -253,7 +295,16 @@ class QueryCache:
     ):
         self._results: dict[frozenset, Result] = {}
         self._models: dict[frozenset, Model] = {}
-        self._unsat_sets: deque = deque(maxlen=max_unsat_sets)
+        # UNSAT sets live behind an inverted index: id -> set (FIFO by
+        # insertion id), set -> id for dedup/refresh, and condition
+        # term -> ids of the sets containing it, so subsumption lookup
+        # touches only candidate sets sharing a conjunct with the query
+        # instead of scanning the whole window.
+        self._unsat_sets: dict[int, frozenset] = {}
+        self._unsat_ids: dict[frozenset, int] = {}
+        self._unsat_index: dict[Term, set[int]] = {}
+        self._unsat_seq = 0
+        self._max_unsat_sets = max_unsat_sets
         self._model_pool: deque = deque(maxlen=max_models)
         self._max_entries = max_entries
         self.hits = 0
@@ -265,6 +316,64 @@ class QueryCache:
 
     def __len__(self) -> int:
         return len(self._results)
+
+    # -- UNSAT-set index -----------------------------------------------
+
+    def _register_unsat_set(self, conds: frozenset) -> None:
+        """Admit one UNSAT conjunct set to the subsumption window."""
+        if not conds:
+            return  # an empty set would subsume everything; never sound here
+        existing = self._unsat_ids.get(conds)
+        if existing is not None:
+            self._drop_unsat_set(existing)  # refresh recency
+        while len(self._unsat_sets) >= self._max_unsat_sets:
+            self._drop_unsat_set(next(iter(self._unsat_sets)))
+        set_id = self._unsat_seq
+        self._unsat_seq += 1
+        self._unsat_sets[set_id] = conds
+        self._unsat_ids[conds] = set_id
+        index = self._unsat_index
+        for term in conds:
+            postings = index.get(term)
+            if postings is None:
+                postings = index[term] = set()
+            postings.add(set_id)
+
+    def _drop_unsat_set(self, set_id: int) -> None:
+        """Evict one UNSAT set, scrubbing its inverted-index postings."""
+        conds = self._unsat_sets.pop(set_id)
+        self._unsat_ids.pop(conds, None)
+        index = self._unsat_index
+        for term in conds:
+            postings = index.get(term)
+            if postings is not None:
+                postings.discard(set_id)
+                if not postings:
+                    del index[term]
+
+    def _find_subsuming_unsat(self, key: frozenset) -> Optional[int]:
+        """Id of some cached UNSAT set that is a subset of ``key``.
+
+        Walks the inverted index: a set ``S`` is a subset of ``key``
+        exactly when every element of ``S`` posts an occurrence for one
+        of ``key``'s terms, i.e. when its posting count reaches
+        ``len(S)``.
+        """
+        if not self._unsat_sets:
+            return None
+        index = self._unsat_index
+        sets = self._unsat_sets
+        counts: dict[int, int] = {}
+        for term in key:
+            postings = index.get(term)
+            if not postings:
+                continue
+            for set_id in postings:
+                seen = counts.get(set_id, 0) + 1
+                if seen == len(sets[set_id]):
+                    return set_id
+                counts[set_id] = seen
+        return None
 
     # -- lookup --------------------------------------------------------
 
@@ -287,13 +396,12 @@ class QueryCache:
                 return cached, model
             # SAT is known but no witness was ever extracted; a fresh
             # solve (or model-reuse below) must produce one.
-        for unsat_set in self._unsat_sets:
-            if len(unsat_set) <= len(key) and unsat_set <= key:
-                self.hits += 1
-                self.subsumption_hits += 1
-                self._evict_if_full()
-                self._results[key] = Result.UNSAT
-                return Result.UNSAT, None
+        if self._find_subsuming_unsat(key) is not None:
+            self.hits += 1
+            self.subsumption_hits += 1
+            self._evict_if_full()
+            self._results[key] = Result.UNSAT
+            return Result.UNSAT, None
         witness = self._reusable_model(key, conditions)
         if witness is not None:
             self.hits += 1
@@ -353,10 +461,17 @@ class QueryCache:
         self._models.pop(oldest, None)
         self.evictions += 1
 
-    def store_unsat(self, key: frozenset) -> None:
+    def store_unsat(self, key: frozenset, core: Optional[frozenset] = None) -> None:
+        """Record an UNSAT answer for ``key``.
+
+        ``core`` — when the solver attributed the conflict to a subset
+        of the conjuncts — is what enters the subsumption window: the
+        smaller the set, the more future supersets it answers.  The
+        exact-hit memo still records the full ``key``.
+        """
         self._evict_if_full()
         self._results[key] = Result.UNSAT
-        self._unsat_sets.append(key)
+        self._register_unsat_set(core if core is not None else key)
 
     def store_sat(self, key: frozenset, model: "Model") -> None:
         self._evict_if_full()
@@ -368,6 +483,7 @@ class QueryCache:
     def statistics(self) -> Mapping[str, int]:
         return {
             "entries": len(self._results),
+            "unsat_sets": len(self._unsat_sets),
             "hits": self.hits,
             "exact_hits": self.exact_hits,
             "subsumption_hits": self.subsumption_hits,
@@ -389,20 +505,29 @@ PIPELINE_COUNTERS = (
     "joint_solves",
     "verify_fallbacks",
     "fast_path_queries",
+    "unsat_cores",
+    "core_conjuncts_dropped",
 )
 
 
 class _PendingSlice:
-    """One slice the preprocessing stages could not decide."""
+    """One slice the preprocessing stages could not decide.
 
-    __slots__ = ("key", "original", "residual", "bindings", "dropped")
+    ``origin_map`` maps each residual (and interval-dropped) condition
+    back to the frozenset of *original* slice conjuncts entailing it,
+    so a SAT-core over the residue translates into an UNSAT core over
+    the query the cache is keyed on.
+    """
 
-    def __init__(self, key, original, residual, bindings, dropped):
+    __slots__ = ("key", "original", "residual", "bindings", "dropped", "origin_map")
+
+    def __init__(self, key, original, residual, bindings, dropped, origin_map):
         self.key = key
         self.original = original
         self.residual = residual
         self.bindings = bindings
         self.dropped = dropped
+        self.origin_map = origin_map
 
 
 class CachingSolver(Solver):
@@ -432,11 +557,12 @@ class CachingSolver(Solver):
         cache: Optional[QueryCache] = None,
         preprocess: Optional[PreprocessConfig] = None,
     ):
-        super().__init__()
-        self.cache = cache if cache is not None else QueryCache()
-        self.preprocess = (
-            preprocess if preprocess is not None else PreprocessConfig()
+        config = preprocess if preprocess is not None else PreprocessConfig()
+        super().__init__(
+            trail_reuse=config.trail_reuse, unsat_cores=config.unsat_cores
         )
+        self.cache = cache if cache is not None else QueryCache()
+        self.preprocess = config
         self._tainted = False
         self._reused_model: Optional[Model] = None
         self.fast_path_answers = 0
@@ -456,6 +582,10 @@ class CachingSolver(Solver):
         stats = {f"cache_{k}": v for k, v in self.cache.statistics.items()}
         stats.update(self.pipeline_stats)
         stats["sat_core_solves"] = self.num_solves
+        sat_stats = self._sat.statistics
+        stats["sat_trail_reused_lits"] = sat_stats["trail_reused_lits"]
+        stats["sat_cores_extracted"] = sat_stats["cores_extracted"]
+        stats["sat_core_minimize_solves"] = sat_stats["core_minimize_solves"]
         return stats
 
     def add(self, term: Term) -> None:
@@ -546,13 +676,18 @@ class CachingSolver(Solver):
 
         conds = list(slice_conds)
         bindings: dict = {}
+        origin_map: dict = {cond: frozenset((cond,)) for cond in conds}
+        use_cores = self.preprocess.unsat_cores
         if config.rewrite:
             rewritten = rewrite_slice(conds)
             if rewritten.unsat:
                 stats["rewrite_unsat"] += 1
-                self.cache.store_unsat(key)
+                core = rewritten.conflict_origin if use_cores else None
+                self._note_core(key, core, stats)
+                self.cache.store_unsat(key, core)
                 return None
             conds, bindings = rewritten.conditions, rewritten.bindings
+            origin_map = dict(zip(conds, rewritten.origins))
             if not conds:
                 stats["rewrite_sat"] += 1
                 values = self._slice_values(slice_conds, bindings, None)
@@ -575,7 +710,38 @@ class CachingSolver(Solver):
             stats["dropped_conjuncts"] += len(dropped)
             conds = outcome.residual
 
-        return False, _PendingSlice(key, slice_conds, conds, bindings, dropped)
+        return False, _PendingSlice(
+            key, slice_conds, conds, bindings, dropped, origin_map
+        )
+
+    def _map_core(self, pending: list) -> Optional[frozenset]:
+        """Translate :attr:`last_core` into original query conjuncts.
+
+        The SAT layer's core names *residual* (rewritten) conditions;
+        each maps back — through the rewriter's provenance — to the
+        original conjuncts entailing it.  Returns None when cores are
+        unavailable or a residual condition cannot be attributed.
+        """
+        core_terms = self.last_core
+        if core_terms is None:
+            return None
+        mapped: set = set()
+        for term in core_terms:
+            origin = None
+            for entry in pending:
+                origin = entry.origin_map.get(term)
+                if origin is not None:
+                    break
+            if origin is None:
+                return None
+            mapped |= origin
+        return frozenset(mapped)
+
+    def _note_core(self, key: frozenset, core: Optional[frozenset], stats) -> None:
+        """Account for a minimal core strictly smaller than its key."""
+        if core is not None and len(core) < len(key):
+            stats["unsat_cores"] += 1
+            stats["core_conjuncts_dropped"] += len(key) - len(core)
 
     def _solve_pending(
         self, pending: list, stitched: dict[Term, int]
@@ -598,13 +764,15 @@ class CachingSolver(Solver):
             stats["joint_solves"] += 1
         verdict = super().check(joint)
         if verdict is Result.UNSAT:
+            core = self._map_core(pending)
             if len(pending) == 1:
-                self.cache.store_unsat(pending[0].key)
+                key = pending[0].key
             else:
-                union = frozenset(
+                key = frozenset(
                     cond for entry in pending for cond in entry.original
                 )
-                self.cache.store_unsat(union)
+            self._note_core(key, core, stats)
+            self.cache.store_unsat(key, core)
             return Result.UNSAT
 
         # Extract every slice from the joint assignment *before* any
@@ -619,7 +787,9 @@ class CachingSolver(Solver):
                 stats["verify_fallbacks"] += 1
                 verdict = super().check(entry.residual + entry.dropped)
                 if verdict is Result.UNSAT:
-                    self.cache.store_unsat(entry.key)
+                    core = self._map_core([entry])
+                    self._note_core(entry.key, core, stats)
+                    self.cache.store_unsat(entry.key, core)
                     return Result.UNSAT
                 values = self._extract_slice(entry)
             self.cache.store_sat(entry.key, Model(values))

@@ -132,6 +132,21 @@ done:
         assert main(["explore", "--no-staging", str(program_file)]) == 1
         assert "2 paths" in capsys.readouterr().out
 
+    def test_unsat_cores_toggle(self, program_file, capsys):
+        assert main(["explore", "--no-unsat-cores", str(program_file)]) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_trail_reuse_toggle(self, program_file, capsys):
+        assert main(["explore", "--no-trail-reuse", str(program_file)]) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_solver_flags_without_query_cache(self, program_file, capsys):
+        assert main(
+            ["explore", "--no-query-cache", "--no-trail-reuse",
+             "--no-unsat-cores", str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+
     def test_staging_toggle_parallel(self, program_file, capsys):
         assert main(
             ["explore", "--no-staging", "--jobs", "2", str(program_file)]

@@ -133,7 +133,7 @@ class TestCachingSolverCorrectness:
         cache = QueryCache()
         stats = cache.statistics
         assert set(stats) == {
-            "entries", "hits", "exact_hits", "subsumption_hits",
+            "entries", "unsat_sets", "hits", "exact_hits", "subsumption_hits",
             "model_reuse_hits", "misses", "evictions",
         }
 
