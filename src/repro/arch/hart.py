@@ -51,3 +51,13 @@ class Hart(Generic[V]):
         self.halt_reason = None
         self.exit_code = None
         self.instret = 0
+
+    def fork(self, zero_value: V) -> "Hart[V]":
+        """Independent hart with the same pc/halt state and forked regs."""
+        copy: Hart[V] = Hart(zero_value, pc=self.pc)
+        copy.regs = self.regs.fork()
+        copy.halted = self.halted
+        copy.halt_reason = self.halt_reason
+        copy.exit_code = self.exit_code
+        copy.instret = self.instret
+        return copy

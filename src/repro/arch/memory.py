@@ -10,6 +10,14 @@ Two layers, matching how the interpreters use memory:
   bytes; bytes without shadow entries are concrete-only.  Keeping
   symbolic state as a sparse overlay over a concrete store is what makes
   the concolic fast path cheap.
+
+Both layers support O(resident-pages) copy-on-write forking for the
+snapshot-resumed exploration layer (:mod:`repro.core.snapshots`): a
+:meth:`ByteMemory.snapshot_pages`/:meth:`ByteMemory.adopt` pair aliases
+the page bytearrays instead of copying them, and every write path
+copies a page first when outstanding snapshot references exist — the
+per-page refcounts in ``_shared``.  Reads never check the refcounts, so
+the instruction-fetch fast path is unaffected.
 """
 
 from __future__ import annotations
@@ -31,10 +39,20 @@ class MemoryFault(Exception):
 
 
 class ByteMemory:
-    """Sparse paged byte memory with little-endian word accessors."""
+    """Sparse paged byte memory with little-endian word accessors.
+
+    Copy-on-write invariant: a page bytearray may be aliased by
+    snapshots (and by memories resumed from them).  ``_shared`` maps the
+    page number to the number of outstanding snapshot references taken
+    while that bytearray was current; every write path privatizes such a
+    page (copies it and drops the refcount entry) before mutating.
+    Reads alias freely — aliased pages are never written in place.
+    """
 
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
+        #: page number -> outstanding snapshot references (see class doc).
+        self._shared: dict[int, int] = {}
 
     def _page_for(self, addr: int) -> bytearray:
         page_number = addr >> _PAGE_BITS
@@ -42,6 +60,10 @@ class ByteMemory:
         if page is None:
             page = bytearray(_PAGE_SIZE)
             self._pages[page_number] = page
+        elif page_number in self._shared:
+            page = bytearray(page)
+            self._pages[page_number] = page
+            del self._shared[page_number]
         return page
 
     def read_byte(self, addr: int) -> int:
@@ -137,10 +159,69 @@ class ByteMemory:
         copy._pages = {number: bytearray(page) for number, page in self._pages.items()}
         return copy
 
+    # ------------------------------------------------------------------
+    # Copy-on-write forking (the snapshot layer's capture primitive)
+    # ------------------------------------------------------------------
+
+    def snapshot_pages(self) -> dict[int, bytearray]:
+        """Alias the current pages for a snapshot (O(resident pages)).
+
+        Every current page gains one snapshot reference: this memory
+        keeps executing and privatizes a page the first time it writes
+        it, leaving the aliased bytearray to the snapshot untouched.
+        The returned dict is owned by the snapshot and must never be
+        mutated.
+        """
+        shared = self._shared
+        for page_number in self._pages:
+            shared[page_number] = shared.get(page_number, 0) + 1
+        return dict(self._pages)
+
+    def release_pages(self, pages: dict[int, bytearray]) -> None:
+        """Drop one snapshot reference (snapshot evicted or consumed).
+
+        Only pages this memory still aliases (same bytearray object)
+        are decremented; pages already privatized — or replaced since —
+        keep their accounting.  Dropping the last reference makes the
+        page writable in place again.
+        """
+        shared = self._shared
+        current = self._pages
+        for page_number, page in pages.items():
+            if current.get(page_number) is page:
+                refs = shared.get(page_number, 0)
+                if refs > 1:
+                    shared[page_number] = refs - 1
+                elif refs:
+                    del shared[page_number]
+
+    @classmethod
+    def adopt(cls, pages: dict[int, bytearray]) -> "ByteMemory":
+        """Memory resuming from a snapshot's aliased pages.
+
+        All adopted pages are marked shared (the snapshot — and any
+        sibling resume — still references them), so the first write to
+        each page copies it; unwritten pages stay shared forever, which
+        is what makes resuming O(pages touched by the suffix).
+        """
+        memory = cls()
+        memory._pages = dict(pages)
+        memory._shared = dict.fromkeys(pages, 1)
+        return memory
+
+    def fork(self) -> "ByteMemory":
+        """A copy-on-write twin: both sides copy pages before writing."""
+        return ByteMemory.adopt(self.snapshot_pages())
+
     @property
     def resident_bytes(self) -> int:
         """Bytes of allocated backing store (diagnostics)."""
         return len(self._pages) * _PAGE_SIZE
+
+    @property
+    def shared_pages(self) -> int:
+        """Pages currently copy-on-write protected (diagnostics)."""
+        return len(self._shared)
 
 
 class ShadowMemory(Generic[S]):
@@ -161,6 +242,21 @@ class ShadowMemory(Generic[S]):
 
     def clear(self) -> None:
         self._shadow.clear()
+
+    def snapshot_state(self) -> dict[int, S]:
+        """Immutable-by-convention copy of the overlay (for snapshots)."""
+        return dict(self._shadow)
+
+    @classmethod
+    def adopt(cls, state: dict[int, S]) -> "ShadowMemory[S]":
+        """Overlay resuming from a snapshot's state (copies the dict)."""
+        shadow: ShadowMemory[S] = cls()
+        shadow._shadow = dict(state)
+        return shadow
+
+    def fork(self) -> "ShadowMemory[S]":
+        """A copy of the overlay (values are shared; they are immutable)."""
+        return ShadowMemory.adopt(self._shadow)
 
     def tainted_addresses(self) -> Iterable[int]:
         return self._shadow.keys()

@@ -70,6 +70,17 @@ class RegisterFile(Generic[V]):
         values[0] = self._zero
         return values
 
+    def fork(self) -> "RegisterFile[V]":
+        """A cheap independent copy (values are shared, not copied).
+
+        Sound for immutable value types — ints and
+        :class:`repro.core.symvalue.SymValue` — which is every value
+        domain the interpreters instantiate this class at.
+        """
+        copy: RegisterFile[V] = RegisterFile(self._zero)
+        copy._values = list(self._values)
+        return copy
+
     def load_snapshot(self, values: list[V]) -> None:
         if len(values) != 32:
             raise ValueError("snapshot must have 32 entries")

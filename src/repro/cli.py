@@ -121,6 +121,7 @@ def _cmd_explore(args) -> int:
         use_cache=args.query_cache,
         preprocess=preprocess,
         staging=args.staging,
+        snapshots=args.snapshots,
     ).explore()
     print(result.summary())
     if args.stats:
@@ -132,6 +133,15 @@ def _cmd_explore(args) -> int:
         print(f"  SAT-core solve() calls: {result.sat_solves}")
         for key in sorted(result.solver_stats):
             print(f"  {key:21s}: {result.solver_stats[key]}")
+        if result.snapshot_stats:
+            print("snapshot statistics:")
+            print(f"  instructions executed: "
+                  f"{result.executed_instructions} of "
+                  f"{result.total_instructions} "
+                  f"({result.saved_instructions} skipped by "
+                  f"{result.resumed_runs} resumed runs)")
+            for key in sorted(result.snapshot_stats):
+                print(f"  {key:21s}: {result.snapshot_stats[key]}")
     for path in result.paths[: args.show_paths]:
         marker = "FAIL" if path.is_assertion_failure else f"exit={path.exit_code}"
         print(f"  path {path.index:4d}: {marker:10s} {path.assignment}")
@@ -211,6 +221,12 @@ def main(argv=None) -> int:
                            help="disable staged semantics execution "
                                 "(compiled per-instruction plans); the "
                                 "specification is re-interpreted every step")
+    p_explore.add_argument("--no-snapshots", dest="snapshots",
+                           action="store_false", default=True,
+                           help="disable snapshot-resumed exploration: "
+                                "every flipped branch re-executes the SUT "
+                                "from the entry point instead of resuming "
+                                "at the divergence point")
     p_explore.add_argument("--stats", action="store_true",
                            help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)

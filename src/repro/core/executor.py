@@ -10,14 +10,15 @@ argument register this way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
 
 from ..loader.image import Image
 from ..smt import terms as T
 from ..spec.isa import ISA
 from .concretize import ConcretizationPolicy
 from .interpreter import SymbolicInterpreter
+from .snapshots import SnapshotPool
 from .state import InputAssignment, PathTrace
 
 __all__ = ["RunResult", "BinSymExecutor"]
@@ -25,7 +26,15 @@ __all__ = ["RunResult", "BinSymExecutor"]
 
 @dataclass
 class RunResult:
-    """Everything the explorer needs to know about one concolic run."""
+    """Everything the explorer needs to know about one concolic run.
+
+    ``snapshots`` maps flippable branch-record indices to snapshot-pool
+    handles captured during the run (empty when capture was off), and
+    ``resumed_instret`` is the prefix length this run did *not* execute
+    because it resumed from a snapshot — ``instret`` always reports the
+    full architectural path length, so exploration totals are identical
+    with snapshots on and off.
+    """
 
     trace: PathTrace
     halt_reason: Optional[str]
@@ -34,12 +43,24 @@ class RunResult:
     assignment: InputAssignment
     stdout: bytes
     final_pc: int = 0
+    snapshots: dict[int, int] = field(default_factory=dict)
+    resumed_instret: int = 0
 
 
 class BinSymExecutor:
-    """Engine adapter: repeatedly executes the SUT under new inputs."""
+    """Engine adapter: repeatedly executes the SUT under new inputs.
+
+    Supports snapshot-resumed runs (``supports_snapshots``): the
+    exploration drivers pass ``capture_from`` so the interpreter
+    registers a :class:`~repro.core.snapshots.StateSnapshot` at every
+    flippable branch beyond the re-flip bound, and ``resume`` to start
+    a child run at its divergence point instead of ``pc = entry``.  The
+    pool is a cache — an evicted (or cross-worker) handle transparently
+    falls back to full re-execution, which discovers the same path.
+    """
 
     name = "binsym"
+    supports_snapshots = True
 
     def __init__(
         self,
@@ -51,6 +72,7 @@ class BinSymExecutor:
         force_terms: bool = False,
         max_steps: int = 1_000_000,
         staging: bool = True,
+        snapshot_pool: Optional[SnapshotPool] = None,
     ):
         self.interpreter = SymbolicInterpreter(
             isa,
@@ -65,22 +87,72 @@ class BinSymExecutor:
         self._register_vars: dict[int, T.Term] = {
             index: T.bv_var(f"reg_{index}", 32) for index in self.symbolic_registers
         }
+        self.snapshot_pool = (
+            snapshot_pool if snapshot_pool is not None else SnapshotPool()
+        )
+        self.resumed_runs = 0
+        self.saved_instructions = 0
+        self.fallback_runs = 0
 
     def set_staging(self, staging: bool) -> None:
         """Toggle staged semantics execution (the --no-staging ablation)."""
         self.interpreter.set_staging(staging)
 
-    def execute(self, assignment: InputAssignment) -> RunResult:
-        """Run the SUT once under ``assignment``; collect the trace."""
-        interp = self.interpreter
-        interp.reset(assignment)
-        for base, length in self.symbolic_memory:
-            interp.make_symbolic(base, length)
-        for index, variable in self._register_vars.items():
-            concrete = assignment.values.get(variable, 0)
-            from .symvalue import SymValue
+    def _assignment_env(self, assignment: InputAssignment) -> dict[T.Term, int]:
+        """Total input-variable environment for snapshot rebasing."""
+        env = {
+            sym_input.variable: assignment.value_for(sym_input)
+            for sym_input in self.interpreter.inputs.values()
+        }
+        for variable in self._register_vars.values():
+            env[variable] = assignment.values.get(variable, 0)
+        return env
 
-            interp.hart.regs.write(index, SymValue(concrete, 32, variable))
+    def execute(
+        self,
+        assignment: InputAssignment,
+        capture_from: Optional[int] = None,
+        resume: Optional[int] = None,
+    ) -> RunResult:
+        """Run the SUT once under ``assignment``; collect the trace.
+
+        ``capture_from`` arms snapshot capture at flippable branch
+        records with index >= the bound (None leaves capture off);
+        ``resume`` names a pool handle to resume from, silently falling
+        back to a full run when the snapshot was evicted or predates
+        later-discovered symbolic inputs.
+        """
+        interp = self.interpreter
+        snapshot = None
+        if resume is not None:
+            snapshot = self.snapshot_pool.get(resume)
+            if snapshot is not None and snapshot.inputs_count != len(interp.inputs):
+                # Inputs discovered after capture: permanently stale
+                # (inputs only accumulate), so evict it and reclassify
+                # the pool hit as a miss.
+                self.snapshot_pool.discard(resume)
+                snapshot = None
+        resumed_instret = 0
+        if snapshot is not None:
+            interp.resume(snapshot, assignment, self._assignment_env(assignment))
+            self.resumed_runs += 1
+            self.saved_instructions += snapshot.instret
+            resumed_instret = snapshot.instret
+        else:
+            if resume is not None:
+                self.fallback_runs += 1
+            interp.reset(assignment)
+            for base, length in self.symbolic_memory:
+                interp.make_symbolic(base, length)
+            for index, variable in self._register_vars.items():
+                concrete = assignment.values.get(variable, 0)
+                from .symvalue import SymValue
+
+                interp.hart.regs.write(index, SymValue(concrete, 32, variable))
+        interp.configure_capture(
+            self.snapshot_pool if capture_from is not None else None,
+            capture_from if capture_from is not None else 0,
+        )
         hart = interp.run(self.max_steps)
         return RunResult(
             trace=interp.trace,
@@ -90,7 +162,27 @@ class BinSymExecutor:
             assignment=assignment,
             stdout=bytes(interp.stdout),
             final_pc=hart.pc,
+            snapshots=dict(interp.captured),
+            resumed_instret=resumed_instret,
         )
+
+    def execute_from(
+        self,
+        snapshot: Optional[int],
+        assignment: InputAssignment,
+        capture_from: Optional[int] = None,
+    ) -> RunResult:
+        """Resume a run from a snapshot handle (re-executes on miss)."""
+        return self.execute(assignment, capture_from=capture_from, resume=snapshot)
+
+    @property
+    def snapshot_statistics(self) -> Mapping[str, int]:
+        """Flat snapshot counters (summable across workers)."""
+        stats = dict(self.snapshot_pool.statistics)
+        stats["snap_resumed_runs"] = self.resumed_runs
+        stats["snap_saved_instructions"] = self.saved_instructions
+        stats["snap_fallback_runs"] = self.fallback_runs
+        return stats
 
     def input_variables(self) -> list[T.Term]:
         variables = self.interpreter.input_variables()

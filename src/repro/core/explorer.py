@@ -113,6 +113,10 @@ class ExplorationResult:
     sat_solves: int = 0
     pruned_queries: int = 0
     total_instructions: int = 0
+    #: Instructions actually interpreted: ``total_instructions`` minus
+    #: the prefixes snapshot resumption skipped (equal when snapshots
+    #: are off — ``total_instructions`` always counts full path lengths).
+    executed_instructions: int = 0
     wall_time: float = 0.0
     solver_time: float = 0.0
     truncated: bool = False
@@ -125,6 +129,10 @@ class ExplorationResult:
     #: Flat solver-side counters (cache tiers, pipeline stages, core
     #: solves), exactly summed over every worker's solver.
     solver_stats: dict = field(default_factory=dict)
+    #: Flat snapshot-layer counters (captures, resumed runs, saved
+    #: instructions, pool evictions/misses), summed over every worker's
+    #: executor; empty when the engine has no snapshot support.
+    snapshot_stats: dict = field(default_factory=dict)
 
     @property
     def num_paths(self) -> int:
@@ -170,6 +178,21 @@ class ExplorationResult:
         for key, value in stats.items():
             self.solver_stats[key] = self.solver_stats.get(key, 0) + value
 
+    def merge_snapshot_stats(self, stats: dict) -> None:
+        """Key-wise sum of one executor's flat snapshot counter dict."""
+        for key, value in stats.items():
+            self.snapshot_stats[key] = self.snapshot_stats.get(key, 0) + value
+
+    @property
+    def resumed_runs(self) -> int:
+        """Runs that resumed from a snapshot instead of ``pc = entry``."""
+        return self.snapshot_stats.get("snap_resumed_runs", 0)
+
+    @property
+    def saved_instructions(self) -> int:
+        """Prefix instructions snapshot resumption did not re-execute."""
+        return self.snapshot_stats.get("snap_saved_instructions", 0)
+
     def summary(self) -> str:
         text = (
             f"{self.num_paths} paths "
@@ -185,6 +208,11 @@ class ExplorationResult:
                 f" [{self.cache_hits} cache hits, "
                 f"{self.fast_path_answers} fast-path, "
                 f"{self.pruned_queries} pruned]"
+            )
+        if self.resumed_runs:
+            text += (
+                f" [{self.resumed_runs} resumed runs, "
+                f"{self.saved_instructions} instructions skipped]"
             )
         if self.workers > 1:
             text += f" [{self.workers} workers]"
@@ -216,6 +244,7 @@ class Explorer:
         dedup_flips: bool = True,
         preprocess: Optional[PreprocessConfig] = None,
         staging: Optional[bool] = None,
+        snapshots: bool = True,
     ):
         self._solver_provided = solver is not None
         if solver is None:
@@ -230,6 +259,12 @@ class Explorer:
         self.dedup_flips = dedup_flips
         self.preprocess = preprocess
         self.staging = apply_staging(executor, staging)
+        # Snapshot-resumed runs (--no-snapshots ablation): only engines
+        # advertising support participate; the rest execute every run
+        # from the entry point exactly as before.
+        self.snapshots = snapshots and getattr(
+            executor, "supports_snapshots", False
+        )
 
     def explore(self) -> ExplorationResult:
         """Run the full exploration; returns all discovered paths."""
@@ -246,6 +281,7 @@ class Explorer:
                 dedup_flips=self.dedup_flips,
                 preprocess=self.preprocess,
                 staging=self.staging,
+                snapshots=self.snapshots,
             ).explore()
         return self._explore_serial()
 
@@ -255,18 +291,26 @@ class Explorer:
         frontier = Frontier(self.strategy_name, self.seed)
         frontier.push(WorkItem(InputAssignment(), 0))
         trie = ExploredPrefixTrie() if self.dedup_flips else None
+        executor = self.executor
+        snapshots = self.snapshots
         while frontier and result.num_paths < self.max_paths:
             item = frontier.pop()
-            run = self.executor.execute(item.assignment)
+            if snapshots:
+                run = executor.execute_from(
+                    item.snapshot, item.assignment, capture_from=item.bound
+                )
+            else:
+                run = executor.execute(item.assignment)
             self._record_path(result, run)
             stats = RunStats()
             children = expand_run(
                 run,
                 item.bound,
                 self.solver,
-                self.executor.input_variables(),
+                executor.input_variables(),
                 stats,
                 trie,
+                snapshots=run.snapshots if snapshots else None,
             )
             novelty = len(stats.covered_pcs - result.covered_branches)
             result.merge_run_stats(stats)
@@ -280,6 +324,9 @@ class Explorer:
             result.merge_solver_stats(dict(solver_stats))
         else:
             result.merge_solver_stats({"sat_core_solves": self.solver.num_solves})
+        snapshot_stats = getattr(executor, "snapshot_statistics", None)
+        if snapshot_stats is not None and snapshots:
+            result.merge_snapshot_stats(dict(snapshot_stats))
         result.wall_time = time.perf_counter() - start
         return result
 
@@ -287,6 +334,7 @@ class Explorer:
 
     def _record_path(self, result: ExplorationResult, run: RunResult) -> None:
         result.total_instructions += run.instret
+        result.executed_instructions += run.instret - run.resumed_instret
         result.paths.append(
             PathInfo(
                 index=len(result.paths),

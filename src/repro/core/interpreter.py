@@ -18,12 +18,14 @@ No instruction-specific code exists here — supporting a new instruction
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional
 
 from ..arch.hart import HaltReason, Hart
 from ..arch.memory import ByteMemory, ShadowMemory
 from ..loader.image import Image
 from ..smt import terms as T
+from ..smt.evalbv import evaluate
 from ..spec.expr import Expr, Val, eval_expr
 from ..spec.isa import ISA
 from ..spec.staged import StagedStepper
@@ -48,6 +50,7 @@ from ..spec.primitives import (
     WriteRegister,
 )
 from .concretize import ConcretizationPolicy, concretize_address
+from .snapshots import SnapshotPool, StateSnapshot
 from .state import InputAssignment, PathTrace, SymbolicInput
 from .symvalue import SymDomain, SymValue
 
@@ -97,6 +100,21 @@ class SymbolicInterpreter(StagedStepper):
         self.stdout = bytearray()
         self._current_word = 0
         self._next_pc = 0
+        # Snapshot capture state (see configure_capture): stdout bytes
+        # that are input-dependent carry their shadow term so a resumed
+        # run can re-concretize them under a new assignment.
+        self.stdout_shadow: list[tuple[int, T.Term]] = []
+        self.captured: dict[int, int] = {}
+        self._capture_pool: Optional[SnapshotPool] = None
+        self._capture_from = 0
+        self._capture_instret = -1
+        self._capture_base = 0
+        self._capture_handle: Optional[int] = None
+        self._snapshot_unsafe = False
+        #: instret of the last state mutation / assumption record — the
+        #: runtime check behind the capture layer's instruction-start
+        #: invariant (see :meth:`_note_flippable`).
+        self._effect_instret = -1
 
     # ------------------------------------------------------------------
     # Run management
@@ -112,6 +130,12 @@ class SymbolicInterpreter(StagedStepper):
         self.trace = PathTrace()
         self.assignment = assignment if assignment is not None else InputAssignment()
         self.stdout = bytearray()
+        self.stdout_shadow = []
+        self.captured = {}
+        self._capture_instret = -1
+        self._capture_handle = None
+        self._snapshot_unsafe = False
+        self._effect_instret = -1
         # Re-apply previously discovered input regions: inputs persist
         # across runs even if the program marks them only on the first
         # execution path that reaches make_symbolic.
@@ -130,6 +154,125 @@ class SymbolicInterpreter(StagedStepper):
         return self.hart
 
     # step() is inherited from StagedStepper.
+
+    # ------------------------------------------------------------------
+    # Copy-on-write snapshots (capture at branch records, resume later)
+    # ------------------------------------------------------------------
+
+    def configure_capture(
+        self, pool: Optional[SnapshotPool], capture_from: int = 0
+    ) -> None:
+        """Arm (or disarm, ``pool=None``) snapshot capture for this run.
+
+        While armed, every flippable branch record with index >=
+        ``capture_from`` registers a :class:`StateSnapshot` of the
+        machine state at the *start of the recording instruction* in
+        ``pool``; :attr:`captured` maps record index -> pool handle.
+        ``capture_from`` mirrors the exploration bound: records below it
+        are never flipped, so their snapshots would be dead weight.
+        """
+        self._capture_pool = pool
+        self._capture_from = capture_from
+
+    def _note_flippable(self) -> None:
+        """Capture hook, called as each flippable branch is recorded.
+
+        Machine state at this point still equals the state at the start
+        of the current instruction: the formal semantics evaluate every
+        ``RunIf``/``RunIfElse`` condition before any register or memory
+        effect of the instruction (this holds for nested branches too,
+        e.g. the div/rem zero- and overflow-checks), so resuming means
+        re-executing the whole instruction — which re-derives this
+        record and flips naturally under the new assignment.  All
+        records one instruction produces therefore share one snapshot,
+        whose trace prefix is truncated to the instruction start.
+
+        The invariant is *checked*, not assumed: every mutating or
+        assumption-recording primitive stamps ``_effect_instret``, so a
+        custom instruction that writes state (or pins an address)
+        before branching simply skips capture here — its children fall
+        back to full re-execution instead of resuming corrupt state.
+        """
+        instret = self.hart.instret
+        index = len(self.trace.records)
+        if instret != self._capture_instret:
+            self._capture_instret = instret
+            self._capture_base = index
+            self._capture_handle = None
+        if index < self._capture_from or self._effect_instret == instret:
+            return
+        handle = self._capture_handle
+        if handle is None:
+            snapshot = StateSnapshot(
+                pc=self.hart.pc,
+                instret=instret,
+                pages=self.memory.snapshot_pages(),
+                shadow=self.shadow.snapshot_state(),
+                regs=tuple(self.hart.regs.snapshot()),
+                records=tuple(self.trace.records[: self._capture_base]),
+                stdout=bytes(self.stdout),
+                stdout_shadow=tuple(self.stdout_shadow),
+                inputs_count=len(self.inputs),
+                source=weakref.ref(self.memory),
+            )
+            handle = self._capture_pool.add(snapshot)
+            if handle is None:
+                # Over the whole pool budget: undo the page references
+                # and stop capturing — resident state only grows, so
+                # every later snapshot of this run would be rejected
+                # (and rebuilt, and leaked) the same way.
+                self.memory.release_pages(snapshot.pages)
+                self._capture_pool = None
+                return
+            self._capture_handle = handle
+        self.captured[index] = handle
+
+    def resume(
+        self,
+        snapshot: StateSnapshot,
+        assignment: InputAssignment,
+        env: dict[T.Term, int],
+    ) -> None:
+        """Restore a captured state, re-concretized under ``assignment``.
+
+        ``env`` must assign every input variable.  Exactness rests on
+        the concolic invariant: the new assignment satisfies the prefix
+        path condition, so control flow up to the divergence point is
+        identical to a full re-execution — term-free state is therefore
+        input-independent and identical, and every term-carrying datum
+        (registers, shadowed memory bytes, symbolic stdout bytes) is
+        re-evaluated under ``env`` with the reference evaluator,
+        yielding exactly the values the full re-execution would have
+        computed.  Aliased snapshot pages are adopted copy-on-write;
+        the re-concretizing writes below privatize only the input pages.
+        """
+        self.memory = ByteMemory.adopt(snapshot.pages)
+        self.shadow = ShadowMemory.adopt(snapshot.shadow)
+        hart: Hart[SymValue] = Hart(zero_value=SymValue(0, 32), pc=snapshot.pc)
+        hart.instret = snapshot.instret
+        regs = hart.regs
+        for index, value in enumerate(snapshot.regs):
+            if index and value.term is not None:
+                value = SymValue(
+                    evaluate(value.term, env), value.width, value.term
+                )
+            regs.write(index, value)
+        self.hart = hart
+        self.trace = PathTrace()
+        self.trace.records = list(snapshot.records)
+        self.assignment = assignment
+        self.stdout = bytearray(snapshot.stdout)
+        for offset, term in snapshot.stdout_shadow:
+            self.stdout[offset] = evaluate(term, env) & 0xFF
+        memory = self.memory
+        for address, term in snapshot.shadow.items():
+            memory.write_byte(address, evaluate(term, env))
+        self.stdout_shadow = list(snapshot.stdout_shadow)
+        self.captured = {}
+        self._capture_instret = -1
+        self._capture_handle = None
+        self._snapshot_unsafe = False
+        self._effect_instret = -1
 
     # ------------------------------------------------------------------
     # Symbolic input marking (the make_symbolic ecall / harness hook)
@@ -166,18 +309,47 @@ class SymbolicInterpreter(StagedStepper):
     def halt_exit(self, code: int) -> None:
         self.hart.halt(HaltReason.EXIT, exit_code=code)
 
+    def _consumes_symbolic(self, *indices: int) -> bool:
+        """Snapshot-safety guard for syscalls.
+
+        Syscalls consume register values *concretely* without pinning
+        them in the trace; if a consumed register is input-dependent,
+        downstream state is no longer re-derivable from terms alone, so
+        capture is disabled for the rest of the run — children past
+        this point simply fall back to full re-execution.
+        """
+        return any(self.hart.regs.read(index).term is not None for index in indices)
+
     def _ecall(self) -> None:
         from ..concrete.syscalls import SYS_EXIT, SYS_MAKE_SYMBOLIC, SYS_WRITE
 
+        self._effect_instret = self.hart.instret
         number = self.read_register_int(17)  # a7
+        if self._consumes_symbolic(17):
+            self._snapshot_unsafe = True
         if number == SYS_EXIT:
             self.halt_exit(self.read_register_int(10))
         elif number == SYS_WRITE:
+            if self._consumes_symbolic(11, 12):
+                self._snapshot_unsafe = True
             base = self.read_register_int(11)
             length = self.read_register_int(12)
+            if self._capture_pool is not None:
+                # Input-dependent output bytes keep their shadow term
+                # so a snapshot resume can re-concretize the captured
+                # stdout; with capture disarmed nothing can consume the
+                # overlay scan, so skip it.
+                offset = len(self.stdout)
+                shadow = self.shadow
+                for i in range(length):
+                    term = shadow.get(base + i)
+                    if term is not None:
+                        self.stdout_shadow.append((offset + i, term))
             self.stdout.extend(self.memory.read_bytes(base, length))
             self.write_register_int(10, length)
         elif number == SYS_MAKE_SYMBOLIC:
+            if self._consumes_symbolic(10, 11):
+                self._snapshot_unsafe = True
             self.make_symbolic(self.read_register_int(10), self.read_register_int(11))
         else:
             raise ValueError(f"unknown syscall number {number}")
@@ -220,21 +392,29 @@ class SymbolicInterpreter(StagedStepper):
         return SymValue(self.hart.pc, 32)
 
     def plan_load(self, width: int, address: SymValue) -> SymValue:
+        if address.term is not None:
+            # Concretization may pin an assumption record; a capture
+            # later in the same instruction must not claim
+            # instruction-start state (see _note_flippable).
+            self._effect_instret = self.hart.instret
         concrete_addr = concretize_address(
             address, self.concretization, self.trace, self.hart.pc
         )
         return self._load(concrete_addr, width)
 
     def plan_write_reg(self, index: int, value: SymValue) -> None:
+        self._effect_instret = self.hart.instret
         self.hart.regs.write(index, value)
 
     def plan_write_pc(self, value: SymValue) -> None:
+        self._effect_instret = self.hart.instret
         if value.term is not None:
             pinned = T.eq(value.term, T.bv(value.concrete, 32))
             self.trace.add_assumption(pinned, self.hart.pc)
         self._next_pc = value.concrete
 
     def plan_store(self, width: int, address: SymValue, value: SymValue) -> None:
+        self._effect_instret = self.hart.instret
         concrete_addr = concretize_address(
             address, self.concretization, self.trace, self.hart.pc
         )
@@ -244,6 +424,8 @@ class SymbolicInterpreter(StagedStepper):
         """Staged twin of :meth:`branch`: the condition is pre-evaluated."""
         taken = bool(value.concrete)
         if value.term is not None and not value.term.is_const:
+            if self._capture_pool is not None and not self._snapshot_unsafe:
+                self._note_flippable()
             self.trace.add_branch(value.condition_term(), self.hart.pc, taken)
         return taken
 
@@ -273,6 +455,8 @@ class SymbolicInterpreter(StagedStepper):
         # Constant terms (possible under force_terms) are not symbolic
         # decisions — only record conditions the solver could flip.
         if value.term is not None and not value.term.is_const:
+            if self._capture_pool is not None and not self._snapshot_unsafe:
+                self._note_flippable()
             self.trace.add_branch(value.condition_term(), self.hart.pc, taken)
         return taken
 
@@ -322,11 +506,13 @@ class SymbolicInterpreter(StagedStepper):
         if isinstance(primitive, ReadRegister):
             return self._reg_leaf(primitive.index)
         if isinstance(primitive, WriteRegister):
+            self._effect_instret = self.hart.instret
             self.hart.regs.write(primitive.index, self._eval(primitive.value))
             return None
         if isinstance(primitive, ReadPC):
             return Val(SymValue(self.hart.pc, 32), 32)
         if isinstance(primitive, WritePC):
+            self._effect_instret = self.hart.instret
             target = self._eval(primitive.value)
             if target.term is not None:
                 # Indirect jump through symbolic data: concretize like a
@@ -337,11 +523,14 @@ class SymbolicInterpreter(StagedStepper):
             return None
         if isinstance(primitive, LoadMem):
             address = self._eval(primitive.addr)
+            if address.term is not None:
+                self._effect_instret = self.hart.instret
             concrete_addr = concretize_address(
                 address, self.concretization, self.trace, self.hart.pc
             )
             return Val(self._load(concrete_addr, primitive.width), primitive.width)
         if isinstance(primitive, StoreMem):
+            self._effect_instret = self.hart.instret
             address = self._eval(primitive.addr)
             concrete_addr = concretize_address(
                 address, self.concretization, self.trace, self.hart.pc

@@ -61,7 +61,14 @@ def default_jobs() -> int:
 
 
 def _worker_main(
-    executor, worker_id, use_cache, dedup_flips, preprocess, task_queue, result_queue
+    executor,
+    worker_id,
+    use_cache,
+    dedup_flips,
+    preprocess,
+    snapshots,
+    task_queue,
+    result_queue,
 ):
     """Worker loop: execute runs and expand their branch flips.
 
@@ -70,21 +77,40 @@ def _worker_main(
     ``None`` on the task queue shuts the worker down.
 
     The stats payload carries, besides the per-run :class:`RunStats`
-    fields, the worker id and the solver's *cumulative* flat counter
-    dict: the parent keeps the latest dict per worker and sums them at
-    the end, which is exact — a worker only accrues counters while
-    producing replies, so its last reply carries its final totals.
+    fields, the worker id and the solver's (and snapshot layer's)
+    *cumulative* flat counter dicts: the parent keeps the latest dict
+    per worker and sums them at the end, which is exact — a worker only
+    accrues counters while producing replies, so its last reply carries
+    its final totals.
+
+    Snapshot handles are process-local, so a task's snapshot reference
+    ``(origin_worker, handle)`` is only honoured when this worker
+    captured it; cross-worker items re-execute from the entry point,
+    which discovers the identical path (counted separately so the
+    benchmark can report the cross-worker re-execution share).
     """
     solver = make_solver(use_cache, preprocess)
     trie = ExploredPrefixTrie() if dedup_flips else None
+    cross_worker_items = 0
     while True:
         task = task_queue.get()
         if task is None:
             return
-        task_id, assignment_payload, bound = task
+        task_id, assignment_payload, bound, snapshot_ref = task
         try:
             assignment = deserialize_assignment(assignment_payload)
-            run = executor.execute(assignment)
+            if snapshots:
+                resume = None
+                if snapshot_ref is not None:
+                    if snapshot_ref[0] == worker_id:
+                        resume = snapshot_ref[1]
+                    else:
+                        cross_worker_items += 1
+                run = executor.execute_from(
+                    resume, assignment, capture_from=bound
+                )
+            else:
+                run = executor.execute(assignment)
             stats = RunStats()
             children = expand_run(
                 run,
@@ -94,6 +120,7 @@ def _worker_main(
                 stats,
                 trie,
                 compute_digests=True,
+                snapshots=run.snapshots if snapshots else None,
             )
             path_payload = (
                 run.halt_reason,
@@ -103,14 +130,28 @@ def _worker_main(
                 serialize_assignment(run.assignment),
                 run.stdout,
                 run.final_pc,
+                run.resumed_instret,
             )
+            # child.divergence is not shipped: it always equals
+            # bound - 1 for flip children, so the parent re-derives it.
             child_payloads = [
-                (serialize_assignment(child.assignment), child.bound, child.digest)
+                (
+                    serialize_assignment(child.assignment),
+                    child.bound,
+                    child.digest,
+                    child.snapshot,
+                )
                 for child in children
             ]
             solver_stats = getattr(solver, "pipeline_statistics", None)
             if solver_stats is None:
                 solver_stats = {"sat_core_solves": solver.num_solves}
+            snapshot_stats = getattr(executor, "snapshot_statistics", None)
+            if snapshot_stats is not None and snapshots:
+                snapshot_stats = dict(snapshot_stats)
+                snapshot_stats["snap_cross_worker_items"] = cross_worker_items
+            else:
+                snapshot_stats = {}
             stats_payload = (
                 stats.sat_checks,
                 stats.unsat_checks,
@@ -122,6 +163,7 @@ def _worker_main(
                 tuple(stats.covered_pcs),
                 worker_id,
                 dict(solver_stats),
+                snapshot_stats,
             )
             result_queue.put((task_id, path_payload, child_payloads, stats_payload))
         except Exception:
@@ -154,6 +196,7 @@ class ProcessPoolExplorer:
         dedup_flips: bool = True,
         preprocess: Optional[PreprocessConfig] = None,
         staging: Optional[bool] = None,
+        snapshots: bool = True,
     ):
         self.executor = executor
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -163,6 +206,13 @@ class ProcessPoolExplorer:
         self.use_cache = use_cache
         self.dedup_flips = dedup_flips
         self.preprocess = preprocess
+        # Snapshots are worker-local (pools are fork-inherited but grow
+        # independently): items that land on the capturing worker
+        # resume; everything else re-executes, keeping the discovered
+        # path set and query attribution byte-identical to serial mode.
+        self.snapshots = snapshots and getattr(
+            executor, "supports_snapshots", False
+        )
         # Applied before the fork so every worker inherits the setting;
         # the staged plan/decode caches themselves are pure per-word
         # memos, so each worker's copy-on-write copy stays coherent as
@@ -185,6 +235,7 @@ class ProcessPoolExplorer:
             dedup_flips=self.dedup_flips,
             preprocess=self.preprocess,
             staging=self.staging,
+            snapshots=self.snapshots,
         ).explore()
 
     def _next_reply(self, result_queue, workers):
@@ -224,6 +275,7 @@ class ProcessPoolExplorer:
                     self.use_cache,
                     self.dedup_flips,
                     self.preprocess,
+                    self.snapshots,
                     task_queue,
                     result_queue,
                 ),
@@ -246,9 +298,11 @@ class ProcessPoolExplorer:
         # re-derive the same flip, the duplicate is caught here — same
         # path set as the serial driver's shared trie.
         seen_digests: set = set()
-        # Latest cumulative solver-counter dict per worker (see
-        # _worker_main); summed into the result after the pool drains.
+        # Latest cumulative solver/snapshot counter dicts per worker
+        # (see _worker_main); summed into the result after the pool
+        # drains.
         worker_solver_stats: dict[int, dict] = {}
+        worker_snapshot_stats: dict[int, dict] = {}
         try:
             while frontier or in_flight:
                 while (
@@ -258,7 +312,12 @@ class ProcessPoolExplorer:
                 ):
                     item = frontier.pop()
                     task_queue.put(
-                        (next_task, serialize_assignment(item.assignment), item.bound)
+                        (
+                            next_task,
+                            serialize_assignment(item.assignment),
+                            item.bound,
+                            item.snapshot,
+                        )
                     )
                     next_task += 1
                     in_flight += 1
@@ -283,10 +342,12 @@ class ProcessPoolExplorer:
                     solver_time=stats_payload[6],
                     covered_pcs=set(stats_payload[7]),
                 )
-                worker_solver_stats[stats_payload[8]] = stats_payload[9]
+                origin_worker = stats_payload[8]
+                worker_solver_stats[origin_worker] = stats_payload[9]
+                worker_snapshot_stats[origin_worker] = stats_payload[10]
                 novelty = len(stats.covered_pcs - result.covered_branches)
                 result.merge_run_stats(stats)
-                for assignment_payload, bound, digest in children:
+                for assignment_payload, bound, digest, snapshot in children:
                     if digest is not None:
                         if digest in seen_digests:
                             result.pruned_queries += 1
@@ -298,6 +359,12 @@ class ProcessPoolExplorer:
                             bound,
                             novelty=novelty,
                             digest=digest,
+                            snapshot=(
+                                (origin_worker, snapshot)
+                                if snapshot is not None
+                                else None
+                            ),
+                            divergence=bound - 1 if bound else None,
                         )
                     )
         finally:
@@ -313,12 +380,24 @@ class ProcessPoolExplorer:
         result.frontier_peak = frontier.peak
         for stats_dict in worker_solver_stats.values():
             result.merge_solver_stats(stats_dict)
+        for stats_dict in worker_snapshot_stats.values():
+            result.merge_snapshot_stats(stats_dict)
         result.wall_time = time.perf_counter() - start
         return result
 
     def _record_path(self, result: ExplorationResult, payload) -> None:
-        halt_reason, exit_code, instret, trace_length, assignment, stdout, pc = payload
+        (
+            halt_reason,
+            exit_code,
+            instret,
+            trace_length,
+            assignment,
+            stdout,
+            pc,
+            resumed_instret,
+        ) = payload
         result.total_instructions += instret
+        result.executed_instructions += instret - resumed_instret
         result.paths.append(
             PathInfo(
                 index=len(result.paths),

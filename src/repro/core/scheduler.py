@@ -63,14 +63,30 @@ class WorkItem:
     bound: int
     novelty: int = 0
     digest: Optional[int] = None
+    #: Opaque snapshot handle the run that spawned this item captured at
+    #: the divergence point (``None`` = execute from the entry point).
+    #: Serial exploration stores a pool handle, the parallel driver a
+    #: ``(worker_id, handle)`` pair — snapshots are process-local.
+    snapshot: Optional[object] = None
+    #: Branch-record index this item diverges at — always ``bound - 1``
+    #: for flip children (``None`` for the root).  Carried explicitly so
+    #: a future distributed tier can validate shipped state against its
+    #: divergence point without re-deriving it from the bound.
+    divergence: Optional[int] = None
 
 
 # Structural digests are memoized per process; forked workers inherit
 # the parent's (stable) string hash seed, so digests agree between the
 # parent and every worker even for terms interned after the fork.
 # Keyed by the term object (identity hash, O(1)) rather than id() so a
-# term can never alias a stale entry after an interner reset.
+# term can never alias a stale entry after an interner reset.  Bounded
+# like the decoder cache: true-LRU via dict reinsertion, evicting the
+# oldest entry at capacity so a long exploration over many distinct
+# terms cannot grow the memo without limit.
 _DIGEST_MEMO: dict = {}
+
+#: Backstop for the digest memo, matching the decoder/plan caches.
+DIGEST_MEMO_CAPACITY = 1 << 17
 
 
 def term_digest(term: T.Term) -> int:
@@ -84,6 +100,10 @@ def term_digest(term: T.Term) -> int:
     memo = _DIGEST_MEMO
     cached = memo.get(term)
     if cached is not None:
+        # Move-to-end keeps insertion order = recency order, so the
+        # eviction below always removes the least recently used digest.
+        del memo[term]
+        memo[term] = cached
         return cached
     stack = [(term, False)]
     while stack:
@@ -99,7 +119,14 @@ def term_digest(term: T.Term) -> int:
         memo[node] = hash(
             (node.op, node.width, node.payload, tuple(memo[a] for a in node.args))
         )
-    return memo[term]
+    digest = memo[term]
+    # Trim after the traversal, not during it: evicting mid-walk could
+    # drop a subterm digest a pending parent still needs.  Oldest-first
+    # eviction never touches the entries this call just inserted until
+    # everything older is gone.
+    while len(memo) > DIGEST_MEMO_CAPACITY:
+        del memo[next(iter(memo))]
+    return digest
 
 
 def query_digest(conditions) -> int:
@@ -182,6 +209,7 @@ def expand_run(
     stats: RunStats,
     trie: Optional[ExploredPrefixTrie] = None,
     compute_digests: bool = False,
+    snapshots: Optional[dict] = None,
 ) -> list[WorkItem]:
     """Generate flipped-branch children of a completed run.
 
@@ -202,6 +230,11 @@ def expand_run(
     of the query that produced it, so a parent process coordinating
     several workers (whose tries are per-process) can drop children of
     flip queries another worker already expanded.
+
+    ``snapshots`` (record index -> pool handle, from
+    ``RunResult.snapshots``) attaches to each child the snapshot its
+    divergence point was captured under, so the drivers can resume the
+    child's run there instead of re-executing the shared prefix.
     """
     children: list[WorkItem] = []
     records = run.trace.records
@@ -228,6 +261,12 @@ def expand_run(
                             run.assignment.derive(model, variables),
                             index + 1,
                             digest=query_digest(query) if compute_digests else None,
+                            snapshot=(
+                                snapshots.get(index)
+                                if snapshots is not None
+                                else None
+                            ),
+                            divergence=index,
                         )
                     )
                 stats.solver_time += time.perf_counter() - check_start

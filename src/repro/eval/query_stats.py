@@ -188,6 +188,13 @@ def measure_pipeline(
         "subsumption_hits": result.solver_stats.get("cache_subsumption_hits", 0),
         "unsat_cores": result.solver_stats.get("unsat_cores", 0),
         "workers": result.workers,
+        # Snapshot layer (all zero for engines without snapshot support
+        # or with --no-snapshots): how many runs resumed at their
+        # divergence point, the prefix instructions that saved, and the
+        # pool evictions that forced re-execution fallbacks.
+        "resumed_runs": result.resumed_runs,
+        "saved_instructions": result.saved_instructions,
+        "pool_evictions": result.snapshot_stats.get("snap_pool_evictions", 0),
     }
 
 
@@ -216,11 +223,15 @@ def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
                 stats["sat_core_solves"],
                 stats["unsat_cores"],
                 stats["slices"],
+                stats["resumed_runs"],
+                stats["saved_instructions"],
+                stats["pool_evictions"],
             ]
         )
     return format_table(
         ["engine", "paths", "solved", "cache hits", "subsumed", "fast path",
-         "core solves", "min cores", "slices"],
+         "core solves", "min cores", "slices", "resumed", "instr saved",
+         "evictions"],
         rows,
         title=f"query pipeline breakdown on {workload}",
     )

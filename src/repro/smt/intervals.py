@@ -500,13 +500,18 @@ class IntervalOutcome:
 
     ``verdict`` is True (SAT, ``witness`` is a validated assignment),
     False (UNSAT), or None (undecided; ``residual`` still needs the SAT
-    core and ``dropped`` lists conjuncts proven redundant).
+    core and ``dropped`` lists conjuncts proven redundant).  On UNSAT,
+    ``core`` names the conjunct subset that pinched the refuting box —
+    its conjunction is itself unsatisfiable, so the query cache can use
+    it for subsumption exactly like a SAT-core (``None`` when the
+    refutation could not be attributed).
     """
 
     verdict: Optional[bool]
     residual: list = field(default_factory=list)
     witness: Optional[dict] = None
     dropped: list = field(default_factory=list)
+    core: Optional[list] = None
 
 
 def _build_env(refinements: list, skip: int = -1) -> Optional[Env]:
@@ -522,12 +527,41 @@ def _build_env(refinements: list, skip: int = -1) -> Optional[Env]:
     return env
 
 
-def _trim_disequalities(conds: list, env: Env):
+def _build_env_tracked(refinements: list, conds: list):
+    """Like :func:`_build_env`, but attributing every bound to conjuncts.
+
+    Returns ``(env, contributors, conflict)``: ``contributors`` maps
+    each bounded variable to the conjuncts whose refinements (and,
+    later, disequality trims) produced its bound — a variable's bound
+    depends only on its own contributors, so any refutation drawn from
+    the env is justified by the contributing conjuncts alone.  On an
+    empty meet, ``env`` is None and ``conflict`` is that variable's
+    contributor list plus the conjunct whose refinement emptied it.
+    """
+    env: Env = {}
+    contributors: dict = {}
+    for index, pairs in enumerate(refinements):
+        for var, value in pairs:
+            merged = _meet_value(env.get(var), value)
+            if merged is None:
+                conflict = list(contributors.get(var, ()))
+                conflict.append(conds[index])
+                return None, contributors, conflict
+            env[var] = merged
+            contributors.setdefault(var, []).append(conds[index])
+    return env, contributors, None
+
+
+def _trim_disequalities(conds: list, env: Env, contributors: dict):
     """Shave ``x != c`` boundary points off env intervals (in place).
 
-    Returns False when an interval empties (slice UNSAT), otherwise the
-    set of conjuncts whose trim narrowed the box — the leave-one-out
-    pass must not justify dropping a conjunct with its *own* trim.
+    Returns ``(trimmers, conflict)``: the set of conjuncts whose trim
+    narrowed the box (the leave-one-out pass must not justify dropping
+    a conjunct with its *own* trim), or — when an interval empties, i.e.
+    the slice is UNSAT — a ``conflict`` core of the emptied variable's
+    contributors plus the emptying disequality.  Trims are recorded in
+    ``contributors`` alongside refinements, since a later refutation
+    over the trimmed bound depends on them too.
     """
     trimmers: set = set()
     for _ in range(2):  # a trim can expose another boundary hit
@@ -546,18 +580,22 @@ def _trim_disequalities(conds: list, env: Env):
                 continue
             c = b.payload
             if interval.lo == interval.hi == c:
-                return False
+                conflict = list(contributors.get(a, ()))
+                conflict.append(cond)
+                return None, conflict
             if interval.lo == c:
                 env[a] = Interval(interval.width, c + 1, interval.hi)
                 trimmers.add(cond)
+                contributors.setdefault(a, []).append(cond)
                 changed = True
             elif interval.hi == c:
                 env[a] = Interval(interval.width, interval.lo, c - 1)
                 trimmers.add(cond)
+                contributors.setdefault(a, []).append(cond)
                 changed = True
         if not changed:
             break
-    return trimmers
+    return trimmers, None
 
 
 def _candidate_points(variables: list, env: Env):
@@ -598,19 +636,27 @@ def analyze_slice(conds: list) -> IntervalOutcome:
     for cond in conds:
         pairs = refinements_of(cond)
         if pairs is _INFEASIBLE:
-            return IntervalOutcome(False)
+            return IntervalOutcome(False, core=[cond])
         refinements.append(pairs)
-    env = _build_env(refinements)
+    env, contributors, conflict = _build_env_tracked(refinements, conds)
     if env is None:
-        return IntervalOutcome(False)
-    trimmers = _trim_disequalities(conds, env)
-    if trimmers is False:
-        return IntervalOutcome(False)
+        return IntervalOutcome(False, core=conflict)
+    trimmers, conflict = _trim_disequalities(conds, env, contributors)
+    if trimmers is None:
+        return IntervalOutcome(False, core=conflict)
 
     # UNSAT detection under the full box (tightest available bounds).
+    # The refuting core is the false conjunct plus every conjunct that
+    # contributed a bound for one of its variables: abstract evaluation
+    # reads the env only at variable leaves, and each variable's bound
+    # is determined by its contributors alone, so the core's own box
+    # refutes the conjunct identically.
     for cond in conds:
         if _abstract_eval(cond, env) is False:
-            return IntervalOutcome(False)
+            core = {cond}
+            for var in cond.free_vars():
+                core.update(contributors.get(var, ()))
+            return IntervalOutcome(False, core=list(core))
 
     # Leave-one-out redundancy: a conjunct true over the box implied by
     # its *siblings* is implied by them and can be dropped — the

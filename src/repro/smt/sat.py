@@ -239,7 +239,11 @@ class SatSolver:
         trail = self._trail
         watches = self._watches
         assign = self._assign
-        enqueue = self._enqueue
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        trail_lim = self._trail_lim
+        trail_append = trail.append
         head = self._propagate_head
         conflict: Optional[_Clause] = None
         while head < len(trail):
@@ -288,7 +292,14 @@ class SatSolver:
                     new_list.extend(watch_list[index:])
                     conflict = clause
                     break
-                enqueue(first, clause)
+                # Inlined _enqueue(first, clause) — one call per unit
+                # propagation is the densest call site in the solver.
+                var = first if first > 0 else -first
+                assign[var] = 1 if first > 0 else -1
+                level[var] = len(trail_lim)
+                reason[var] = clause
+                phase[var] = first > 0
+                trail_append(first)
             watch_list[:] = new_list
             if conflict is not None:
                 break

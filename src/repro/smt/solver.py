@@ -437,7 +437,13 @@ class QueryCache:
         for values in self._model_pool:
             completed = {var: values.get(var, 0) for var in variables}
             try:
-                if all(evaluate(term, completed) for term in conditions):
+                # Evaluate back-to-front: branch-flip queries put the
+                # negated flip condition last, and a stale model (which
+                # satisfied some sibling prefix) almost always fails
+                # exactly there — same verdict, but the reject path
+                # short-circuits on the first condition instead of
+                # re-validating the whole shared prefix.
+                if all(evaluate(term, completed) for term in reversed(conditions)):
                     return Model(completed)
             except EvalError:  # pragma: no cover - defensive
                 continue
@@ -699,7 +705,23 @@ class CachingSolver(Solver):
             outcome = analyze_slice(conds)
             if outcome.verdict is False:
                 stats["interval_unsat"] += 1
-                self.cache.store_unsat(key)
+                # The interval pass names the conjunct subset that
+                # pinched the refuting box; mapped through the rewrite
+                # provenance it feeds the same minimal-UNSAT-set slot
+                # the SAT-core path uses (see QueryCache.store_unsat).
+                core = None
+                if use_cores and outcome.core is not None:
+                    mapped: set = set()
+                    for cond in outcome.core:
+                        origin = origin_map.get(cond)
+                        if origin is None:
+                            mapped = None
+                            break
+                        mapped |= origin
+                    if mapped is not None:
+                        core = frozenset(mapped)
+                self._note_core(key, core, stats)
+                self.cache.store_unsat(key, core)
                 return None
             if outcome.verdict is True:
                 stats["interval_sat"] += 1

@@ -140,6 +140,18 @@ done:
         assert main(["explore", "--no-trail-reuse", str(program_file)]) == 1
         assert "2 paths" in capsys.readouterr().out
 
+    def test_snapshots_toggle(self, program_file, capsys):
+        assert main(["explore", "--no-snapshots", str(program_file)]) == 1
+        out = capsys.readouterr().out
+        assert "2 paths" in out
+        assert "resumed" not in out
+
+    def test_snapshot_stats_output(self, program_file, capsys):
+        assert main(["explore", "--stats", str(program_file)]) == 1
+        out = capsys.readouterr().out
+        assert "snapshot statistics:" in out
+        assert "snap_resumed_runs" in out
+
     def test_solver_flags_without_query_cache(self, program_file, capsys):
         assert main(
             ["explore", "--no-query-cache", "--no-trail-reuse",

@@ -1,0 +1,651 @@
+"""Snapshot-resumed exploration (PR 5): differential and unit tests.
+
+The snapshot layer must be observationally invisible: for any program,
+input, search strategy and job count, exploring with snapshots on and
+off must discover identical path sets with identical query attribution
+— snapshots only change how much of each path is *re-executed*.  These
+tests pin that equivalence over the Fig. 6 workloads (randomized over
+strategies and seeds, serial and ``jobs=4``), exercise the eviction →
+re-execution fallback and the capture-safety guards, and unit-test the
+copy-on-write memory, the snapshot pool, the bounded digest memo and
+the interval-domain UNSAT cores that ride along in this PR.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.arch.memory import ByteMemory, ShadowMemory
+from repro.arch.regfile import RegisterFile
+from repro.asm import assemble
+from repro.core import BinSymExecutor, Explorer, InputAssignment
+from repro.core.scheduler import WorkItem
+from repro.core.snapshots import SnapshotPool, StateSnapshot
+from repro.core import scheduler
+from repro.baselines.vp import VpExecutor
+from repro.eval.workloads import WORKLOADS
+from repro.smt import terms as T
+from repro.smt.evalbv import evaluate
+from repro.smt.intervals import analyze_slice
+from repro.spec import rv32im
+
+_ATTRIBUTION_KEYS = (
+    "sat_checks",
+    "unsat_checks",
+    "cache_hits",
+    "fast_path_answers",
+    "sat_solves",
+    "pruned_queries",
+    "total_instructions",
+)
+
+_FIG6 = (
+    ("bubble-sort", 4),
+    ("insertion-sort", 4),
+    ("base64-encode", 2),
+    ("uri-parser", None),
+    ("clif-parser", None),
+)
+
+
+def _explore(image, snapshots, engine_cls=BinSymExecutor, **kwargs):
+    engine = engine_cls(rv32im(), image)
+    return Explorer(engine, use_cache=True, snapshots=snapshots, **kwargs).explore()
+
+
+def _attribution(result):
+    return tuple(getattr(result, key) for key in _ATTRIBUTION_KEYS)
+
+
+def _assignments(result):
+    """Per-path input assignments in discovery order (exact identity)."""
+    return [
+        tuple(
+            sorted(
+                (var.payload, value)
+                for var, value in path.assignment.values.items()
+            )
+        )
+        for path in result.paths
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Copy-on-write memory
+# ---------------------------------------------------------------------------
+
+
+class TestCowMemory:
+    def test_snapshot_isolated_from_later_writes(self):
+        memory = ByteMemory()
+        memory.write_bytes(0x1000, b"hello")
+        pages = memory.snapshot_pages()
+        assert memory.shared_pages == 1
+        memory.write_byte(0x1001, 0xAA)  # privatizes the page
+        assert memory.shared_pages == 0
+        resumed = ByteMemory.adopt(pages)
+        assert resumed.read_bytes(0x1000, 5) == b"hello"
+        assert memory.read_byte(0x1001) == 0xAA
+
+    def test_adopted_memory_writes_do_not_leak_back(self):
+        memory = ByteMemory()
+        memory.write_bytes(0x2000, b"abcd")
+        twin = memory.fork()
+        twin.write_byte(0x2000, ord("X"))
+        assert memory.read_byte(0x2000) == ord("a")
+        assert twin.read_byte(0x2000) == ord("X")
+        # Unwritten pages stay physically shared.
+        memory.write_bytes(0x5000, b"z")
+        assert twin.read_byte(0x5000) == 0
+
+    def test_refcounts_two_snapshots_one_release(self):
+        memory = ByteMemory()
+        memory.write_byte(0x3000, 1)
+        first = memory.snapshot_pages()
+        second = memory.snapshot_pages()
+        assert memory._shared[0x3] == 2
+        memory.release_pages(first)
+        assert memory._shared[0x3] == 1
+        memory.release_pages(second)
+        assert memory.shared_pages == 0
+        # With no outstanding references the write mutates in place.
+        page = memory._pages[0x3]
+        memory.write_byte(0x3001, 7)
+        assert memory._pages[0x3] is page
+
+    def test_release_after_privatization_is_a_noop(self):
+        memory = ByteMemory()
+        memory.write_byte(0x4000, 1)
+        pages = memory.snapshot_pages()
+        memory.write_byte(0x4000, 2)  # privatize
+        memory.release_pages(pages)  # stale alias: must not underflow
+        assert memory.read_byte(0x4000) == 2
+        assert pages[0x4][0] == 1
+
+    def test_bulk_write_respects_cow(self):
+        memory = ByteMemory()
+        memory.write_bytes(0x1000, bytes(range(16)))
+        pages = memory.snapshot_pages()
+        memory.write_bytes(0x1000, b"\xff" * 16)
+        assert ByteMemory.adopt(pages).read_bytes(0x1000, 3) == b"\x00\x01\x02"
+
+    def test_shadow_fork_isolated(self):
+        shadow: ShadowMemory = ShadowMemory()
+        var = T.bv_var("cow_shadow", 8)
+        shadow.set(0x10, var)
+        twin = shadow.fork()
+        twin.set(0x10, None)
+        twin.set(0x11, var)
+        assert shadow.get(0x10) is var and shadow.get(0x11) is None
+
+    def test_regfile_fork_isolated(self):
+        regs: RegisterFile = RegisterFile(0)
+        regs.write(5, 42)
+        twin = regs.fork()
+        twin.write(5, 7)
+        assert regs.read(5) == 42 and twin.read(5) == 7
+
+    def test_hart_fork_isolated(self):
+        from repro.arch.hart import Hart
+
+        hart: Hart = Hart(0, pc=0x1000)
+        hart.regs.write(3, 9)
+        hart.instret = 17
+        twin = hart.fork(0)
+        twin.regs.write(3, 1)
+        twin.pc = 0x2000
+        assert (hart.pc, hart.instret, hart.regs.read(3)) == (0x1000, 17, 9)
+        assert (twin.pc, twin.instret, twin.regs.read(3)) == (0x2000, 17, 1)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot pool
+# ---------------------------------------------------------------------------
+
+
+def _dummy_snapshot(n_pages=1):
+    return StateSnapshot(
+        pc=0,
+        instret=0,
+        pages={i: bytearray(4096) for i in range(n_pages)},
+        shadow={},
+        regs=(),
+        records=(),
+        stdout=b"",
+        stdout_shadow=(),
+        inputs_count=0,
+    )
+
+
+class TestSnapshotPool:
+    def test_lru_eviction_by_bytes(self):
+        pool = SnapshotPool(max_bytes=3 * 4096)
+        handles = [pool.add(_dummy_snapshot()) for _ in range(3)]
+        assert len(pool) == 3 and pool.evictions == 0
+        assert pool.get(handles[0]) is not None  # touch: now most recent
+        pool.add(_dummy_snapshot())  # evicts handles[1], the oldest
+        assert pool.get(handles[1]) is None
+        assert pool.get(handles[0]) is not None
+        assert pool.evictions == 1 and pool.misses == 1
+        assert pool.resident_bytes <= pool.max_bytes
+
+    def test_oversized_snapshot_rejected(self):
+        pool = SnapshotPool(max_bytes=4096)
+        assert pool.add(_dummy_snapshot(n_pages=4)) is None
+        assert len(pool) == 0
+
+    def test_discard_reclassifies_hit_as_miss(self):
+        pool = SnapshotPool()
+        handle = pool.add(_dummy_snapshot())
+        assert pool.get(handle) is not None
+        assert (pool.hits, pool.misses) == (1, 0)
+        pool.discard(handle)  # caller found the snapshot stale
+        assert (pool.hits, pool.misses) == (0, 1)
+        assert len(pool) == 0 and pool.resident_bytes == 0
+        pool.discard(handle)  # double-discard is a no-op
+        assert (pool.hits, pool.misses) == (0, 1)
+
+    def test_eviction_releases_source_pages(self):
+        """Evicting a snapshot hands its page refs back to the live
+        capturing memory, un-marking pages nothing else protects."""
+        import weakref
+
+        memory = ByteMemory()
+        memory.write_byte(0x1000, 1)
+        snapshot = _dummy_snapshot()
+        snapshot.pages = memory.snapshot_pages()
+        snapshot.source = weakref.ref(memory)
+        pool = SnapshotPool(max_bytes=2 * 4096)
+        pool.add(snapshot)
+        assert memory.shared_pages == 1
+        pool.add(_dummy_snapshot(n_pages=2))  # evicts the first
+        assert pool.evictions == 1
+        assert memory.shared_pages == 0
+
+
+# ---------------------------------------------------------------------------
+# Bounded digest memo (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_digest_memo_bounded_and_stable(monkeypatch):
+    monkeypatch.setattr(scheduler, "DIGEST_MEMO_CAPACITY", 8)
+    monkeypatch.setattr(scheduler, "_DIGEST_MEMO", {})
+    variables = [T.bv_var(f"digest_lru_{i}", 32) for i in range(40)]
+    terms = [T.eq(v, T.bv(i, 32)) for i, v in enumerate(variables)]
+    first = [scheduler.term_digest(t) for t in terms]
+    assert len(scheduler._DIGEST_MEMO) <= 8
+    # Evicted digests recompute to the same value (pure structural hash).
+    again = [scheduler.term_digest(t) for t in terms]
+    assert first == again
+    assert len(scheduler._DIGEST_MEMO) <= 8
+
+
+def test_digest_memo_lru_keeps_hot_entries(monkeypatch):
+    monkeypatch.setattr(scheduler, "DIGEST_MEMO_CAPACITY", 4)
+    monkeypatch.setattr(scheduler, "_DIGEST_MEMO", {})
+    hot = T.bv_var("digest_hot", 8)
+    scheduler.term_digest(hot)
+    for i in range(16):
+        scheduler.term_digest(T.bv_var(f"digest_cold_{i}", 8))
+        scheduler.term_digest(hot)  # touch: must survive the churn
+    assert hot in scheduler._DIGEST_MEMO
+
+
+# ---------------------------------------------------------------------------
+# Interval-domain UNSAT cores (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalCores:
+    def test_single_infeasible_conjunct(self):
+        x = T.bv_var("ivc_x", 8)
+        filler = T.ult(T.bv_var("ivc_y", 8), T.bv(5, 8))
+        infeasible = T.ult(x, T.bv(0, 8))  # var < 0 is empty
+        outcome = analyze_slice([filler, infeasible])
+        assert outcome.verdict is False
+        assert outcome.core == [infeasible]
+
+    def test_empty_meet_core_excludes_unrelated(self):
+        x, y = T.bv_var("ivc_mx", 8), T.bv_var("ivc_my", 8)
+        lo = T.ult(T.bv(10, 8), x)  # x > 10
+        hi = T.ult(x, T.bv(5, 8))  # x < 5
+        unrelated = T.ule(y, T.bv(100, 8))
+        outcome = analyze_slice([unrelated, lo, hi])
+        assert outcome.verdict is False
+        assert set(outcome.core) == {lo, hi}
+
+    def test_disequality_trim_core(self):
+        x = T.bv_var("ivc_tx", 8)
+        conds = [T.ule(x, T.bv(0, 8)), T.bnot(T.eq(x, T.bv(0, 8)))]
+        outcome = analyze_slice(conds)
+        assert outcome.verdict is False
+        assert set(outcome.core) == set(conds)
+
+    def test_box_refutation_core_excludes_unrelated(self):
+        x, y = T.bv_var("ivc_bx", 8), T.bv_var("ivc_by", 8)
+        bound = T.ule(x, T.bv(3, 8))
+        # x + 1 < 1 is false whenever x <= 3 (no wraparound in range).
+        refuted = T.ult(T.add(x, T.bv(1, 8)), T.bv(1, 8))
+        unrelated = T.ule(y, T.bv(9, 8))
+        outcome = analyze_slice([unrelated, bound, refuted])
+        assert outcome.verdict is False
+        assert refuted in outcome.core
+        assert unrelated not in outcome.core
+
+    def test_cores_sound_fuzz(self):
+        """Every reported core must itself be UNSAT (brute force)."""
+        rng = random.Random(20260730)
+        variables = [T.bv_var(f"ivc_f{i}", 8) for i in range(3)]
+        comparisons = {
+            "eq": T.eq, "ult": T.ult, "ule": T.ule, "slt": T.slt, "sle": T.sle
+        }
+
+        def rand_cond():
+            var = rng.choice(variables)
+            const = T.bv(rng.randrange(0, 16), 8)
+            op = rng.choice(sorted(comparisons) + ["neq"])
+            if op == "neq":
+                return T.bnot(T.eq(var, const))
+            build = comparisons[op]
+            return build(var, const) if rng.random() < 0.5 else build(const, var)
+
+        refuted = 0
+        for _ in range(600):
+            conds = [rand_cond() for _ in range(rng.randrange(1, 6))]
+            outcome = analyze_slice(conds)
+            if outcome.verdict is not False:
+                continue
+            refuted += 1
+            core = outcome.core
+            assert core and set(core) <= set(conds)
+            core_vars = sorted(
+                {v for cond in core for v in cond.free_vars()},
+                key=lambda v: str(v.payload),
+            )
+            satisfiable = any(
+                all(evaluate(cond, dict(zip(core_vars, point))) for cond in core)
+                for point in itertools.product(range(256), repeat=len(core_vars))
+            )
+            assert not satisfiable, (conds, core)
+        assert refuted > 50  # the fuzz actually exercised the UNSAT paths
+
+    def test_interval_core_reaches_query_cache(self):
+        """An interval refutation's core feeds UNSAT subsumption."""
+        from repro.smt.solver import CachingSolver, Result
+
+        solver = CachingSolver()
+        x = T.bv_var("ivc_cache_x", 8)
+        contradiction = [T.ult(T.bv(10, 8), x), T.ult(x, T.bv(5, 8))]
+        # Same slice (same variable), but irrelevant to the conflict:
+        # the reported core must exclude it, making the minimal set
+        # strictly smaller than the cache key.
+        padding = T.bnot(T.eq(x, T.bv(7, 8)))
+        assert solver.check(contradiction + [padding]) is Result.UNSAT
+        assert solver.pipeline_stats["interval_unsat"] >= 1
+        assert solver.pipeline_stats["unsat_cores"] >= 1
+        # A *different* superset of the two-conjunct core is subsumed
+        # without any new solve or interval pass.
+        other = T.ule(T.bv_var("ivc_cache_z", 8), T.bv(3, 8))
+        solves_before = solver.num_solves
+        assert solver.check(contradiction + [other]) is Result.UNSAT
+        assert solver.num_solves == solves_before
+        assert solver.cache.subsumption_hits >= 1
+
+
+# ---------------------------------------------------------------------------
+# Snapshot-on vs snapshot-off differentials (the PR's contract)
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotDifferential:
+    @pytest.mark.parametrize("name,scale", _FIG6)
+    def test_workload_identity_serial(self, name, scale):
+        image = WORKLOADS[name].image(scale or WORKLOADS[name].default_scale)
+        on = _explore(image, snapshots=True)
+        off = _explore(image, snapshots=False)
+        assert on.path_set() == off.path_set()
+        assert _attribution(on) == _attribution(off)
+        assert _assignments(on) == _assignments(off)
+        # The point of the layer: most runs resume, replay drops.
+        assert on.resumed_runs == on.num_paths - 1
+        assert on.executed_instructions < off.executed_instructions
+        assert off.executed_instructions == off.total_instructions
+
+    def test_randomized_strategies_and_seeds(self):
+        rng = random.Random(5)
+        for _ in range(6):
+            name, scale = rng.choice(_FIG6)
+            image = WORKLOADS[name].image(scale or WORKLOADS[name].default_scale)
+            strategy = rng.choice(["dfs", "bfs", "random", "coverage"])
+            seed = rng.randrange(1000)
+            on = _explore(image, True, strategy=strategy, seed=seed)
+            off = _explore(image, False, strategy=strategy, seed=seed)
+            assert on.path_set() == off.path_set(), (name, strategy, seed)
+            assert _attribution(on) == _attribution(off), (name, strategy, seed)
+            assert _assignments(on) == _assignments(off), (name, strategy, seed)
+
+    @pytest.mark.parametrize("name,scale", [("bubble-sort", 4), ("uri-parser", None)])
+    def test_workload_identity_parallel(self, name, scale):
+        """jobs=4, snapshots on/off: identical path sets, exact totals.
+
+        Parallel per-tier attribution depends on task->worker placement
+        (each worker owns its cache), so the pinned invariant is the
+        one the repo has guaranteed since PR 1: the discovered path set
+        and the total number of answered queries.
+        """
+        image = WORKLOADS[name].image(scale or WORKLOADS[name].default_scale)
+        serial = _explore(image, snapshots=True)
+        for snap in (True, False):
+            result = _explore(image, snap, jobs=4)
+            assert result.path_set() == serial.path_set(), snap
+            assert result.num_paths == serial.num_paths
+            answered = (
+                result.num_queries
+                + result.cache_hits
+                + result.fast_path_answers
+                + result.pruned_queries
+            )
+            serial_answered = (
+                serial.num_queries
+                + serial.cache_hits
+                + serial.fast_path_answers
+                + serial.pruned_queries
+            )
+            assert answered == serial_answered, snap
+            assert result.total_instructions == serial.total_instructions
+
+    def test_vp_engine_inherits_snapshots(self):
+        """The SymEx-VP-style engine resumes through the TLM bus."""
+        image = WORKLOADS["uri-parser"].image()
+        on = _explore(image, True, engine_cls=VpExecutor)
+        off = _explore(image, False, engine_cls=VpExecutor)
+        assert on.path_set() == off.path_set()
+        assert _attribution(on) == _attribution(off)
+        assert on.resumed_runs > 0
+
+    def test_eviction_fallback_preserves_results(self):
+        """A starved pool forces re-execution, never wrong results."""
+        image = WORKLOADS["bubble-sort"].image(4)
+        engine = BinSymExecutor(rv32im(), image)
+        engine.snapshot_pool.max_bytes = 3 * 4096 * 4  # a few snapshots
+        starved = Explorer(engine, use_cache=True, snapshots=True).explore()
+        reference = _explore(image, snapshots=False)
+        assert starved.path_set() == reference.path_set()
+        assert _attribution(starved) == _attribution(reference)
+        assert starved.snapshot_stats["snap_pool_evictions"] > 0
+        assert starved.snapshot_stats["snap_fallback_runs"] > 0
+        assert starved.resumed_runs + starved.snapshot_stats[
+            "snap_fallback_runs"
+        ] == starved.num_paths - 1
+
+
+# ---------------------------------------------------------------------------
+# Capture-safety guards
+# ---------------------------------------------------------------------------
+
+_DATA = 0x0002_0000
+
+
+def _explore_source(source, snapshots, **kwargs):
+    image = assemble(source, isa=rv32im())
+    engine = BinSymExecutor(rv32im(), image)
+    result = Explorer(
+        engine, use_cache=True, snapshots=snapshots, **kwargs
+    ).explore()
+    return result
+
+
+class TestCaptureGuards:
+    def test_symbolic_stdout_rebased_on_resume(self):
+        """stdout written from symbolic memory *before* the divergence
+        must reflect each path's own input, not the parent's."""
+        source = f"""\
+_start:
+    li a0, {_DATA}
+    li a1, 1
+    li a7, 1337
+    ecall                   # make_symbolic(buf, 1)
+    li a1, {_DATA}
+    li a2, 1
+    li a7, 64
+    ecall                   # write(buf, 1): symbolic byte to stdout
+    li t0, {_DATA}
+    lbu t1, 0(t0)
+    li t2, 65
+    bltu t1, t2, low
+    li a0, 1
+    j done
+low:
+    li a0, 0
+done:
+    li a7, 93
+    ecall
+"""
+        on = _explore_source(source, True)
+        off = _explore_source(source, False)
+        assert on.num_paths == off.num_paths == 2
+        assert on.path_set() == off.path_set()
+        assert {p.stdout for p in on.paths} == {p.stdout for p in off.paths}
+        # Each path's stdout byte equals its own input assignment.
+        for path in on.paths:
+            expected = dict(
+                (var.payload, value) for var, value in path.assignment.values.items()
+            ).get(f"in_{_DATA:08x}", 0)
+            assert path.stdout == bytes([expected])
+        assert on.resumed_runs == 1
+
+    def test_symbolic_syscall_argument_disables_capture(self):
+        """A write() with an input-dependent length is not re-derivable
+        from terms; capture stops and children fall back to re-execution
+        — results stay identical to the snapshot-off build."""
+        source = f"""\
+_start:
+    li a0, {_DATA}
+    li a1, 1
+    li a7, 1337
+    ecall                   # make_symbolic(buf, 1)
+    li t0, {_DATA}
+    lbu t1, 0(t0)
+    andi t1, t1, 1
+    li a1, {_DATA}
+    mv a2, t1               # symbolic length: 0 or 1 bytes
+    li a7, 64
+    ecall                   # write(buf, len)
+    li t2, 1
+    bltu t1, t2, zero_len
+    li a0, 1
+    j done
+zero_len:
+    li a0, 0
+done:
+    li a7, 93
+    ecall
+"""
+        on = _explore_source(source, True)
+        off = _explore_source(source, False)
+        assert on.path_set() == off.path_set()
+        assert _attribution(on) == _attribution(off)
+        assert {p.stdout for p in on.paths} == {p.stdout for p in off.paths}
+        # The guard refused to capture past the unsafe syscall.
+        assert on.resumed_runs == 0
+
+    def test_late_input_discovery_falls_back(self):
+        """A snapshot captured before another path's make_symbolic ran
+        is stale (its reset-time input application is incomplete); the
+        inputs_count guard forces re-execution."""
+        source = f"""\
+_start:
+    li a0, {_DATA}
+    li a1, 1
+    li a7, 1337
+    ecall                   # make_symbolic(buf, 1)
+    li t0, {_DATA}
+    lbu t1, 0(t0)
+    li t2, 7
+    bltu t1, t2, small
+    li a0, {_DATA + 8}
+    li a1, 1
+    li a7, 1337
+    ecall                   # second region, only on the >= 7 branch
+    lbu t3, 8(t0)
+    li t2, 3
+    bltu t3, t2, small
+    li a0, 2
+    j done
+small:
+    li a0, 0
+done:
+    li a7, 93
+    ecall
+"""
+        on = _explore_source(source, True)
+        off = _explore_source(source, False)
+        assert on.path_set() == off.path_set()
+        assert _attribution(on) == _attribution(off)
+        assert _assignments(on) == _assignments(off)
+
+
+# ---------------------------------------------------------------------------
+# Driver plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestPlumbing:
+    def test_workitem_snapshot_defaults(self):
+        item = WorkItem(InputAssignment(), 0)
+        assert item.snapshot is None and item.divergence is None
+
+    def test_instret_identical_for_resumed_paths(self):
+        """RunResult.instret reports full path length on resume."""
+        image = WORKLOADS["uri-parser"].image()
+        on = _explore(image, True)
+        off = _explore(image, False)
+        assert sorted(p.instret for p in on.paths) == sorted(
+            p.instret for p in off.paths
+        )
+        assert on.executed_instructions == (
+            on.total_instructions - on.saved_instructions
+        )
+
+    def test_no_snapshots_leaves_stats_empty_serial(self):
+        """--no-snapshots: no snapshot stats block, serial == parallel."""
+        image = WORKLOADS["uri-parser"].image()
+        result = _explore(image, snapshots=False)
+        assert result.snapshot_stats == {}
+        assert result.resumed_runs == 0
+
+    def test_oversized_state_disables_capture(self):
+        """State bigger than the whole pool budget: capture latches off
+        after one rejected attempt, results stay identical."""
+        image = WORKLOADS["uri-parser"].image()
+        engine = BinSymExecutor(rv32im(), image)
+        engine.snapshot_pool.max_bytes = 1  # every snapshot is oversized
+        result = Explorer(engine, use_cache=True, snapshots=True).explore()
+        reference = _explore(image, snapshots=False)
+        assert result.path_set() == reference.path_set()
+        assert _attribution(result) == _attribution(reference)
+        assert result.snapshot_stats["snap_captured"] == 0
+        assert result.resumed_runs == 0
+        # The rejected attempt released its page references, so the
+        # live memory is not left copy-on-write-protected forever.
+        assert engine.interpreter.memory.shared_pages == 0
+
+    def test_effect_before_branch_blocks_capture(self):
+        """A primitive mutating state before the instruction's branch
+        stamps _effect_instret, which must veto capture (the captured
+        state would not be instruction-start state)."""
+        from repro.core.interpreter import SymbolicInterpreter
+        from repro.core.symvalue import SymValue
+
+        image = WORKLOADS["uri-parser"].image()
+        interp = SymbolicInterpreter(rv32im(), image)
+        interp.reset(InputAssignment())
+        interp.configure_capture(SnapshotPool(), 0)
+        var = T.bv_var("effect_guard", 8)
+
+        def record():
+            value = SymValue(1, 1, T.bool_to_bv(T.eq(var, T.bv(1, 8))))
+            interp.plan_branch(value)
+
+        record()
+        assert len(interp.captured) == 1  # clean instruction: captured
+        interp.hart.instret += 1
+        interp.plan_write_reg(5, SymValue(3, 32))  # effect first...
+        record()  # ...then the branch: capture must be vetoed
+        assert len(interp.captured) == 1
+        interp.hart.instret += 1
+        record()  # next instruction is clean again
+        assert len(interp.captured) == 2
+
+    def test_non_snapshot_engine_unaffected(self):
+        """Engines without snapshot support never see the new kwargs."""
+        from repro.eval.engines import make_engine
+
+        image = WORKLOADS["uri-parser"].image()
+        engine = make_engine("binsec", rv32im(), image)
+        result = Explorer(engine, use_cache=True, snapshots=True).explore()
+        assert result.snapshot_stats == {}
+        assert result.resumed_runs == 0
+        assert result.executed_instructions == result.total_instructions
