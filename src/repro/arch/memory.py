@@ -53,9 +53,20 @@ class ByteMemory:
         self._pages: dict[int, bytearray] = {}
         #: page number -> outstanding snapshot references (see class doc).
         self._shared: dict[int, int] = {}
+        #: Pages containing code stitched into superblocks (see
+        #: repro.spec.superblock).  A write into a watched page bumps
+        #: ``code_epoch``, invalidating every superblock resolved against
+        #: this memory — the self-modifying-code guard.  Fresh memories
+        #: (clone/adopt/fork/reset) start unwatched; the superblock layer
+        #: re-watches as it re-resolves blocks.
+        self._watched: set[int] = set()
+        self.code_epoch = 0
 
     def _page_for(self, addr: int) -> bytearray:
         page_number = addr >> _PAGE_BITS
+        if page_number in self._watched:
+            self.code_epoch += 1
+            self._watched.discard(page_number)
         page = self._pages.get(page_number)
         if page is None:
             page = bytearray(_PAGE_SIZE)
@@ -65,6 +76,10 @@ class ByteMemory:
             self._pages[page_number] = page
             del self._shared[page_number]
         return page
+
+    def watch_pages(self, pages: Iterable[int]) -> None:
+        """Mark code pages whose mutation must bump ``code_epoch``."""
+        self._watched.update(pages)
 
     def read_byte(self, addr: int) -> int:
         addr &= _ADDR_MASK

@@ -70,8 +70,18 @@ class VpExecutor(BinSymExecutor):
         super().__init__(isa, image, **kwargs)
         # Swap in the virtual-prototype interpreter, keeping the
         # executor configuration (symbolic regions etc.) intact.
+        # Superblocks stay off: the VP issues one fetch transaction and
+        # one time quantum per retired instruction, so step() must not
+        # batch instructions.
         self.interpreter = VpInterpreter(
             isa,
             image,
             concretization=self.interpreter.concretization,
+            superblocks=False,
         )
+
+    def set_superblocks(self, superblocks: bool) -> None:
+        """Ignore enables: the per-instruction fetch/quantum contract
+        above is structural, not an ablation default the explorer's
+        ``superblocks=True`` may override."""
+        self.interpreter.set_superblocks(False)

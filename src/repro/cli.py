@@ -121,6 +121,7 @@ def _cmd_explore(args) -> int:
         use_cache=args.query_cache,
         preprocess=preprocess,
         staging=args.staging,
+        superblocks=args.superblocks,
         snapshots=args.snapshots,
     ).explore()
     print(result.summary())
@@ -142,6 +143,14 @@ def _cmd_explore(args) -> int:
                   f"{result.resumed_runs} resumed runs)")
             for key in sorted(result.snapshot_stats):
                 print(f"  {key:21s}: {result.snapshot_stats[key]}")
+        if result.superblock_stats:
+            print("superblock statistics:")
+            print(f"  block instructions   : "
+                  f"{result.superblock_instructions} of "
+                  f"{result.total_instructions} "
+                  f"({result.superblock_hits} block dispatches)")
+            for key in sorted(result.superblock_stats):
+                print(f"  {key:21s}: {result.superblock_stats[key]}")
     for path in result.paths[: args.show_paths]:
         marker = "FAIL" if path.is_assertion_failure else f"exit={path.exit_code}"
         print(f"  path {path.index:4d}: {marker:10s} {path.assignment}")
@@ -221,6 +230,12 @@ def main(argv=None) -> int:
                            help="disable staged semantics execution "
                                 "(compiled per-instruction plans); the "
                                 "specification is re-interpreted every step")
+    p_explore.add_argument("--no-superblocks", dest="superblocks",
+                           action="store_false", default=True,
+                           help="disable superblock trace compilation: "
+                                "hot straight-line sequences execute "
+                                "one compiled plan per step instead of "
+                                "a stitched multi-instruction block")
     p_explore.add_argument("--no-snapshots", dest="snapshots",
                            action="store_false", default=True,
                            help="disable snapshot-resumed exploration: "

@@ -150,6 +150,7 @@ class ConcreteInterpreter(StagedStepper):
         isa: ISA,
         platform: Optional[Platform] = None,
         staging: bool = True,
+        superblocks: bool = True,
     ):
         self.isa = isa
         self.domain = IntDomain()
@@ -157,6 +158,7 @@ class ConcreteInterpreter(StagedStepper):
         self.hart: Hart[int] = Hart(zero_value=0)
         self.platform = platform if platform is not None else HostPlatform()
         self.staging = staging
+        self._init_superblocks(superblocks)
         self._current_word = 0
         self._next_pc = 0
         # word -> (CompiledPlan | None, semantics generator function)
@@ -169,15 +171,30 @@ class ConcreteInterpreter(StagedStepper):
     def load_image(self, image: Image) -> None:
         image.load_into(self.memory)
         self.hart.reset(image.entry)
+        self._sb_begin_run(self.hart.pc)
 
     def run(self, max_steps: int = 10_000_000) -> Hart:
-        """Run until the hart halts or the step budget is exhausted."""
-        for _ in range(max_steps):
-            if self.hart.halted:
-                return self.hart
-            self.step()
-        self.hart.halt(HaltReason.OUT_OF_FUEL)
-        return self.hart
+        """Run until the hart halts or the step budget is exhausted.
+
+        Bounded by retired instructions, not loop iterations: superblock
+        dispatch (``_sb_step``) retires several instructions per
+        iteration and uses ``_fuel_limit`` to deoptimize instead of
+        overshooting, keeping OUT_OF_FUEL truncation identical with
+        superblocks on or off.  Bare ``step()`` calls outside ``run``
+        always retire exactly one instruction.
+        """
+        hart = self.hart
+        limit = hart.instret + max_steps
+        self._fuel_limit = limit
+        step = self._sb_step
+        while hart.instret < limit:
+            if hart.halted:
+                return hart
+            step()
+        if hart.halted:
+            return hart
+        hart.halt(HaltReason.OUT_OF_FUEL)
+        return hart
 
     # ------------------------------------------------------------------
     # Platform hooks (see syscalls.HostPlatform)

@@ -44,8 +44,10 @@ class TracingInterpreter:
     def __init__(self, isa: ISA, max_entries: int = 100_000, staging: bool = True):
         # The tracer inherits staged execution through composition: the
         # wrapped interpreter replays the same compiled plans (and the
-        # disassembler shares the decoder's decode cache).
-        self.interpreter = ConcreteInterpreter(isa, staging=staging)
+        # disassembler shares the decoder's decode cache).  Superblocks
+        # stay off: one log entry per instruction requires the wrapped
+        # step() to retire exactly one instruction.
+        self.interpreter = ConcreteInterpreter(isa, staging=staging, superblocks=False)
         self.disassembler = Disassembler(isa)
         self.trace: list[TraceEntry] = []
         self.max_entries = max_entries

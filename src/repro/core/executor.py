@@ -72,6 +72,7 @@ class BinSymExecutor:
         force_terms: bool = False,
         max_steps: int = 1_000_000,
         staging: bool = True,
+        superblocks: bool = True,
         snapshot_pool: Optional[SnapshotPool] = None,
     ):
         self.interpreter = SymbolicInterpreter(
@@ -80,6 +81,7 @@ class BinSymExecutor:
             concretization=concretization,
             force_terms=force_terms,
             staging=staging,
+            superblocks=superblocks,
         )
         self.symbolic_memory = tuple(symbolic_memory)
         self.symbolic_registers = tuple(symbolic_registers)
@@ -97,6 +99,33 @@ class BinSymExecutor:
     def set_staging(self, staging: bool) -> None:
         """Toggle staged semantics execution (the --no-staging ablation)."""
         self.interpreter.set_staging(staging)
+
+    def set_superblocks(self, superblocks: bool) -> None:
+        """Toggle superblock execution (the --no-superblocks ablation)."""
+        self.interpreter.set_superblocks(superblocks)
+
+    def note_hot_pcs(self, pcs) -> None:
+        """Driver feedback: branch PCs whose cumulative execution count
+        crossed the superblock hotness threshold."""
+        self.interpreter.note_hot_branches(pcs)
+
+    @property
+    def superblocks_enabled(self) -> bool:
+        return self.interpreter._sb_enabled
+
+    @property
+    def superblock_statistics(self) -> Mapping[str, int]:
+        """Flat superblock counters (summable across workers)."""
+        interp = self.interpreter
+        return {
+            "sb_hits": interp.sb_hits,
+            "sb_block_instructions": interp.sb_instructions,
+            "sb_blocks_built": interp.sb_blocks_built,
+            "sb_block_cache_hits": interp.sb_block_cache_hits,
+            "sb_deopts": interp.sb_deopts,
+            "sb_invalidations": interp.sb_invalidations,
+            "sb_unstitchable": interp.sb_unstitchable,
+        }
 
     def _assignment_env(self, assignment: InputAssignment) -> dict[T.Term, int]:
         """Total input-variable environment for snapshot rebasing."""

@@ -29,6 +29,7 @@ from typing import Optional
 from ..arch.hart import HaltReason
 from ..smt.preprocess import PreprocessConfig
 from ..smt.solver import CachingSolver, Solver
+from ..spec.superblock import BRANCH_HOT_HITS
 from .executor import RunResult
 from .scheduler import Frontier, RunStats, WorkItem, expand_run
 from .state import ExploredPrefixTrie, InputAssignment
@@ -38,6 +39,7 @@ __all__ = [
     "ExplorationResult",
     "Explorer",
     "apply_staging",
+    "apply_superblocks",
     "make_solver",
 ]
 
@@ -70,6 +72,19 @@ def apply_staging(executor, staging: Optional[bool]) -> Optional[bool]:
         executor.set_staging(staging)
         return None
     return staging
+
+
+def apply_superblocks(executor, superblocks: Optional[bool]) -> Optional[bool]:
+    """Apply the superblock ablation (--no-superblocks) to an executor.
+
+    Same contract as :func:`apply_staging`: applied once, before any run
+    and before the worker fork, returning ``None`` once consumed so the
+    delegation chain reconfigures the executor exactly once.
+    """
+    if superblocks is not None and hasattr(executor, "set_superblocks"):
+        executor.set_superblocks(superblocks)
+        return None
+    return superblocks
 
 
 @dataclass
@@ -133,6 +148,11 @@ class ExplorationResult:
     #: instructions, pool evictions/misses), summed over every worker's
     #: executor; empty when the engine has no snapshot support.
     snapshot_stats: dict = field(default_factory=dict)
+    #: Flat superblock-layer counters (block hits, instructions retired
+    #: in blocks, builds, deopts, invalidations), summed over every
+    #: worker's executor; empty when the engine has no superblock
+    #: support or superblocks are off.
+    superblock_stats: dict = field(default_factory=dict)
 
     @property
     def num_paths(self) -> int:
@@ -182,6 +202,21 @@ class ExplorationResult:
         """Key-wise sum of one executor's flat snapshot counter dict."""
         for key, value in stats.items():
             self.snapshot_stats[key] = self.snapshot_stats.get(key, 0) + value
+
+    def merge_superblock_stats(self, stats: dict) -> None:
+        """Key-wise sum of one executor's flat superblock counter dict."""
+        for key, value in stats.items():
+            self.superblock_stats[key] = self.superblock_stats.get(key, 0) + value
+
+    @property
+    def superblock_hits(self) -> int:
+        """Step-loop dispatches that executed a superblock."""
+        return self.superblock_stats.get("sb_hits", 0)
+
+    @property
+    def superblock_instructions(self) -> int:
+        """Instructions retired inside superblocks (of total_instructions)."""
+        return self.superblock_stats.get("sb_block_instructions", 0)
 
     @property
     def resumed_runs(self) -> int:
@@ -244,6 +279,7 @@ class Explorer:
         dedup_flips: bool = True,
         preprocess: Optional[PreprocessConfig] = None,
         staging: Optional[bool] = None,
+        superblocks: Optional[bool] = None,
         snapshots: bool = True,
     ):
         self._solver_provided = solver is not None
@@ -259,6 +295,7 @@ class Explorer:
         self.dedup_flips = dedup_flips
         self.preprocess = preprocess
         self.staging = apply_staging(executor, staging)
+        self.superblocks = apply_superblocks(executor, superblocks)
         # Snapshot-resumed runs (--no-snapshots ablation): only engines
         # advertising support participate; the rest execute every run
         # from the entry point exactly as before.
@@ -281,6 +318,7 @@ class Explorer:
                 dedup_flips=self.dedup_flips,
                 preprocess=self.preprocess,
                 staging=self.staging,
+                superblocks=self.superblocks,
                 snapshots=self.snapshots,
             ).explore()
         return self._explore_serial()
@@ -293,6 +331,14 @@ class Explorer:
         trie = ExploredPrefixTrie() if self.dedup_flips else None
         executor = self.executor
         snapshots = self.snapshots
+        # Superblock hotness feedback: accumulate per-PC flippable-branch
+        # executions across runs; a PC crossing the threshold is reported
+        # to the executor once, promoting its successors to block entries.
+        note_hot = getattr(executor, "note_hot_pcs", None)
+        if note_hot is not None and not getattr(executor, "superblocks_enabled", False):
+            note_hot = None
+        hot_counts: dict = {}
+        hot_sent: set = set()
         while frontier and result.num_paths < self.max_paths:
             item = frontier.pop()
             if snapshots:
@@ -313,6 +359,16 @@ class Explorer:
                 snapshots=run.snapshots if snapshots else None,
             )
             novelty = len(stats.covered_pcs - result.covered_branches)
+            if note_hot is not None and stats.pc_hits:
+                newly_hot = []
+                for pc, count in stats.pc_hits.items():
+                    total = hot_counts.get(pc, 0) + count
+                    hot_counts[pc] = total
+                    if total >= BRANCH_HOT_HITS and pc not in hot_sent:
+                        hot_sent.add(pc)
+                        newly_hot.append(pc)
+                if newly_hot:
+                    note_hot(newly_hot)
             result.merge_run_stats(stats)
             for child in children:
                 child.novelty = novelty
@@ -327,6 +383,11 @@ class Explorer:
         snapshot_stats = getattr(executor, "snapshot_statistics", None)
         if snapshot_stats is not None and snapshots:
             result.merge_snapshot_stats(dict(snapshot_stats))
+        superblock_stats = getattr(executor, "superblock_statistics", None)
+        if superblock_stats is not None and getattr(
+            executor, "superblocks_enabled", False
+        ):
+            result.merge_superblock_stats(dict(superblock_stats))
         result.wall_time = time.perf_counter() - start
         return result
 

@@ -76,12 +76,14 @@ class SymbolicInterpreter(StagedStepper):
         concretization: ConcretizationPolicy = ConcretizationPolicy.PIN,
         force_terms: bool = False,
         staging: bool = True,
+        superblocks: bool = True,
     ):
         self.isa = isa
         self.image = image
         self.domain = SymDomain(force_terms=force_terms)
         self.concretization = concretization
         self.staging = staging
+        self._init_superblocks(superblocks)
         # Identifies SymDomain behaviour for the compiled-plan cache:
         # plans compiled for one SymDomain serve every instance with the
         # same force_terms setting (the domain is otherwise stateless).
@@ -136,6 +138,10 @@ class SymbolicInterpreter(StagedStepper):
         self._capture_handle = None
         self._snapshot_unsafe = False
         self._effect_instret = -1
+        # Arm superblocks while memory holds the pristine image: the
+        # input replay below then lands on *watched* pages, so inputs
+        # overlapping block code force revalidation via the epoch guard.
+        self._sb_begin_run(self.hart.pc)
         # Re-apply previously discovered input regions: inputs persist
         # across runs even if the program marks them only on the first
         # execution path that reaches make_symbolic.
@@ -145,13 +151,28 @@ class SymbolicInterpreter(StagedStepper):
             self.shadow.set(sym_input.address, sym_input.variable)
 
     def run(self, max_steps: int = 1_000_000) -> Hart:
-        """Execute until halt; returns the hart with halt bookkeeping."""
-        for _ in range(max_steps):
-            if self.hart.halted:
-                return self.hart
-            self.step()
-        self.hart.halt(HaltReason.OUT_OF_FUEL)
-        return self.hart
+        """Execute until halt; returns the hart with halt bookkeeping.
+
+        The loop is bounded by retired instructions (``instret``), not
+        iterations: superblock dispatch (``_sb_step``) retires several
+        instructions per iteration, and ``_fuel_limit`` lets it
+        deoptimize rather than overshoot, so OUT_OF_FUEL paths truncate
+        at exactly the same instruction with superblocks on or off.
+        Bare ``step()`` calls outside ``run`` always retire exactly one
+        instruction.
+        """
+        hart = self.hart
+        limit = hart.instret + max_steps
+        self._fuel_limit = limit
+        step = self._sb_step
+        while hart.instret < limit:
+            if hart.halted:
+                return hart
+            step()
+        if hart.halted:
+            return hart
+        hart.halt(HaltReason.OUT_OF_FUEL)
+        return hart
 
     # step() is inherited from StagedStepper.
 
@@ -273,6 +294,11 @@ class SymbolicInterpreter(StagedStepper):
         self._capture_handle = None
         self._snapshot_unsafe = False
         self._effect_instret = -1
+        # Resumes start mid-path (at a branch instruction, never a block
+        # entry), so they don't count toward entry hotness; and their
+        # memory descends from a mid-run capture whose code bytes may
+        # differ from the image, so every resolution is revalidated.
+        self._sb_begin_run(revalidate=True)
 
     # ------------------------------------------------------------------
     # Symbolic input marking (the make_symbolic ecall / harness hook)

@@ -35,11 +35,13 @@ import traceback
 from typing import Optional
 
 from ..smt.preprocess import PreprocessConfig
+from ..spec.superblock import BRANCH_HOT_HITS
 from .explorer import (
     ExplorationResult,
     Explorer,
     PathInfo,
     apply_staging,
+    apply_superblocks,
     make_solver,
 )
 from .scheduler import (
@@ -92,12 +94,21 @@ def _worker_main(
     solver = make_solver(use_cache, preprocess)
     trie = ExploredPrefixTrie() if dedup_flips else None
     cross_worker_items = 0
+    note_hot = getattr(executor, "note_hot_pcs", None)
+    hot_applied: set = set()
     while True:
         task = task_queue.get()
         if task is None:
             return
-        task_id, assignment_payload, bound, snapshot_ref = task
+        task_id, assignment_payload, bound, snapshot_ref, hot_pcs = task
         try:
+            if note_hot is not None and hot_pcs:
+                # The parent broadcasts its cumulative hot-branch set
+                # (hotness is global across workers); apply the delta.
+                fresh = [pc for pc in hot_pcs if pc not in hot_applied]
+                if fresh:
+                    hot_applied.update(fresh)
+                    note_hot(fresh)
             assignment = deserialize_assignment(assignment_payload)
             if snapshots:
                 resume = None
@@ -152,6 +163,13 @@ def _worker_main(
                 snapshot_stats["snap_cross_worker_items"] = cross_worker_items
             else:
                 snapshot_stats = {}
+            superblock_stats = getattr(executor, "superblock_statistics", None)
+            if superblock_stats is not None and getattr(
+                executor, "superblocks_enabled", False
+            ):
+                superblock_stats = dict(superblock_stats)
+            else:
+                superblock_stats = {}
             stats_payload = (
                 stats.sat_checks,
                 stats.unsat_checks,
@@ -164,6 +182,8 @@ def _worker_main(
                 worker_id,
                 dict(solver_stats),
                 snapshot_stats,
+                tuple(stats.pc_hits.items()),
+                superblock_stats,
             )
             result_queue.put((task_id, path_payload, child_payloads, stats_payload))
         except Exception:
@@ -196,6 +216,7 @@ class ProcessPoolExplorer:
         dedup_flips: bool = True,
         preprocess: Optional[PreprocessConfig] = None,
         staging: Optional[bool] = None,
+        superblocks: Optional[bool] = None,
         snapshots: bool = True,
     ):
         self.executor = executor
@@ -218,6 +239,7 @@ class ProcessPoolExplorer:
         # memos, so each worker's copy-on-write copy stays coherent as
         # it grows independently (see repro.spec.isa).
         self.staging = apply_staging(executor, staging)
+        self.superblocks = apply_superblocks(executor, superblocks)
 
     def explore(self) -> ExplorationResult:
         if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -235,6 +257,7 @@ class ProcessPoolExplorer:
             dedup_flips=self.dedup_flips,
             preprocess=self.preprocess,
             staging=self.staging,
+            superblocks=self.superblocks,
             snapshots=self.snapshots,
         ).explore()
 
@@ -298,11 +321,20 @@ class ProcessPoolExplorer:
         # re-derive the same flip, the duplicate is caught here — same
         # path set as the serial driver's shared trie.
         seen_digests: set = set()
-        # Latest cumulative solver/snapshot counter dicts per worker
-        # (see _worker_main); summed into the result after the pool
-        # drains.
+        # Latest cumulative solver/snapshot/superblock counter dicts per
+        # worker (see _worker_main); summed into the result after the
+        # pool drains.
         worker_solver_stats: dict[int, dict] = {}
         worker_snapshot_stats: dict[int, dict] = {}
+        worker_superblock_stats: dict[int, dict] = {}
+        # Global superblock hotness: per-PC flippable-branch executions
+        # accumulate across all workers' runs; PCs past the threshold
+        # are broadcast with every task (cumulative tuple — workers
+        # apply the delta), so late-started and idle workers converge on
+        # the same hot set.
+        hot_counts: dict = {}
+        hot_pcs: tuple = ()
+        superblocks_on = getattr(self.executor, "superblocks_enabled", False)
         try:
             while frontier or in_flight:
                 while (
@@ -317,6 +349,7 @@ class ProcessPoolExplorer:
                             serialize_assignment(item.assignment),
                             item.bound,
                             item.snapshot,
+                            hot_pcs,
                         )
                     )
                     next_task += 1
@@ -341,10 +374,26 @@ class ProcessPoolExplorer:
                     pruned_queries=stats_payload[5],
                     solver_time=stats_payload[6],
                     covered_pcs=set(stats_payload[7]),
+                    pc_hits=dict(stats_payload[11]),
                 )
                 origin_worker = stats_payload[8]
                 worker_solver_stats[origin_worker] = stats_payload[9]
                 worker_snapshot_stats[origin_worker] = stats_payload[10]
+                if stats_payload[12]:
+                    worker_superblock_stats[origin_worker] = stats_payload[12]
+                if superblocks_on and stats_payload[11]:
+                    new_hot = False
+                    for pc, count in stats_payload[11]:
+                        total = hot_counts.get(pc, 0) + count
+                        hot_counts[pc] = total
+                        if total >= BRANCH_HOT_HITS:
+                            new_hot = True
+                    if new_hot:
+                        hot_pcs = tuple(
+                            pc
+                            for pc, count in hot_counts.items()
+                            if count >= BRANCH_HOT_HITS
+                        )
                 novelty = len(stats.covered_pcs - result.covered_branches)
                 result.merge_run_stats(stats)
                 for assignment_payload, bound, digest, snapshot in children:
@@ -382,6 +431,8 @@ class ProcessPoolExplorer:
             result.merge_solver_stats(stats_dict)
         for stats_dict in worker_snapshot_stats.values():
             result.merge_snapshot_stats(stats_dict)
+        for stats_dict in worker_superblock_stats.values():
+            result.merge_superblock_stats(stats_dict)
         result.wall_time = time.perf_counter() - start
         return result
 

@@ -189,6 +189,9 @@ class RunStats:
     solver_time: float = 0.0
     #: PCs of flippable branches seen in the run (for branch coverage).
     covered_pcs: set = field(default_factory=set)
+    #: Per-PC flippable-branch execution counts (hotness feedback for
+    #: the superblock layer; see repro.spec.superblock).
+    pc_hits: dict = field(default_factory=dict)
 
     def merge(self, other: "RunStats") -> None:
         self.sat_checks += other.sat_checks
@@ -199,6 +202,8 @@ class RunStats:
         self.pruned_queries += other.pruned_queries
         self.solver_time += other.solver_time
         self.covered_pcs |= other.covered_pcs
+        for pc, count in other.pc_hits.items():
+            self.pc_hits[pc] = self.pc_hits.get(pc, 0) + count
 
 
 def expand_run(
@@ -241,9 +246,11 @@ def expand_run(
     conditions = run.trace.conditions()
     cache = getattr(solver, "cache", None)
     node = trie.root() if trie is not None else None
+    pc_hits = stats.pc_hits
     for index, record in enumerate(records):
         if record.flippable:
             stats.covered_pcs.add(record.pc)
+            pc_hits[record.pc] = pc_hits.get(record.pc, 0) + 1
         if index >= bound and record.flippable:
             negated = record.negated()
             if trie is not None and not trie.try_mark(node, negated):

@@ -39,19 +39,24 @@ def make_engine(
     symbolic_registers=(),
     max_steps: int = 1_000_000,
     staging: bool = True,
+    superblocks: bool = True,
 ):
     """Instantiate an engine by key.
 
     Keys: ``binsym``, ``binsec``, ``symex-vp``, ``angr`` (fixed lifter)
     and ``angr-buggy`` (the five historical lifter bugs seeded).
 
-    ``staging`` toggles staged semantics execution for the
-    specification-derived engine (``binsym``); the IR-based baselines
-    have their own translation caches and ignore it.
+    ``staging`` toggles staged semantics execution and ``superblocks``
+    superblock trace compilation for the specification-derived engine
+    (``binsym``); the IR-based baselines have their own translation
+    caches and ignore both (the VP engine keeps superblocks off by
+    construction — its bus models a per-instruction fetch quantum).
     """
     common = dict(symbolic_registers=symbolic_registers, max_steps=max_steps)
     if key == "binsym":
-        return BinSymExecutor(isa, image, staging=staging, **common)
+        return BinSymExecutor(
+            isa, image, staging=staging, superblocks=superblocks, **common
+        )
     if key == "binsec":
         return DbaEngine(isa, image, **common)
     if key == "symex-vp":

@@ -195,6 +195,13 @@ def measure_pipeline(
         "resumed_runs": result.resumed_runs,
         "saved_instructions": result.saved_instructions,
         "pool_evictions": result.snapshot_stats.get("snap_pool_evictions", 0),
+        # Superblock layer (all zero for engines without superblock
+        # support or with --no-superblocks): block dispatches and the
+        # deoptimizations back to the per-instruction path (fuel guards
+        # plus self-modifying-code invalidations).
+        "superblock_hits": result.superblock_stats.get("sb_hits", 0),
+        "superblock_deopts": result.superblock_stats.get("sb_deopts", 0)
+        + result.superblock_stats.get("sb_invalidations", 0),
     }
 
 
@@ -226,12 +233,14 @@ def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
                 stats["resumed_runs"],
                 stats["saved_instructions"],
                 stats["pool_evictions"],
+                stats["superblock_hits"],
+                stats["superblock_deopts"],
             ]
         )
     return format_table(
         ["engine", "paths", "solved", "cache hits", "subsumed", "fast path",
          "core solves", "min cores", "slices", "resumed", "instr saved",
-         "evictions"],
+         "evictions", "sb hits", "sb deopts"],
         rows,
         title=f"query pipeline breakdown on {workload}",
     )

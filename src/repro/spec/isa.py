@@ -58,6 +58,7 @@ class ISA:
         # inherited coherently by forked exploration workers.
         self._plan_cache: dict[int, object] = {}
         self._compiled_cache: dict[tuple, object] = {}
+        self._superblock_engine = None
 
     @property
     def name(self) -> str:
@@ -115,6 +116,20 @@ class ISA:
             del cache[next(iter(cache))]
         cache[key] = compiled
         return compiled
+
+    @property
+    def superblocks(self):
+        """The :class:`~repro.spec.superblock.SuperblockEngine` of this
+        ISA (created lazily).  Like the plan caches above, the engine —
+        hotness bookkeeping and compiled blocks — is shared by every
+        interpreter over this ISA and fork-inherited by exploration
+        workers."""
+        engine = self._superblock_engine
+        if engine is None:
+            from .superblock import SuperblockEngine
+
+            engine = self._superblock_engine = SuperblockEngine(self)
+        return engine
 
     def has_instruction(self, mnemonic: str) -> bool:
         return mnemonic.lower() in self._semantics

@@ -103,6 +103,14 @@ __all__ = [
     "bind_plan",
 ]
 
+#: Superblock-map sentinel: the PC is a known block entry but no block
+#: has been resolved for it yet this run (see ``_sb_dispatch``).
+_SB_PENDING = object()
+
+#: ``_fuel_limit`` default: effectively unlimited until ``run`` installs
+#: the real budget (kept an int so the dispatch comparison stays cheap).
+_NO_FUEL_LIMIT = 1 << 62
+
 
 class PlanHost(Protocol):
     """Callbacks a modular interpreter provides for plan replay.
@@ -156,12 +164,187 @@ class StagedStepper:
         """Toggle staged execution (clears this interpreter's memo)."""
         self.staging = staging
         self._exec_cache.clear()
+        self._sb_map = None
+
+    # ------------------------------------------------------------------
+    # Superblock execution (see repro.spec.superblock)
+    # ------------------------------------------------------------------
+
+    def _init_superblocks(self, enabled: bool) -> None:
+        """Constructor hook: superblock state and counters."""
+        self._sb_enabled = enabled
+        self._sb_engine = None
+        #: entry_pc -> _SB_PENDING | Superblock | False.  Persists
+        #: across runs (resolutions are revalidated, not redone, when a
+        #: run can have changed the code bytes); ``None`` while
+        #: superblocks are off (the step-loop fast check).
+        self._sb_map: Optional[dict] = None
+        #: Union of code pages of every block this interpreter resolved;
+        #: re-watched on each run's memory so self-modifying writes keep
+        #: bumping ``code_epoch`` even though the resolutions persist.
+        self._sb_pages: set = set()
+        #: The memory the map was last validated against, and whether a
+        #: code-epoch bump was ever *observed* (dispatch re-resolves and
+        #: re-syncs the epoch, so the flag outlives the mismatch).
+        self._sb_memory = None
+        self._sb_dirty = False
+        self._sb_epoch = 0
+        self._fuel_limit = _NO_FUEL_LIMIT
+        self.sb_hits = 0
+        self.sb_instructions = 0
+        self.sb_blocks_built = 0
+        self.sb_block_cache_hits = 0
+        self.sb_deopts = 0
+        self.sb_invalidations = 0
+        self.sb_unstitchable = 0
+
+    def set_superblocks(self, enabled: bool) -> None:
+        """Toggle superblock execution (takes effect at next run start)."""
+        self._sb_enabled = enabled
+        self._sb_map = None
+
+    def note_hot_branches(self, pcs) -> None:
+        """Driver feedback: branch PCs whose cumulative executions
+        crossed the hotness threshold.  Their successor PCs become block
+        entries as the step loop observes them being taken."""
+        self.isa.superblocks.note_hot_branches(pcs)
+
+    def _sb_begin_run(
+        self, entry_pc: Optional[int] = None, revalidate: bool = False
+    ) -> None:
+        """Arm superblock dispatch for a fresh run.
+
+        Called after reset/image-load/snapshot-resume, when ``memory``
+        holds the run's *code* bytes (symbolic-input replay may still
+        follow — its writes land on watched pages and are caught by the
+        epoch guard).  ``entry_pc`` counts toward entry hotness when
+        given (``None`` for snapshot resumes, which start mid-path at a
+        branch, never at a block entry).
+
+        The map persists across runs: a run started by ``reset`` loads
+        the identical image, so resolutions stay valid unless a code
+        write was observed (``_sb_dirty``, or an epoch bump after the
+        last dispatch).  ``revalidate=True`` (snapshot resumes, whose
+        memory descends from a mid-run capture) demotes every entry to
+        pending so the first dispatch re-reads the words instead.
+        """
+        if not (self._sb_enabled and self.staging):
+            self._sb_map = None
+            return
+        engine = self.isa.superblocks
+        self._sb_engine = engine
+        if entry_pc is not None:
+            engine.note_run_entry(entry_pc)
+        memory = self.memory
+        sb_map = self._sb_map
+        if sb_map is None:
+            self._sb_map = dict.fromkeys(engine.entries, _SB_PENDING)
+        else:
+            old = self._sb_memory
+            if (
+                revalidate
+                or self._sb_dirty
+                or (old is not None and old.code_epoch != self._sb_epoch)
+            ):
+                for key in sb_map:
+                    sb_map[key] = _SB_PENDING
+            if len(sb_map) < len(engine.entries):
+                for pc in engine.entries:
+                    if pc not in sb_map:
+                        sb_map[pc] = _SB_PENDING
+        memory.watch_pages(self._sb_pages)
+        self._sb_memory = memory
+        self._sb_dirty = False
+        self._sb_epoch = memory.code_epoch
+
+    def _sb_resolve(self, pc: int):
+        """Resolve the map entry at ``pc`` to a validated block."""
+        block, built = self._sb_engine.acquire(
+            pc, self.memory, self.domain, self._domain_key
+        )
+        if block is None:
+            self.sb_unstitchable += 1
+            self._sb_map[pc] = False
+            return False
+        if built:
+            self.sb_blocks_built += 1
+        else:
+            self.sb_block_cache_hits += 1
+        self._sb_pages.update(block.pages)
+        self.memory.watch_pages(block.pages)
+        sb_map = self._sb_map
+        sb_map[pc] = block
+        if block.side_exits:
+            # Mispredicted branches land on block entries too: promote
+            # every alternative successor so the dispatch loop picks up
+            # again right after a side exit.
+            engine_entries = self._sb_engine.entries
+            for target in block.side_exits:
+                engine_entries.add(target)
+                if target not in sb_map:
+                    sb_map[target] = _SB_PENDING
+        return block
+
+    def _sb_dispatch(self, entry, pc: int):
+        """Guards between a map hit and block execution.
+
+        Returns a runnable block or ``None`` to deoptimize to the
+        per-instruction path.  Guard order: code-epoch (self-modifying
+        writes force re-resolution of every cached entry), resolution,
+        then the fuel guard — a block that would overshoot the run's
+        instruction budget deoptimizes so OUT_OF_FUEL paths truncate at
+        exactly the same instruction with superblocks on or off.
+        """
+        if self.memory.code_epoch != self._sb_epoch:
+            self.sb_invalidations += 1
+            self._sb_dirty = True
+            sb_map = self._sb_map
+            for key in sb_map:
+                sb_map[key] = _SB_PENDING
+            self._sb_epoch = self.memory.code_epoch
+            entry = _SB_PENDING
+        if entry is _SB_PENDING:
+            entry = self._sb_resolve(pc)
+        if entry is False:
+            return None
+        if self.hart.instret + entry.length > self._fuel_limit:
+            self.sb_deopts += 1
+            return None
+        return entry
+
+    def _sb_step(self) -> None:
+        """One ``run``-loop iteration: a superblock if one starts at the
+        current PC, else a single :meth:`step`.
+
+        Only the run loop dispatches superblocks — :meth:`step` itself
+        always retires exactly one instruction, so external per-step
+        drivers (the tracer, the VP's fetch-transaction hook, tests
+        stepping N times) keep their contract regardless of the
+        superblock setting.
+        """
+        hart = self.hart
+        sb_map = self._sb_map
+        if sb_map is not None:
+            entry = sb_map.get(hart.pc)
+            if entry is not None:
+                block = self._sb_dispatch(entry, hart.pc)
+                if block is not None:
+                    self.sb_hits += 1
+                    before = hart.instret
+                    block.execute(self)
+                    # Side exits retire fewer than block.length; count
+                    # what actually ran.
+                    self.sb_instructions += hart.instret - before
+                    return
+        self.step()
 
     def step(self) -> None:
         """Fetch, decode and execute a single instruction."""
         hart = self.hart
         if hart.halted:
             return
+        pc = hart.pc
+        sb_map = self._sb_map
         word = self.memory.read_word(hart.pc)
         if self.staging:
             entry = self._exec_cache.get(word)
@@ -183,7 +366,24 @@ class StagedStepper:
             execute_semantics(self.isa.semantics_for(decoded.name)(), self)
         hart.instret += 1
         if not hart.halted:
-            hart.pc = self._next_pc
+            target = self._next_pc
+            hart.pc = target
+            if sb_map is not None and (
+                target < pc or pc in self._sb_engine.hot_branches
+            ):
+                # Two promotion rules make branch successors block
+                # entries: a taken *backward* edge marks a loop header
+                # (the classic trace-JIT heuristic — works without any
+                # driver feedback, e.g. in the concrete interpreter),
+                # and the exploration driver feeds branch PCs whose
+                # cumulative flippable-hit counts crossed the hotness
+                # threshold (covers hot *forward* arms across runs).
+                # Either way the blocks on both arms get stitched as
+                # execution takes them, so the deopt at the branch
+                # costs one dispatch.
+                if target not in sb_map:
+                    self._sb_engine.entries.add(target)
+                    sb_map[target] = _SB_PENDING
 
     def _decode_or_halt(self, word: int, pc: int):
         try:

@@ -146,6 +146,18 @@ done:
         assert "2 paths" in out
         assert "resumed" not in out
 
+    def test_superblocks_toggle(self, program_file, capsys):
+        assert main(["explore", "--no-superblocks", str(program_file)]) == 1
+        out = capsys.readouterr().out
+        assert "2 paths" in out
+        assert "superblock statistics:" not in out
+
+    def test_superblock_stats_output(self, program_file, capsys):
+        assert main(["explore", "--stats", str(program_file)]) == 1
+        out = capsys.readouterr().out
+        assert "superblock statistics:" in out
+        assert "sb_hits" in out
+
     def test_snapshot_stats_output(self, program_file, capsys):
         assert main(["explore", "--stats", str(program_file)]) == 1
         out = capsys.readouterr().out
