@@ -22,7 +22,7 @@ from pathlib import Path
 from .asm import assemble
 from .asm.disasm import disassemble_image
 from .concrete import ConcreteInterpreter, HostPlatform, TracingInterpreter
-from .core import Explorer
+from .core import Explorer, FaultPlan
 from .eval.engines import make_engine
 from .smt.preprocess import PreprocessConfig
 from .loader import read_elf, write_elf
@@ -111,7 +111,17 @@ def _cmd_explore(args) -> int:
         intervals=args.intervals,
         unsat_cores=args.unsat_cores,
         trail_reuse=args.trail_reuse,
+        conflict_budget=args.conflict_budget,
+        propagation_budget=args.propagation_budget,
+        core_budget=args.core_budget,
     )
+    faults = None
+    if args.inject_faults:
+        try:
+            faults = FaultPlan.parse(args.inject_faults)
+        except ValueError as error:
+            raise SystemExit(f"bad --inject-faults spec: {error}")
+    checkpoint_dir = args.resume if args.resume else args.checkpoint
     result = Explorer(
         engine,
         strategy=args.strategy,
@@ -123,6 +133,10 @@ def _cmd_explore(args) -> int:
         staging=args.staging,
         superblocks=args.superblocks,
         snapshots=args.snapshots,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=bool(args.resume),
+        faults=faults,
     ).explore()
     print(result.summary())
     if args.stats:
@@ -130,7 +144,8 @@ def _cmd_explore(args) -> int:
         print(f"  queries answered     : {result.num_queries} solved, "
               f"{result.cache_hits} from cache, "
               f"{result.fast_path_answers} fast-path, "
-              f"{result.pruned_queries} pruned")
+              f"{result.pruned_queries} pruned, "
+              f"{result.unknown_queries} unknown")
         print(f"  SAT-core solve() calls: {result.sat_solves}")
         for key in sorted(result.solver_stats):
             print(f"  {key:21s}: {result.solver_stats[key]}")
@@ -242,6 +257,34 @@ def main(argv=None) -> int:
                                 "every flipped branch re-executes the SUT "
                                 "from the entry point instead of resuming "
                                 "at the divergence point")
+    p_explore.add_argument("--conflict-budget", type=int, default=None,
+                           metavar="N",
+                           help="per-query CDCL conflict budget: a query "
+                                "exceeding it answers UNKNOWN (counted, "
+                                "never flipped) instead of running forever")
+    p_explore.add_argument("--propagation-budget", type=int, default=None,
+                           metavar="N",
+                           help="per-query CDCL propagation budget (sound "
+                                "degradation, like --conflict-budget)")
+    p_explore.add_argument("--core-budget", type=int, default=8, metavar="N",
+                           help="extra solves UNSAT-core minimization may "
+                                "spend shrinking a core (default 8)")
+    p_explore.add_argument("--checkpoint", metavar="DIR", default=None,
+                           help="write a crash-safe exploration journal to "
+                                "DIR (atomic-rename checkpoint.json)")
+    p_explore.add_argument("--checkpoint-interval", type=int, default=1,
+                           metavar="PATHS",
+                           help="checkpoint every N recorded paths "
+                                "(default 1)")
+    p_explore.add_argument("--resume", metavar="DIR", default=None,
+                           help="resume a killed campaign from DIR's "
+                                "journal (implies --checkpoint DIR); "
+                                "completed paths are not re-executed")
+    p_explore.add_argument("--inject-faults", metavar="SPEC", default=None,
+                           help="deterministic chaos schedule, e.g. "
+                                "'kill=30,unknown=20,evict=50,hiccup=10,"
+                                "stop=5,seed=1' (rates in percent; stop "
+                                "interrupts after N paths)")
     p_explore.add_argument("--stats", action="store_true",
                            help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)

@@ -13,11 +13,15 @@ offline (concolic) exploration driver.
 * :mod:`repro.core.parallel` — multi-process exploration worker pool
 * :mod:`repro.core.concretize` — address concretization policies
 * :mod:`repro.core.strategy` — DFS/BFS/random/coverage path selection
+* :mod:`repro.core.checkpoint` — crash-safe exploration journal
+* :mod:`repro.core.faults` — deterministic fault-injection schedules
 """
 
+from .checkpoint import CheckpointManager, CheckpointState
 from .concretize import ConcretizationPolicy
 from .executor import BinSymExecutor, RunResult
 from .explorer import ExplorationResult, Explorer, PathInfo
+from .faults import FaultPlan
 from .interpreter import SymbolicInterpreter
 from .parallel import ProcessPoolExplorer
 from .scheduler import Frontier, RunStats, WorkItem
@@ -40,6 +44,9 @@ __all__ = [
     "Frontier",
     "WorkItem",
     "RunStats",
+    "CheckpointManager",
+    "CheckpointState",
+    "FaultPlan",
     "SymbolicInterpreter",
     "SymValue",
     "SymDomain",

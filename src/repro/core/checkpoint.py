@@ -1,0 +1,257 @@
+"""Crash-safe exploration checkpoints: an atomic-rename JSON journal.
+
+The exploration drivers (serial and pooled) periodically serialize
+their *complete* recoverable state — every recorded path, the pending
+frontier, the set of already-issued flip-query digests, and the exact
+query-attribution counters — to ``checkpoint.json`` inside a campaign
+directory.  Writes go through a temp file + ``os.replace``, so a crash
+at any instant leaves either the previous checkpoint or the new one,
+never a torn file.
+
+``--resume <dir>`` reloads the journal and continues the campaign:
+recorded paths are *not* re-executed (they are restored verbatim, with
+their counters), pending frontier items are re-pushed, and the
+persisted flip digests suppress re-deriving children some pre-crash
+run already enqueued — so the resumed campaign completes exactly the
+uninterrupted run's path set without duplicates.  This only works
+because :func:`repro.core.scheduler.term_digest` is restart-stable
+(independent of the interpreter's randomized hash seed).
+
+Two deliberate non-goals keep the journal small and sound:
+
+* **Snapshot handles are dropped** on save — they are process-local
+  pool indices; restored items re-execute from the entry point, the
+  same fallback the PR 5 eviction contract already guarantees.
+* The **write point** is after a path is recorded *and* its children
+  pushed, so the journal never names a path whose children could be
+  lost: execution between the last checkpoint and a crash is repeated
+  (at-least-once), but every *persisted* path is final (exactly-once).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .scheduler import WorkItem, deserialize_assignment, serialize_assignment
+
+__all__ = ["CheckpointManager", "CheckpointState", "CHECKPOINT_FILENAME"]
+
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+_FORMAT_VERSION = 1
+
+#: ExplorationResult counter attributes persisted verbatim.
+_COUNTER_FIELDS = (
+    "sat_checks",
+    "unsat_checks",
+    "cache_hits",
+    "fast_path_answers",
+    "sat_solves",
+    "pruned_queries",
+    "unknown_queries",
+    "incomplete_paths",
+    "worker_deaths",
+    "total_instructions",
+    "executed_instructions",
+    "solver_time",
+)
+
+
+@dataclass
+class CheckpointState:
+    """One decoded journal: everything a resumed campaign starts from."""
+
+    strategy: str
+    seed: int
+    complete: bool = False
+    paths: list = field(default_factory=list)
+    frontier: list = field(default_factory=list)
+    digests: set = field(default_factory=set)
+    covered: set = field(default_factory=set)
+    counters: dict = field(default_factory=dict)
+    solver_stats: dict = field(default_factory=dict)
+    snapshot_stats: dict = field(default_factory=dict)
+    superblock_stats: dict = field(default_factory=dict)
+
+    def restore_result(self, result) -> None:
+        """Seed an ``ExplorationResult`` with the persisted campaign."""
+        from .explorer import PathInfo
+
+        for payload in self.paths:
+            (halt, exit_code, instret, trace_len, assignment, stdout, pc) = payload
+            result.paths.append(
+                PathInfo(
+                    index=len(result.paths),
+                    halt_reason=halt,
+                    exit_code=exit_code,
+                    instret=instret,
+                    trace_length=trace_len,
+                    assignment=deserialize_assignment(assignment),
+                    stdout=base64.b64decode(stdout),
+                    final_pc=pc,
+                )
+            )
+        for name in _COUNTER_FIELDS:
+            setattr(result, name, self.counters.get(name, 0))
+        result.covered_branches |= self.covered
+        result.merge_solver_stats(self.solver_stats)
+        result.merge_snapshot_stats(self.snapshot_stats)
+        result.merge_superblock_stats(self.superblock_stats)
+
+    def frontier_items(self) -> list:
+        """Pending :class:`WorkItem`s (snapshot-free, per module doc)."""
+        return [
+            WorkItem(
+                deserialize_assignment(assignment),
+                bound,
+                novelty=novelty,
+                digest=digest,
+                divergence=bound - 1 if bound else None,
+            )
+            for assignment, bound, novelty, digest in self.frontier
+        ]
+
+
+class CheckpointManager:
+    """Owns one campaign directory's journal: save / load / cadence.
+
+    ``interval`` is in *recorded paths*: ``maybe_save`` persists once
+    every ``interval`` newly recorded paths (1 = after every run).  The
+    strategy name and seed are stored in the journal and validated on
+    load — resuming a DFS campaign as BFS would silently explore a
+    different tree, so it is an error instead.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        strategy: str,
+        seed: int,
+        interval: int = 1,
+    ):
+        self.directory = directory
+        self.strategy = strategy
+        self.seed = seed
+        self.interval = max(1, interval)
+        self._saved_paths = 0
+        os.makedirs(directory, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, CHECKPOINT_FILENAME)
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+
+    def load(self) -> Optional[CheckpointState]:
+        """Decode the journal, or ``None`` when none was ever written."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            return None
+        if raw.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint {self.path} has unsupported version "
+                f"{raw.get('version')!r}"
+            )
+        if raw["strategy"] != self.strategy or raw["seed"] != self.seed:
+            raise ValueError(
+                f"checkpoint {self.path} was written by strategy="
+                f"{raw['strategy']!r} seed={raw['seed']} — resuming with "
+                f"strategy={self.strategy!r} seed={self.seed} would explore "
+                f"a different tree"
+            )
+        state = CheckpointState(
+            strategy=raw["strategy"],
+            seed=raw["seed"],
+            complete=raw["complete"],
+            paths=[tuple(entry) for entry in raw["paths"]],
+            frontier=[tuple(entry) for entry in raw["frontier"]],
+            digests=set(raw["digests"]),
+            covered=set(raw["covered"]),
+            counters=raw["counters"],
+            solver_stats=raw["solver_stats"],
+            snapshot_stats=raw["snapshot_stats"],
+            superblock_stats=raw["superblock_stats"],
+        )
+        self._saved_paths = len(state.paths)
+        return state
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+
+    def maybe_save(self, result, pending, digests, **stats_now) -> bool:
+        """Persist if ``interval`` paths were recorded since the last save."""
+        if result.num_paths - self._saved_paths < self.interval:
+            return False
+        self.save(result, pending, digests, complete=False, **stats_now)
+        return True
+
+    def save(
+        self,
+        result,
+        pending,
+        digests,
+        complete: bool,
+        solver_stats: Optional[dict] = None,
+        snapshot_stats: Optional[dict] = None,
+        superblock_stats: Optional[dict] = None,
+    ) -> None:
+        """Atomically write the journal (temp file + ``os.replace``).
+
+        ``pending`` is every not-yet-completed item: the frontier
+        snapshot plus, for the pooled driver, the in-flight items —
+        anything not persisted here *and* not recorded as a path would
+        be lost to a crash.  The ``*_stats`` dicts are the *current
+        cumulative* flat counters (resume base + live), since the live
+        solver's counters are only merged into the result at run end.
+        """
+        state = {
+            "version": _FORMAT_VERSION,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "complete": complete,
+            "paths": [
+                (
+                    info.halt_reason,
+                    info.exit_code,
+                    info.instret,
+                    info.trace_length,
+                    serialize_assignment(info.assignment),
+                    base64.b64encode(info.stdout).decode("ascii"),
+                    info.final_pc,
+                )
+                for info in result.paths
+            ],
+            "frontier": [
+                (
+                    serialize_assignment(item.assignment),
+                    item.bound,
+                    item.novelty,
+                    item.digest,
+                )
+                for item in pending
+            ],
+            "digests": sorted(digests) if digests else [],
+            "covered": sorted(result.covered_branches),
+            "counters": {
+                name: getattr(result, name) for name in _COUNTER_FIELDS
+            },
+            "solver_stats": solver_stats or {},
+            "snapshot_stats": snapshot_stats or {},
+            "superblock_stats": superblock_stats or {},
+        }
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        self._saved_paths = result.num_paths

@@ -213,6 +213,14 @@ class BinSymExecutor:
         stats["snap_fallback_runs"] = self.fallback_runs
         return stats
 
+    def purge_snapshots(self) -> None:
+        """Drop every pooled snapshot (fault injection: eviction storm).
+
+        Sound by the eviction contract: later resume attempts miss and
+        fall back to full re-execution, discovering the same path.
+        """
+        self.snapshot_pool.clear()
+
     def input_variables(self) -> list[T.Term]:
         variables = self.interpreter.input_variables()
         variables.extend(self._register_vars.values())

@@ -54,8 +54,14 @@ def make_solver(use_cache: bool, preprocess: Optional[PreprocessConfig]):
     """
     if use_cache:
         return CachingSolver(preprocess=preprocess)
-    trail_reuse = preprocess.trail_reuse if preprocess is not None else True
-    return Solver(trail_reuse=trail_reuse)
+    if preprocess is None:
+        return Solver()
+    return Solver(
+        trail_reuse=preprocess.trail_reuse,
+        conflict_budget=preprocess.conflict_budget,
+        propagation_budget=preprocess.propagation_budget,
+        core_budget=preprocess.core_budget,
+    )
 
 
 def apply_staging(executor, staging: Optional[bool]) -> Optional[bool]:
@@ -127,6 +133,20 @@ class ExplorationResult:
     fast_path_answers: int = 0
     sat_solves: int = 0
     pruned_queries: int = 0
+    #: Flip queries the solver abandoned (work budget exhausted or
+    #: injected give-up).  Together with ``incomplete_paths`` this
+    #: accounts for every path a degraded run did not explore — the
+    #: fault-tolerance contract: ``path_set()`` shrinks only by
+    #: explicitly counted causes, never silently.
+    unknown_queries: int = 0
+    #: Work items abandoned after repeated worker deaths (each is one
+    #: unexplored path plus its would-be subtree).
+    incomplete_paths: int = 0
+    #: Worker processes that died mid-item and were respawned.
+    worker_deaths: int = 0
+    #: Exploration ended by Ctrl-C (or an injected interrupt) — the
+    #: result is a valid partial campaign, resumable via checkpoints.
+    interrupted: bool = False
     total_instructions: int = 0
     #: Instructions actually interpreted: ``total_instructions`` minus
     #: the prefixes snapshot resumption skipped (equal when snapshots
@@ -190,6 +210,7 @@ class ExplorationResult:
         self.fast_path_answers += stats.fast_path_answers
         self.sat_solves += stats.sat_solves
         self.pruned_queries += stats.pruned_queries
+        self.unknown_queries += stats.unknown_queries
         self.solver_time += stats.solver_time
         self.covered_branches |= stats.covered_pcs
 
@@ -251,6 +272,15 @@ class ExplorationResult:
             )
         if self.workers > 1:
             text += f" [{self.workers} workers]"
+        if self.unknown_queries or self.incomplete_paths:
+            text += (
+                f" [degraded: {self.unknown_queries} unknown queries, "
+                f"{self.incomplete_paths} incomplete paths]"
+            )
+        if self.worker_deaths:
+            text += f" [{self.worker_deaths} worker deaths]"
+        if self.interrupted:
+            text += " [interrupted]"
         return text
 
 
@@ -265,6 +295,13 @@ class Explorer:
     explicitly supplied ``solver`` pins the exploration to a single
     process, since a user-provided facade (e.g. the query-complexity
     recorder) cannot be replicated onto workers.
+
+    Robustness knobs: ``checkpoint_dir`` arms the crash-safe journal
+    (:mod:`repro.core.checkpoint`; ``resume=True`` additionally reloads
+    it before exploring), and ``faults`` injects a deterministic
+    failure schedule (:class:`repro.core.faults.FaultPlan`) for chaos
+    testing.  ``KeyboardInterrupt`` is caught in both drivers and
+    returns the partial result with ``interrupted=True``.
     """
 
     def __init__(
@@ -281,6 +318,10 @@ class Explorer:
         staging: Optional[bool] = None,
         superblocks: Optional[bool] = None,
         snapshots: bool = True,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 1,
+        resume: bool = False,
+        faults=None,
     ):
         self._solver_provided = solver is not None
         if solver is None:
@@ -302,6 +343,10 @@ class Explorer:
         self.snapshots = snapshots and getattr(
             executor, "supports_snapshots", False
         )
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.resume = resume
+        self.faults = faults if faults is not None and faults.active else None
 
     def explore(self) -> ExplorationResult:
         """Run the full exploration; returns all discovered paths."""
@@ -320,17 +365,71 @@ class Explorer:
                 staging=self.staging,
                 superblocks=self.superblocks,
                 snapshots=self.snapshots,
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_interval=self.checkpoint_interval,
+                resume=self.resume,
+                faults=self.faults,
             ).explore()
         return self._explore_serial()
+
+    def _make_checkpoint(self):
+        """Build the journal manager (and load prior state on resume)."""
+        if self.checkpoint_dir is None:
+            return None, None
+        from .checkpoint import CheckpointManager
+
+        manager = CheckpointManager(
+            self.checkpoint_dir,
+            strategy=self.strategy_name,
+            seed=self.seed,
+            interval=self.checkpoint_interval,
+        )
+        state = manager.load() if self.resume else None
+        return manager, state
+
+    def _live_solver_stats(self) -> dict:
+        stats = getattr(self.solver, "pipeline_statistics", None)
+        if stats is not None:
+            return dict(stats)
+        return {"sat_core_solves": self.solver.num_solves}
+
+    @staticmethod
+    def _summed(base: dict, live: dict) -> dict:
+        total = dict(base)
+        for key, value in live.items():
+            total[key] = total.get(key, 0) + value
+        return total
 
     def _explore_serial(self) -> ExplorationResult:
         result = ExplorationResult()
         start = time.perf_counter()
         frontier = Frontier(self.strategy_name, self.seed)
-        frontier.push(WorkItem(InputAssignment(), 0))
+        manager, restored = self._make_checkpoint()
+        # With checkpointing on, children additionally carry restart-
+        # stable flip-query digests; the persisted digest set suppresses
+        # re-deriving children a pre-crash run already enqueued.  (The
+        # in-process trie below dedups everything within one process
+        # lifetime, so on fresh runs the filter never fires.)
+        seen_digests: Optional[set] = set() if manager is not None else None
+        if restored is not None:
+            restored.restore_result(result)
+            seen_digests = restored.digests
+            for item in restored.frontier_items():
+                frontier.push(item)
+            if restored.complete:
+                result.wall_time = time.perf_counter() - start
+                return result
+        else:
+            frontier.push(WorkItem(InputAssignment(), 0))
         trie = ExploredPrefixTrie() if self.dedup_flips else None
         executor = self.executor
         snapshots = self.snapshots
+        faults = self.faults
+        if faults is not None:
+            hook = faults.solver_hook("serial")
+            if hook is not None and hasattr(self.solver, "set_fault_hook"):
+                self.solver.set_fault_hook(hook)
+        purge = getattr(executor, "purge_snapshots", None)
         # Superblock hotness feedback: accumulate per-PC flippable-branch
         # executions across runs; a PC crossing the threshold is reported
         # to the executor once, promoting its successors to block entries.
@@ -339,47 +438,69 @@ class Explorer:
             note_hot = None
         hot_counts: dict = {}
         hot_sent: set = set()
-        while frontier and result.num_paths < self.max_paths:
-            item = frontier.pop()
-            if snapshots:
-                run = executor.execute_from(
-                    item.snapshot, item.assignment, capture_from=item.bound
+        runs = 0
+        try:
+            while frontier and result.num_paths < self.max_paths:
+                item = frontier.pop()
+                if faults is not None and purge is not None and snapshots:
+                    if faults.should_evict("serial", runs):
+                        purge()
+                runs += 1
+                if snapshots:
+                    run = executor.execute_from(
+                        item.snapshot, item.assignment, capture_from=item.bound
+                    )
+                else:
+                    run = executor.execute(item.assignment)
+                self._record_path(result, run)
+                stats = RunStats()
+                children = expand_run(
+                    run,
+                    item.bound,
+                    self.solver,
+                    executor.input_variables(),
+                    stats,
+                    trie,
+                    compute_digests=seen_digests is not None,
+                    snapshots=run.snapshots if snapshots else None,
                 )
-            else:
-                run = executor.execute(item.assignment)
-            self._record_path(result, run)
-            stats = RunStats()
-            children = expand_run(
-                run,
-                item.bound,
-                self.solver,
-                executor.input_variables(),
-                stats,
-                trie,
-                snapshots=run.snapshots if snapshots else None,
-            )
-            novelty = len(stats.covered_pcs - result.covered_branches)
-            if note_hot is not None and stats.pc_hits:
-                newly_hot = []
-                for pc, count in stats.pc_hits.items():
-                    total = hot_counts.get(pc, 0) + count
-                    hot_counts[pc] = total
-                    if total >= BRANCH_HOT_HITS and pc not in hot_sent:
-                        hot_sent.add(pc)
-                        newly_hot.append(pc)
-                if newly_hot:
-                    note_hot(newly_hot)
-            result.merge_run_stats(stats)
-            for child in children:
-                child.novelty = novelty
-                frontier.push(child)
+                novelty = len(stats.covered_pcs - result.covered_branches)
+                if note_hot is not None and stats.pc_hits:
+                    newly_hot = []
+                    for pc, count in stats.pc_hits.items():
+                        total = hot_counts.get(pc, 0) + count
+                        hot_counts[pc] = total
+                        if total >= BRANCH_HOT_HITS and pc not in hot_sent:
+                            hot_sent.add(pc)
+                            newly_hot.append(pc)
+                    if newly_hot:
+                        note_hot(newly_hot)
+                result.merge_run_stats(stats)
+                for child in children:
+                    if seen_digests is not None and child.digest is not None:
+                        if child.digest in seen_digests:
+                            result.pruned_queries += 1
+                            continue
+                        seen_digests.add(child.digest)
+                    child.novelty = novelty
+                    frontier.push(child)
+                if manager is not None:
+                    manager.maybe_save(
+                        result,
+                        frontier.items(),
+                        seen_digests,
+                        solver_stats=self._summed(
+                            result.solver_stats, self._live_solver_stats()
+                        ),
+                    )
+                if faults is not None and faults.interrupt_after is not None:
+                    if result.num_paths >= faults.interrupt_after:
+                        raise KeyboardInterrupt
+        except KeyboardInterrupt:
+            result.interrupted = True
         result.truncated = bool(frontier)
-        result.frontier_peak = frontier.peak
-        solver_stats = getattr(self.solver, "pipeline_statistics", None)
-        if solver_stats is not None:
-            result.merge_solver_stats(dict(solver_stats))
-        else:
-            result.merge_solver_stats({"sat_core_solves": self.solver.num_solves})
+        result.frontier_peak = max(frontier.peak, result.frontier_peak)
+        result.merge_solver_stats(self._live_solver_stats())
         snapshot_stats = getattr(executor, "snapshot_statistics", None)
         if snapshot_stats is not None and snapshots:
             result.merge_snapshot_stats(dict(snapshot_stats))
@@ -388,6 +509,16 @@ class Explorer:
             executor, "superblocks_enabled", False
         ):
             result.merge_superblock_stats(dict(superblock_stats))
+        if manager is not None:
+            manager.save(
+                result,
+                frontier.items(),
+                seen_digests,
+                complete=not frontier and not result.interrupted,
+                solver_stats=result.solver_stats,
+                snapshot_stats=result.snapshot_stats,
+                superblock_stats=result.superblock_stats,
+            )
         result.wall_time = time.perf_counter() - start
         return result
 

@@ -1,4 +1,4 @@
-"""Multi-process path exploration: a work-queue over forked workers.
+"""Multi-process path exploration: a supervised work-queue over forks.
 
 The offline executor restarts the SUT once per path, and the runs are
 independent given their input assignments — which makes the exploration
@@ -7,7 +7,7 @@ keeps the frontier (and the chosen search strategy) in the parent and
 fans the concolic runs out over a pool of forked workers:
 
 * the parent pops :class:`~repro.core.scheduler.WorkItem`s and sends
-  ``(task_id, assignment, bound)`` over a task queue,
+  ``(task_id, assignment, bound)`` over a per-worker task queue,
 * each worker owns its *own* :class:`~repro.smt.solver.Solver` (plus
   query cache and explored-prefix trie), executes the run, performs the
   branch-flip expansion locally, and streams back the path summary, the
@@ -15,6 +15,19 @@ fans the concolic runs out over a pool of forked workers:
 * the parent records paths, aggregates statistics, scores coverage
   novelty against the global covered-branch set, and pushes the new
   work items.
+
+**Supervision.**  Task queues are per-worker so the parent always
+knows which item each worker holds.  A worker that dies mid-item (OOM
+kill, segfault, injected fault) no longer aborts the campaign: the
+parent requeues the lost item (its snapshot reference, if any, still
+names the *capturing* worker, so it resumes or falls back to full
+re-execution per the PR 5 eviction contract), respawns the worker
+under a fresh incarnation uid with a small backoff, and abandons an
+item only after :data:`MAX_ITEM_FAILURES` deaths *while holding it* —
+recorded as an ``incomplete_paths`` count, never a silent loss.  Fresh
+uids matter twice: a stale ``(uid, handle)`` snapshot reference can
+never alias the respawned worker's pool, and the dead incarnation's
+last cumulative stats dict is preserved rather than overwritten.
 
 Workers are created with the ``fork`` start method so they inherit the
 executor (ISA, image, interpreter) without pickling — interned terms
@@ -29,9 +42,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import queue as queue_module
 import time
 import traceback
+from collections import deque
+from multiprocessing import connection as mp_connection
 from typing import Optional
 
 from ..smt.preprocess import PreprocessConfig
@@ -44,6 +58,7 @@ from .explorer import (
     apply_superblocks,
     make_solver,
 )
+from .faults import KILL_EXIT_CODE
 from .scheduler import (
     Frontier,
     RunStats,
@@ -54,7 +69,11 @@ from .scheduler import (
 )
 from .state import ExploredPrefixTrie, InputAssignment
 
-__all__ = ["ProcessPoolExplorer", "default_jobs"]
+__all__ = ["ProcessPoolExplorer", "default_jobs", "MAX_ITEM_FAILURES"]
+
+#: Worker deaths while holding the *same* item before the supervisor
+#: abandons it as an ``incomplete`` path instead of retrying.
+MAX_ITEM_FAILURES = 3
 
 
 def default_jobs() -> int:
@@ -64,42 +83,65 @@ def default_jobs() -> int:
 
 def _worker_main(
     executor,
-    worker_id,
+    worker_uid,
     use_cache,
     dedup_flips,
     preprocess,
     snapshots,
     task_queue,
-    result_queue,
+    reply_conn,
+    faults,
 ):
     """Worker loop: execute runs and expand their branch flips.
 
     Replies are ``(task_id, path_payload, children, stats_payload)`` on
-    success or ``(task_id, None, traceback_text, None)`` on failure.
+    success or ``(task_id, None, traceback_text, None)`` on failure,
+    sent over this incarnation's *private* reply pipe.  A shared reply
+    queue would hold a cross-process write lock during puts — a worker
+    dying at the wrong instant (mp.Queue even writes from a background
+    feeder thread) would leave it locked and wedge every other worker;
+    with one pipe per incarnation a crash can only ever truncate that
+    worker's own stream, which the supervisor treats as a lost item.
     ``None`` on the task queue shuts the worker down.
 
     The stats payload carries, besides the per-run :class:`RunStats`
-    fields, the worker id and the solver's (and snapshot layer's)
+    fields, the worker uid and the solver's (and snapshot layer's)
     *cumulative* flat counter dicts: the parent keeps the latest dict
-    per worker and sums them at the end, which is exact — a worker only
+    per uid and sums them at the end, which is exact — a worker only
     accrues counters while producing replies, so its last reply carries
-    its final totals.
+    its final totals (work lost to a mid-item death is requeued, so
+    attribution stays a lower bound exactly like the serial driver's).
 
     Snapshot handles are process-local, so a task's snapshot reference
-    ``(origin_worker, handle)`` is only honoured when this worker
+    ``(origin_uid, handle)`` is only honoured when this incarnation
     captured it; cross-worker items re-execute from the entry point,
     which discovers the identical path (counted separately so the
     benchmark can report the cross-worker re-execution share).
+
+    ``faults`` (a :class:`repro.core.faults.FaultPlan` or None) drives
+    deterministic chaos: a scheduled *kill* exits the process the
+    moment the task is received (the parent requeues it), *evictions*
+    purge the snapshot pool before the run, *give-ups* make scheduled
+    CDCL solves answer UNKNOWN, and *hiccups* stall the reply briefly
+    to widen the reply/death race window the supervisor must tolerate.
     """
     solver = make_solver(use_cache, preprocess)
+    if faults is not None:
+        hook = faults.solver_hook(worker_uid)
+        if hook is not None and hasattr(solver, "set_fault_hook"):
+            solver.set_fault_hook(hook)
+    purge = getattr(executor, "purge_snapshots", None)
     trie = ExploredPrefixTrie() if dedup_flips else None
     cross_worker_items = 0
+    tasks_done = 0
     note_hot = getattr(executor, "note_hot_pcs", None)
     hot_applied: set = set()
     while True:
         task = task_queue.get()
         if task is None:
             return
+        if faults is not None and faults.should_kill(worker_uid, tasks_done):
+            os._exit(KILL_EXIT_CODE)
         task_id, assignment_payload, bound, snapshot_ref, hot_pcs = task
         try:
             if note_hot is not None and hot_pcs:
@@ -109,11 +151,14 @@ def _worker_main(
                 if fresh:
                     hot_applied.update(fresh)
                     note_hot(fresh)
+            if faults is not None and purge is not None and snapshots:
+                if faults.should_evict(worker_uid, tasks_done):
+                    purge()
             assignment = deserialize_assignment(assignment_payload)
             if snapshots:
                 resume = None
                 if snapshot_ref is not None:
-                    if snapshot_ref[0] == worker_id:
+                    if snapshot_ref[0] == worker_uid:
                         resume = snapshot_ref[1]
                     else:
                         cross_worker_items += 1
@@ -179,15 +224,44 @@ def _worker_main(
                 stats.pruned_queries,
                 stats.solver_time,
                 tuple(stats.covered_pcs),
-                worker_id,
+                worker_uid,
                 dict(solver_stats),
                 snapshot_stats,
                 tuple(stats.pc_hits.items()),
                 superblock_stats,
+                stats.unknown_queries,
             )
-            result_queue.put((task_id, path_payload, child_payloads, stats_payload))
+            if faults is not None:
+                delay = faults.hiccup_delay(worker_uid, tasks_done)
+                if delay:
+                    time.sleep(delay)
+            reply_conn.send((task_id, path_payload, child_payloads, stats_payload))
         except Exception:
-            result_queue.put((task_id, None, traceback.format_exc(), None))
+            reply_conn.send((task_id, None, traceback.format_exc(), None))
+        tasks_done += 1
+
+
+class _WorkerSlot:
+    """Parent-side bookkeeping for one worker seat.
+
+    A *seat* survives its process: when the incarnation dies, the seat
+    is revived with a fresh uid, a fresh task queue (a task the dead
+    worker never consumed must not leak to its successor — the parent
+    requeues it instead), a fresh reply pipe, and the respawn count for
+    backoff.
+    """
+
+    __slots__ = ("uid", "process", "queue", "reply", "task_id", "respawns")
+
+    def __init__(self, uid, process, queue, reply):
+        self.uid = uid
+        self.process = process
+        self.queue = queue
+        #: Parent's receive end of the incarnation's private reply pipe.
+        self.reply = reply
+        #: Task id the seat's worker currently holds (None = idle).
+        self.task_id: Optional[int] = None
+        self.respawns = 0
 
 
 class ProcessPoolExplorer:
@@ -218,6 +292,10 @@ class ProcessPoolExplorer:
         staging: Optional[bool] = None,
         superblocks: Optional[bool] = None,
         snapshots: bool = True,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: int = 1,
+        resume: bool = False,
+        faults=None,
     ):
         self.executor = executor
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -240,6 +318,10 @@ class ProcessPoolExplorer:
         # it grows independently (see repro.spec.isa).
         self.staging = apply_staging(executor, staging)
         self.superblocks = apply_superblocks(executor, superblocks)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.resume = resume
+        self.faults = faults if faults is not None and faults.active else None
 
     def explore(self) -> ExplorationResult:
         if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -259,71 +341,167 @@ class ProcessPoolExplorer:
             staging=self.staging,
             superblocks=self.superblocks,
             snapshots=self.snapshots,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_interval=self.checkpoint_interval,
+            resume=self.resume,
+            faults=self.faults,
         ).explore()
 
-    def _next_reply(self, result_queue, workers):
-        """Blocking get that notices dead workers instead of hanging.
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
 
-        ``_worker_main`` converts in-task exceptions into error replies,
-        but a hard-killed worker (OOM killer, segfault) posts nothing —
-        without a liveness check the parent would wait forever on a
-        reply that can never arrive.
+    def _spawn(self, context, uid) -> _WorkerSlot:
+        """Start one incarnation on fresh task/reply channels."""
+        task_queue = context.SimpleQueue()
+        recv_conn, send_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                self.executor,
+                uid,
+                self.use_cache,
+                self.dedup_flips,
+                self.preprocess,
+                self.snapshots,
+                task_queue,
+                send_conn,
+                self.faults,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # The child inherited the send end; dropping the parent's copy
+        # makes the pipe EOF as soon as the incarnation dies.
+        send_conn.close()
+        return _WorkerSlot(uid, process, task_queue, recv_conn)
+
+    def _await_replies(self, slots):
+        """Block until replies arrive or a worker death is detected.
+
+        Returns ``(replies, dead_slots)``.  ``_worker_main`` converts
+        in-task exceptions into error replies, but a hard-killed worker
+        (OOM killer, segfault) posts nothing — without a liveness check
+        the parent would wait forever on a reply that can never arrive.
+        Each incarnation replies on its own pipe, so a crash can only
+        truncate that worker's stream: complete replies racing the
+        death are drained and processed, a torn trailing message is
+        discarded (its item will be requeued), and no shared lock
+        exists for a dying writer to wedge the survivors with.
         """
         while True:
-            try:
-                return result_queue.get(timeout=1.0)
-            except queue_module.Empty:
-                dead = [w for w in workers if w.exitcode is not None]
-                if dead:
-                    try:
-                        # A reply may have raced the death; drain first.
-                        return result_queue.get_nowait()
-                    except queue_module.Empty:
-                        codes = sorted({w.exitcode for w in dead})
-                        raise RuntimeError(
-                            f"exploration worker died without replying "
-                            f"(exit codes {codes})"
-                        ) from None
+            ready = mp_connection.wait(
+                [slot.reply for slot in slots], timeout=0.2
+            )
+            replies = []
+            for slot in slots:
+                if slot.reply not in ready:
+                    continue
+                try:
+                    while slot.reply.poll():
+                        replies.append(slot.reply.recv())
+                except (EOFError, OSError):
+                    pass  # EOF or torn message: the death check decides
+            dead = [
+                slot for slot in slots if slot.process.exitcode is not None
+            ]
+            if replies or dead:
+                return replies, dead
+            if ready:
+                # A pipe signalled EOF but the exit code is not posted
+                # yet: yield briefly instead of spinning on wait().
+                time.sleep(0.005)
+
+    def _revive(
+        self, slot, replied_ids, in_flight, frontier, result, context
+    ) -> None:
+        """Recover one dead seat: requeue or abandon its item, respawn.
+
+        An item whose reply already arrived (``replied_ids``) completed
+        before the death — it is *not* requeued; the pending reply will
+        account for it.  Otherwise the item is lost mid-run: it goes
+        back to the frontier with ``failures`` bumped, or — after
+        :data:`MAX_ITEM_FAILURES` deaths while holding it — is recorded
+        as an ``incomplete`` path.  The requeued item keeps its snapshot
+        reference: it names the *capturing* worker's uid, which either
+        still lives (resume works) or never matches again (full
+        re-execution — the same sound fallback as a pool eviction).
+        """
+        slot.process.join()
+        slot.reply.close()
+        task_id = slot.task_id
+        slot.task_id = None
+        if task_id is not None and task_id not in replied_ids:
+            item = in_flight.pop(task_id, None)
+            if item is not None:
+                result.worker_deaths += 1
+                item.failures += 1
+                if item.failures >= MAX_ITEM_FAILURES:
+                    result.incomplete_paths += 1
+                else:
+                    frontier.push(item)
+        # Linear backoff per seat: repeated respawns slow down, one-off
+        # crashes restart almost immediately.
+        if slot.respawns:
+            time.sleep(min(0.02 * slot.respawns, 0.2))
+        slot.respawns += 1
+        self._next_uid += 1
+        fresh = self._spawn(context, self._next_uid)
+        slot.uid = fresh.uid
+        slot.process = fresh.process
+        slot.queue = fresh.queue
+        slot.reply = fresh.reply
+
+    # ------------------------------------------------------------------
+    # The supervised pool loop
+    # ------------------------------------------------------------------
 
     def _explore_pool(self) -> ExplorationResult:
         context = multiprocessing.get_context("fork")
-        task_queue = context.SimpleQueue()
-        result_queue = context.Queue()
-        workers = [
-            context.Process(
-                target=_worker_main,
-                args=(
-                    self.executor,
-                    worker_id,
-                    self.use_cache,
-                    self.dedup_flips,
-                    self.preprocess,
-                    self.snapshots,
-                    task_queue,
-                    result_queue,
-                ),
-                daemon=True,
-            )
-            for worker_id in range(self.jobs)
-        ]
-        for worker in workers:
-            worker.start()
+        self._next_uid = self.jobs - 1
+        slots = [self._spawn(context, uid) for uid in range(self.jobs)]
 
         result = ExplorationResult(workers=self.jobs)
         start = time.perf_counter()
         frontier = Frontier(self.strategy_name, self.seed)
-        frontier.push(WorkItem(InputAssignment(), 0))
-        in_flight = 0
-        next_task = 0
-        dropped = False
+        manager = None
+        restored = None
+        if self.checkpoint_dir is not None:
+            from .checkpoint import CheckpointManager
+
+            manager = CheckpointManager(
+                self.checkpoint_dir,
+                strategy=self.strategy_name,
+                seed=self.seed,
+                interval=self.checkpoint_interval,
+            )
+            if self.resume:
+                restored = manager.load()
         # Flip-query digests of children already enqueued.  Worker tries
         # are per-process, so when diverged runs on *different* workers
         # re-derive the same flip, the duplicate is caught here — same
-        # path set as the serial driver's shared trie.
+        # path set as the serial driver's shared trie.  Digests are
+        # restart-stable, so a resumed campaign's persisted set also
+        # suppresses re-deriving pre-crash children.
         seen_digests: set = set()
+        if restored is not None:
+            restored.restore_result(result)
+            seen_digests = restored.digests
+            for item in restored.frontier_items():
+                frontier.push(item)
+        else:
+            frontier.push(WorkItem(InputAssignment(), 0))
+        resumed_complete = restored is not None and restored.complete
+        faults = self.faults
+        next_task = 0
+        dropped = False
+        #: task id -> WorkItem currently held by some worker.
+        in_flight: dict[int, WorkItem] = {}
+        pending_replies: deque = deque()
         # Latest cumulative solver/snapshot/superblock counter dicts per
-        # worker (see _worker_main); summed into the result after the
-        # pool drains.
+        # worker incarnation uid (see _worker_main); summed into the
+        # result after the pool drains.  Keyed by uid, so a respawned
+        # seat never overwrites its dead predecessor's final totals.
         worker_solver_stats: dict[int, dict] = {}
         worker_snapshot_stats: dict[int, dict] = {}
         worker_superblock_stats: dict[int, dict] = {}
@@ -336,14 +514,20 @@ class ProcessPoolExplorer:
         hot_pcs: tuple = ()
         superblocks_on = getattr(self.executor, "superblocks_enabled", False)
         try:
-            while frontier or in_flight:
-                while (
-                    frontier
-                    and in_flight < self.jobs
-                    and result.num_paths + in_flight < self.max_paths
-                ):
+            while not resumed_complete and (
+                frontier or in_flight or pending_replies
+            ):
+                for slot in slots:
+                    if slot.task_id is not None:
+                        continue
+                    if not frontier:
+                        break
+                    if result.num_paths + len(in_flight) >= self.max_paths:
+                        break
                     item = frontier.pop()
-                    task_queue.put(
+                    slot.task_id = next_task
+                    in_flight[next_task] = item
+                    slot.queue.put(
                         (
                             next_task,
                             serialize_assignment(item.assignment),
@@ -353,12 +537,30 @@ class ProcessPoolExplorer:
                         )
                     )
                     next_task += 1
-                    in_flight += 1
-                if not in_flight:
+                if not in_flight and not pending_replies:
                     break  # path budget exhausted with work left over
-                reply = self._next_reply(result_queue, workers)
-                in_flight -= 1
-                _, path_payload, children, stats_payload = reply
+                if not pending_replies:
+                    replies, dead = self._await_replies(slots)
+                    pending_replies.extend(replies)
+                    if dead:
+                        replied_ids = {reply[0] for reply in pending_replies}
+                        for slot in dead:
+                            self._revive(
+                                slot,
+                                replied_ids,
+                                in_flight,
+                                frontier,
+                                result,
+                                context,
+                            )
+                        continue
+                reply = pending_replies.popleft()
+                task_id, path_payload, children, stats_payload = reply
+                item = in_flight.pop(task_id, None)
+                for slot in slots:
+                    if slot.task_id == task_id:
+                        slot.task_id = None
+                        break
                 if path_payload is None:
                     raise RuntimeError(f"exploration worker failed:\n{children}")
                 if result.num_paths < self.max_paths:
@@ -375,12 +577,13 @@ class ProcessPoolExplorer:
                     solver_time=stats_payload[6],
                     covered_pcs=set(stats_payload[7]),
                     pc_hits=dict(stats_payload[11]),
+                    unknown_queries=stats_payload[13],
                 )
-                origin_worker = stats_payload[8]
-                worker_solver_stats[origin_worker] = stats_payload[9]
-                worker_snapshot_stats[origin_worker] = stats_payload[10]
+                origin_uid = stats_payload[8]
+                worker_solver_stats[origin_uid] = stats_payload[9]
+                worker_snapshot_stats[origin_uid] = stats_payload[10]
                 if stats_payload[12]:
-                    worker_superblock_stats[origin_worker] = stats_payload[12]
+                    worker_superblock_stats[origin_uid] = stats_payload[12]
                 if superblocks_on and stats_payload[11]:
                     new_hot = False
                     for pc, count in stats_payload[11]:
@@ -409,30 +612,57 @@ class ProcessPoolExplorer:
                             novelty=novelty,
                             digest=digest,
                             snapshot=(
-                                (origin_worker, snapshot)
+                                (origin_uid, snapshot)
                                 if snapshot is not None
                                 else None
                             ),
                             divergence=bound - 1 if bound else None,
                         )
                     )
+                if manager is not None:
+                    manager.maybe_save(
+                        result,
+                        frontier.items() + list(in_flight.values()),
+                        seen_digests,
+                        solver_stats=_summed(
+                            result.solver_stats, worker_solver_stats.values()
+                        ),
+                    )
+                if faults is not None and faults.interrupt_after is not None:
+                    if result.num_paths >= faults.interrupt_after:
+                        raise KeyboardInterrupt
+        except KeyboardInterrupt:
+            result.interrupted = True
         finally:
-            for _ in workers:
-                task_queue.put(None)
-            for worker in workers:
-                worker.join(timeout=5)
-            for worker in workers:
-                if worker.is_alive():  # pragma: no cover - defensive
-                    worker.terminate()
-                    worker.join(timeout=5)
+            for slot in slots:
+                slot.queue.put(None)
+            for slot in slots:
+                slot.process.join(timeout=5)
+            for slot in slots:
+                if slot.process.is_alive():  # pragma: no cover - defensive
+                    slot.process.terminate()
+                    slot.process.join(timeout=5)
+                slot.reply.close()
         result.truncated = dropped or bool(frontier)
-        result.frontier_peak = frontier.peak
+        result.frontier_peak = max(frontier.peak, result.frontier_peak)
         for stats_dict in worker_solver_stats.values():
             result.merge_solver_stats(stats_dict)
         for stats_dict in worker_snapshot_stats.values():
             result.merge_snapshot_stats(stats_dict)
         for stats_dict in worker_superblock_stats.values():
             result.merge_superblock_stats(stats_dict)
+        if manager is not None and not resumed_complete:
+            manager.save(
+                result,
+                frontier.items() + list(in_flight.values()),
+                seen_digests,
+                complete=(
+                    not frontier and not in_flight and not result.interrupted
+                ),
+                solver_stats=result.solver_stats,
+                snapshot_stats=result.snapshot_stats,
+                superblock_stats=result.superblock_stats,
+            )
         result.wall_time = time.perf_counter() - start
         return result
 
@@ -461,3 +691,12 @@ class ProcessPoolExplorer:
                 final_pc=pc,
             )
         )
+
+
+def _summed(base: dict, live_dicts) -> dict:
+    """Key-wise ``base + sum(live_dicts)`` without mutating either."""
+    total = dict(base)
+    for live in live_dicts:
+        for key, value in live.items():
+            total[key] = total.get(key, 0) + value
+    return total

@@ -26,6 +26,7 @@ and plain (name, width, value) tuples.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -73,11 +74,19 @@ class WorkItem:
     #: a future distributed tier can validate shipped state against its
     #: divergence point without re-deriving it from the bound.
     divergence: Optional[int] = None
+    #: Times a worker died while holding this item.  The supervisor
+    #: requeues lost items and gives up (recording an *incomplete* path)
+    #: once this crosses its retry budget, so one poisonous input cannot
+    #: crash-loop the campaign forever.
+    failures: int = 0
 
 
-# Structural digests are memoized per process; forked workers inherit
-# the parent's (stable) string hash seed, so digests agree between the
-# parent and every worker even for terms interned after the fork.
+# Structural digests are memoized per process.  The digest function is
+# deliberately independent of the interpreter's randomized string hash
+# seed (blake2b for strings, a fixed 64-bit mixer for structure), so
+# digests agree not only between a parent and its forked workers but
+# across *restarts* — checkpoint resume (core/checkpoint.py) persists
+# explored-flip digests and replays them into a fresh process.
 # Keyed by the term object (identity hash, O(1)) rather than id() so a
 # term can never alias a stale entry after an interner reset.  Bounded
 # like the decoder cache: true-LRU via dict reinsertion, evicting the
@@ -85,17 +94,59 @@ class WorkItem:
 # terms cannot grow the memo without limit.
 _DIGEST_MEMO: dict = {}
 
+_MASK64 = (1 << 64) - 1
+
+#: Per-process memo of string digests (variable names, opcodes recur).
+_STRING_DIGESTS: dict[str, int] = {}
+
+
+def _mix64(value: int) -> int:
+    """splitmix64 finalizer: a fixed, seed-free 64-bit bijection."""
+    value &= _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _string_digest(text: str) -> int:
+    cached = _STRING_DIGESTS.get(text)
+    if cached is None:
+        cached = int.from_bytes(
+            hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "little"
+        )
+        _STRING_DIGESTS[text] = cached
+    return cached
+
+
+def _payload_digest(payload) -> int:
+    """Restart-stable digest of a term's payload (name/const/indices)."""
+    if payload is None:
+        return 0x9E3779B97F4A7C15
+    if isinstance(payload, str):
+        return _string_digest(payload)
+    if isinstance(payload, int):  # bools included
+        return _mix64(payload ^ 0x632BE59BD9B4E019)
+    if isinstance(payload, tuple):
+        digest = 0x1F83D9ABFB41BD6B
+        for part in payload:
+            digest = _mix64(digest ^ _payload_digest(part))
+        return digest
+    return _string_digest(repr(payload))  # pragma: no cover - defensive
+
 #: Backstop for the digest memo, matching the decoder/plan caches.
 DIGEST_MEMO_CAPACITY = 1 << 17
 
 
 def term_digest(term: T.Term) -> int:
-    """Process-family-stable structural hash of a term DAG.
+    """Restart-stable structural hash of a term DAG.
 
     Interned-term identity is only meaningful within one process, so
     the parallel driver cannot compare conditions across workers
     directly; this digest depends only on (op, width, payload,
-    children) and therefore agrees across forked processes.
+    children) and never on the interpreter's randomized hash seed, so
+    it agrees across forked workers *and* across separate invocations —
+    the property checkpoint resume relies on to skip already-explored
+    flips after a restart.
     """
     memo = _DIGEST_MEMO
     cached = memo.get(term)
@@ -116,9 +167,12 @@ def term_digest(term: T.Term) -> int:
                 if arg not in memo:
                     stack.append((arg, False))
             continue
-        memo[node] = hash(
-            (node.op, node.width, node.payload, tuple(memo[a] for a in node.args))
-        )
+        digest = _string_digest(node.op)
+        digest = _mix64(digest ^ _payload_digest(node.width))
+        digest = _mix64(digest ^ _payload_digest(node.payload))
+        for arg in node.args:
+            digest = _mix64(digest ^ memo[arg])
+        memo[node] = digest
     digest = memo[term]
     # Trim after the traversal, not during it: evicting mid-walk could
     # drop a subterm digest a pending parent still needs.  Oldest-first
@@ -131,7 +185,11 @@ def term_digest(term: T.Term) -> int:
 
 def query_digest(conditions) -> int:
     """Order-sensitive digest of a full flip query (prefix + negation)."""
-    return hash(tuple(term_digest(term) for term in conditions))
+    digest = 0x2545F4914F6CDD1D
+    for term in conditions:
+        digest = _mix64(digest ^ term_digest(term))
+        digest = _mix64(digest + 0xD1B54A32D192ED03)
+    return digest
 
 
 class Frontier:
@@ -160,6 +218,10 @@ class Frontier:
         self.popped += 1
         return self._strategy.pop()
 
+    def items(self) -> list:
+        """Non-destructive snapshot of the queued items (checkpointing)."""
+        return self._strategy.items()
+
     def __len__(self) -> int:
         return len(self._strategy)
 
@@ -186,6 +248,11 @@ class RunStats:
     fast_path_answers: int = 0
     sat_solves: int = 0
     pruned_queries: int = 0
+    #: Flip queries the solver gave up on (work budget exhausted; see
+    #: ``PreprocessConfig.conflict_budget``).  The branch is *not*
+    #: flipped, so every path missing from a budgeted run is accounted
+    #: for by this counter — the sound-degradation contract.
+    unknown_queries: int = 0
     solver_time: float = 0.0
     #: PCs of flippable branches seen in the run (for branch coverage).
     covered_pcs: set = field(default_factory=set)
@@ -200,6 +267,7 @@ class RunStats:
         self.fast_path_answers += other.fast_path_answers
         self.sat_solves += other.sat_solves
         self.pruned_queries += other.pruned_queries
+        self.unknown_queries += other.unknown_queries
         self.solver_time += other.solver_time
         self.covered_pcs |= other.covered_pcs
         for pc, count in other.pc_hits.items():
@@ -278,7 +346,12 @@ def expand_run(
                     )
                 stats.solver_time += time.perf_counter() - check_start
                 delta_solves = solver.num_solves - solves_before
-                if delta_solves:
+                if verdict is Result.UNKNOWN:
+                    # Budget exhausted: the branch is not flipped and the
+                    # query is attributed here, never to sat/unsat counts.
+                    stats.unknown_queries += 1
+                    stats.sat_solves += delta_solves
+                elif delta_solves:
                     stats.sat_solves += delta_solves
                     if verdict is Result.SAT:
                         stats.sat_checks += 1

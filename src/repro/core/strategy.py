@@ -33,6 +33,14 @@ class Strategy:
     def pop(self) -> Any:
         raise NotImplementedError
 
+    def items(self) -> list:
+        """Non-destructive snapshot of the pending items.
+
+        Order is unspecified (policy-internal); checkpointing re-pushes
+        the snapshot into a fresh strategy on resume.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -52,6 +60,9 @@ class DepthFirst(Strategy):
     def pop(self):
         return self._items.pop()
 
+    def items(self) -> list:
+        return list(self._items)
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -67,6 +78,9 @@ class BreadthFirst(Strategy):
 
     def pop(self):
         return self._items.popleft()
+
+    def items(self) -> list:
+        return list(self._items)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -86,6 +100,9 @@ class RandomChoice(Strategy):
         index = self._rng.randrange(len(self._items))
         self._items[index], self._items[-1] = self._items[-1], self._items[index]
         return self._items.pop()
+
+    def items(self) -> list:
+        return list(self._items)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -113,6 +130,9 @@ class CoverageGuided(Strategy):
 
     def pop(self):
         return heapq.heappop(self._heap)[2]
+
+    def items(self) -> list:
+        return [entry[2] for entry in self._heap]
 
     def __len__(self) -> int:
         return len(self._heap)

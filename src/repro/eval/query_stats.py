@@ -187,6 +187,12 @@ def measure_pipeline(
         "slices": result.solver_stats.get("slices", 0),
         "subsumption_hits": result.solver_stats.get("cache_subsumption_hits", 0),
         "unsat_cores": result.solver_stats.get("unsat_cores", 0),
+        # Degradation accounting (the fault-tolerance contract): queries
+        # the solver abandoned on budget exhaustion, and frontier items
+        # abandoned after repeated worker deaths.  Both are zero in a
+        # healthy unbudgeted run.
+        "unknown_queries": result.unknown_queries,
+        "incomplete_paths": result.incomplete_paths,
         "workers": result.workers,
         # Snapshot layer (all zero for engines without snapshot support
         # or with --no-snapshots): how many runs resumed at their
@@ -229,6 +235,7 @@ def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
                 stats["fast_path"],
                 stats["sat_core_solves"],
                 stats["unsat_cores"],
+                stats["unknown_queries"],
                 stats["slices"],
                 stats["resumed_runs"],
                 stats["saved_instructions"],
@@ -239,8 +246,8 @@ def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
         )
     return format_table(
         ["engine", "paths", "solved", "cache hits", "subsumed", "fast path",
-         "core solves", "min cores", "slices", "resumed", "instr saved",
-         "evictions", "sb hits", "sb deopts"],
+         "core solves", "min cores", "unknown", "slices", "resumed",
+         "instr saved", "evictions", "sb hits", "sb deopts"],
         rows,
         title=f"query pipeline breakdown on {workload}",
     )

@@ -50,12 +50,22 @@ class PreprocessConfig:
     three off the caching solver degenerates to PR 1 behaviour
     (whole-query keys straight to the bit-blaster).
 
-    The two solver-layer knobs ride along in the same config object
+    The solver-layer knobs ride along in the same config object
     because it is what already crosses the process boundary to every
     exploration worker: ``unsat_cores`` (``--no-unsat-cores``) controls
     assumption-level UNSAT core extraction + minimal-core caching, and
     ``trail_reuse`` (``--no-trail-reuse``) the CDCL core's
     shared-assumption-prefix trail retention between queries.
+
+    The *budget* knobs bound worst-case solver work per query, for
+    sound degradation under adversarial branch-flip queries
+    (``--conflict-budget`` / ``--propagation-budget``, None =
+    unlimited): an exhausted budget makes ``check`` answer UNKNOWN,
+    which the exploration layer counts explicitly instead of flipping
+    the branch.  ``core_budget`` (``--core-budget``) caps the extra
+    solves :meth:`repro.smt.sat.SatSolver.minimize_core` may spend
+    shrinking an UNSAT core.  Fork inheritance keeps serial and
+    parallel budget behaviour identical.
     """
 
     slicing: bool = True
@@ -63,6 +73,9 @@ class PreprocessConfig:
     intervals: bool = True
     unsat_cores: bool = True
     trail_reuse: bool = True
+    conflict_budget: "int | None" = None
+    propagation_budget: "int | None" = None
+    core_budget: int = 8
 
 
 # ---------------------------------------------------------------------------

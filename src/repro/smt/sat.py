@@ -21,19 +21,28 @@ appears as ``v`` (positive) or ``-v`` (negated).  The solver supports
 * shared-assumption-prefix trail reuse: consecutive ``solve`` calls
   whose assumption lists share an ordered prefix keep the trail
   segment that prefix justifies instead of cancelling to level 0,
-* VSIDS variable activities with exponential decay and phase saving.
+* VSIDS variable activities with exponential decay and phase saving,
+* per-call conflict/propagation *budgets*: ``solve`` returns
+  :data:`UNKNOWN` instead of running forever on an adversarial query,
+  leaving the solver consistent for the next call (sound degradation —
+  the caller must treat UNKNOWN as "no answer", never as SAT or UNSAT).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
-__all__ = ["SatSolver", "SAT", "UNSAT"]
+__all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]
 
 SAT = True
 UNSAT = False
+#: Budget-exhausted answer: ``solve`` gave up without deciding.  ``None``
+#: so that ``is SAT`` / ``is UNSAT`` comparisons at every call site
+#: remain correct — an unhandled UNKNOWN falls into the "not SAT" arm,
+#: which is the conservative direction for branch flipping (no flip).
+UNKNOWN = None
 
 _UNASSIGNED = 0
 
@@ -75,7 +84,12 @@ class SatSolver:
         assert solver.value(b) is True
     """
 
-    def __init__(self, trail_reuse: bool = True) -> None:
+    def __init__(
+        self,
+        trail_reuse: bool = True,
+        conflict_budget: Optional[int] = None,
+        propagation_budget: Optional[int] = None,
+    ) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based): +1 true, -1 false, 0 unassigned.
         self._assign: list[int] = [0]
@@ -109,6 +123,15 @@ class SatSolver:
         self._lbd_recent: deque = deque(maxlen=_LBD_WINDOW)
         self._lbd_recent_sum = 0
         self._lbd_total = 0
+        #: Per-``solve``-call work budgets (None = unlimited).  When a
+        #: budget runs out the call answers :data:`UNKNOWN` and resets
+        #: to a consistent level-0 state.
+        self.conflict_budget = conflict_budget
+        self.propagation_budget = propagation_budget
+        #: Test/chaos seam: called with the solve ordinal at the start
+        #: of every ``solve``; returning True simulates an immediately
+        #: exhausted budget (see :mod:`repro.core.faults`).
+        self.fault_hook: Optional[Callable[[int], bool]] = None
         self.statistics = {
             "conflicts": 0,
             "decisions": 0,
@@ -119,6 +142,8 @@ class SatSolver:
             "trail_reused_lits": 0,
             "cores_extracted": 0,
             "core_minimize_solves": 0,
+            "solve_calls": 0,
+            "budget_exhausted": 0,
         }
 
     # ------------------------------------------------------------------
@@ -574,19 +599,39 @@ class SatSolver:
             > self._lbd_total * _LBD_WINDOW
         )
 
-    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+    def _give_up(self) -> None:
+        """Abandon the current search consistently (budget exhausted).
+
+        Cancels to level 0 and forgets the previous-assumption prefix so
+        the next ``solve`` re-establishes its assumptions from scratch —
+        learned clauses and activities survive (they are consequences of
+        the clause database, independent of the abandoned search).
+        """
+        self.statistics["budget_exhausted"] += 1
+        self._cancel_until(0)
+        self._prev_assumptions = []
+
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[bool]:
         """Solve under the given assumption literals.
 
-        Returns :data:`SAT` when a model exists, :data:`UNSAT` otherwise.
-        After SAT, :meth:`value` reads the model; after UNSAT under
-        assumptions, :meth:`unsat_core` names the guilty subset.  With
-        trail reuse enabled the trail is left standing between calls:
-        the next ``solve`` keeps the segment justified by the shared
-        ordered assumption prefix instead of re-propagating it.
+        Returns :data:`SAT` when a model exists, :data:`UNSAT` when there
+        is none, or :data:`UNKNOWN` when a configured conflict/propagation
+        budget ran out first.  After SAT, :meth:`value` reads the model;
+        after UNSAT under assumptions, :meth:`unsat_core` names the
+        guilty subset.  With trail reuse enabled the trail is left
+        standing between calls: the next ``solve`` keeps the segment
+        justified by the shared ordered assumption prefix instead of
+        re-propagating it.
         """
         self._conflict_core = []
+        self.statistics["solve_calls"] += 1
         if not self._ok:
             return UNSAT
+        if self.fault_hook is not None and self.fault_hook(
+            self.statistics["solve_calls"]
+        ):
+            self._give_up()
+            return UNKNOWN
         assumptions = list(assumptions)
         keep = 0
         if self._trail_reuse:
@@ -604,16 +649,36 @@ class SatSolver:
         restart_count = 0
         conflicts_until_restart = _luby(restart_count) * 100
         conflict_budget_used = 0
+        conflict_limit = self.conflict_budget
+        conflicts_this_call = 0
+        propagation_limit = None
+        if self.propagation_budget is not None:
+            propagation_limit = (
+                self.statistics["propagations"] + self.propagation_budget
+            )
         while True:
             conflict = self._propagate()
+            if (
+                propagation_limit is not None
+                and self.statistics["propagations"] > propagation_limit
+            ):
+                self._give_up()
+                return UNKNOWN
             if conflict is not None:
                 self.statistics["conflicts"] += 1
                 conflict_budget_used += 1
+                conflicts_this_call += 1
                 if self._decision_level() == 0:
                     self._cancel_until(0)
                     self._ok = False
                     self._prev_assumptions = []
                     return UNSAT
+                if (
+                    conflict_limit is not None
+                    and conflicts_this_call > conflict_limit
+                ):
+                    self._give_up()
+                    return UNKNOWN
                 learned, backjump_level = self._analyze(conflict)
                 # Glue is computed before backjumping, while the levels
                 # of the learned literals are still meaningful.

@@ -38,7 +38,7 @@ from .bitblast import BitBlaster
 from .evalbv import EvalError, evaluate
 from .intervals import analyze_slice
 from .preprocess import PreprocessConfig, rewrite_slice, slice_conditions
-from .sat import SAT, SatSolver
+from .sat import SAT, UNKNOWN, SatSolver
 from .terms import Term
 
 __all__ = [
@@ -52,10 +52,17 @@ __all__ = [
 
 
 class Result(enum.Enum):
-    """Outcome of a satisfiability check."""
+    """Outcome of a satisfiability check.
+
+    ``UNKNOWN`` means a configured work budget ran out before the CDCL
+    core decided the query (see ``PreprocessConfig.conflict_budget``).
+    It is never cached and callers must treat it as "no answer" — for
+    branch flipping that means: do not flip, count the query.
+    """
 
     SAT = "sat"
     UNSAT = "unsat"
+    UNKNOWN = "unknown"
 
 
 class Model:
@@ -113,8 +120,20 @@ class Solver:
     feed the query cache minimal UNSAT sets).
     """
 
-    def __init__(self, trail_reuse: bool = True, unsat_cores: bool = False) -> None:
-        self._sat = SatSolver(trail_reuse=trail_reuse)
+    def __init__(
+        self,
+        trail_reuse: bool = True,
+        unsat_cores: bool = False,
+        conflict_budget: Optional[int] = None,
+        propagation_budget: Optional[int] = None,
+        core_budget: int = 8,
+    ) -> None:
+        self._sat = SatSolver(
+            trail_reuse=trail_reuse,
+            conflict_budget=conflict_budget,
+            propagation_budget=propagation_budget,
+        )
+        self._core_budget = core_budget
         self._blaster = BitBlaster(self._sat)
         self._scopes: list[int] = []
         self._last_result: Optional[Result] = None
@@ -131,6 +150,8 @@ class Solver:
         #: calls that reached the core; a single pipelined check may
         #: issue zero or several core solves.
         self.num_solves = 0
+        #: ``check`` calls answered UNKNOWN (work budget exhausted).
+        self.num_unknowns = 0
 
     # ------------------------------------------------------------------
     # Assertions and scopes
@@ -147,6 +168,17 @@ class Solver:
             self._sat.add_clause([lit])
         self._has_assertions = True
         self._last_result = None
+
+    def set_fault_hook(self, hook) -> None:
+        """Install a per-solve give-up predicate (fault injection).
+
+        ``hook(solve_ordinal) -> bool``; a ``True`` answer makes that
+        CDCL ``solve()`` abandon the query exactly as an exhausted
+        conflict budget would — the check answers UNKNOWN, nothing is
+        cached, and the usual sound-degradation accounting applies.
+        ``None`` uninstalls.
+        """
+        self._sat.fault_hook = hook
 
     def push(self) -> None:
         """Open a new assertion scope."""
@@ -198,12 +230,17 @@ class Solver:
         if outcome is SAT:
             self._last_result = Result.SAT
             return self._last_result
+        if outcome is UNKNOWN:
+            # Budget exhausted: no model, no core, nothing cacheable.
+            self.num_unknowns += 1
+            self._last_result = Result.UNKNOWN
+            return self._last_result
         self._last_result = Result.UNSAT
         if self._unsat_cores and not self._scopes:
             core = self._sat.unsat_core()
             if core and all(lit in lit_terms for lit in core):
                 if len(core) > 1:
-                    core = self._sat.minimize_core(core)
+                    core = self._sat.minimize_core(core, budget=self._core_budget)
                 self.last_core = frozenset(lit_terms[lit] for lit in core)
         return self._last_result
 
@@ -256,6 +293,7 @@ class Solver:
         stats["sat_vars"] = self._sat.num_vars
         stats["checks"] = self.num_checks
         stats["solves"] = self.num_solves
+        stats["unknowns"] = self.num_unknowns
         for kind, hits in self._blaster.network_hits.items():
             stats[f"blaster_{kind}_reuse"] = hits
         return stats
@@ -513,6 +551,7 @@ PIPELINE_COUNTERS = (
     "fast_path_queries",
     "unsat_cores",
     "core_conjuncts_dropped",
+    "unknown_queries",
 )
 
 
@@ -565,7 +604,11 @@ class CachingSolver(Solver):
     ):
         config = preprocess if preprocess is not None else PreprocessConfig()
         super().__init__(
-            trail_reuse=config.trail_reuse, unsat_cores=config.unsat_cores
+            trail_reuse=config.trail_reuse,
+            unsat_cores=config.unsat_cores,
+            conflict_budget=config.conflict_budget,
+            propagation_budget=config.propagation_budget,
+            core_budget=config.core_budget,
         )
         self.cache = cache if cache is not None else QueryCache()
         self.preprocess = config
@@ -592,6 +635,7 @@ class CachingSolver(Solver):
         stats["sat_trail_reused_lits"] = sat_stats["trail_reused_lits"]
         stats["sat_cores_extracted"] = sat_stats["cores_extracted"]
         stats["sat_core_minimize_solves"] = sat_stats["core_minimize_solves"]
+        stats["sat_budget_exhausted"] = sat_stats["budget_exhausted"]
         return stats
 
     def add(self, term: Term) -> None:
@@ -785,6 +829,11 @@ class CachingSolver(Solver):
             joint = [cond for entry in pending for cond in entry.residual]
             stats["joint_solves"] += 1
         verdict = super().check(joint)
+        if verdict is Result.UNKNOWN:
+            # Budget exhausted: no model, no core — nothing is sound to
+            # cache, and the caller must not flip on this answer.
+            stats["unknown_queries"] += 1
+            return Result.UNKNOWN
         if verdict is Result.UNSAT:
             core = self._map_core(pending)
             if len(pending) == 1:
@@ -808,6 +857,9 @@ class CachingSolver(Solver):
                 # other dropped conjuncts).  Re-solve the slice exactly.
                 stats["verify_fallbacks"] += 1
                 verdict = super().check(entry.residual + entry.dropped)
+                if verdict is Result.UNKNOWN:
+                    stats["unknown_queries"] += 1
+                    return Result.UNKNOWN
                 if verdict is Result.UNSAT:
                     core = self._map_core([entry])
                     self._note_core(entry.key, core, stats)

@@ -177,6 +177,60 @@ done:
         ) == 1
         assert "2 paths" in capsys.readouterr().out
 
+    def test_conflict_budget_flag(self, program_file, capsys):
+        assert main(
+            ["explore", "--conflict-budget", "10000", "--stats",
+             str(program_file)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "2 paths" in out
+        assert "unknown" in out
+
+    def test_core_budget_flag(self, program_file, capsys):
+        assert main(
+            ["explore", "--core-budget", "0", str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_inject_faults_flag(self, program_file, capsys):
+        assert main(
+            ["explore", "--inject-faults", "evict=100,seed=3",
+             str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_checkpoint_and_resume(self, tmp_path, program_file, capsys):
+        journal = tmp_path / "campaign"
+        assert main(
+            ["explore", "--checkpoint", str(journal), str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+        assert (journal / "checkpoint.json").exists()
+        # Resuming a complete campaign restores it without re-exploring.
+        assert main(
+            ["explore", "--resume", str(journal), str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_interrupted_checkpoint_then_resume(
+        self, tmp_path, program_file, capsys
+    ):
+        journal = tmp_path / "campaign"
+        main(
+            ["explore", "--checkpoint", str(journal),
+             "--inject-faults", "stop=1", str(program_file)]
+        )
+        assert "[interrupted]" in capsys.readouterr().out
+        assert main(
+            ["explore", "--resume", str(journal), str(program_file)]
+        ) == 1
+        assert "2 paths" in capsys.readouterr().out
+
+    def test_bad_inject_faults_spec(self, program_file):
+        with pytest.raises(SystemExit, match="inject-faults"):
+            main(["explore", "--inject-faults", "frobnicate=1",
+                  str(program_file)])
+
     def test_bad_symbolic_spec(self, program_file):
         with pytest.raises(SystemExit):
             main(["explore", "--symbolic", "garbage", str(program_file)])

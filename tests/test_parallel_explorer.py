@@ -11,7 +11,7 @@ import pytest
 
 from repro.asm import assemble
 from repro.core import BinSymExecutor, Explorer, ProcessPoolExplorer
-from repro.core.parallel import default_jobs
+from repro.core.parallel import MAX_ITEM_FAILURES, default_jobs
 from repro.eval.engines import make_engine
 from repro.eval.query_stats import RecordingSolver
 from repro.eval.workloads import WORKLOADS
@@ -174,8 +174,11 @@ class TestWorkerFailure:
         with pytest.raises(RuntimeError, match="worker failed"):
             ProcessPoolExplorer(ExplodingExecutor(), jobs=2).explore()
 
-    def test_hard_killed_worker_detected(self):
-        """A worker that dies without replying must not hang the parent."""
+    def test_hard_killed_worker_recovered(self):
+        """A worker that dies without replying must neither hang nor
+        crash the campaign: the supervisor retries its item, and — since
+        this executor dies on *every* run — abandons it after the retry
+        budget as an explicitly counted incomplete path."""
         import os
 
         class DyingExecutor:
@@ -185,8 +188,46 @@ class TestWorkerFailure:
             def input_variables(self):
                 return []
 
-        with pytest.raises(RuntimeError, match="died without replying"):
-            ProcessPoolExplorer(DyingExecutor(), jobs=2).explore()
+        result = ProcessPoolExplorer(DyingExecutor(), jobs=2).explore()
+        assert result.num_paths == 0
+        assert result.incomplete_paths == 1
+        assert result.worker_deaths == MAX_ITEM_FAILURES
+        assert "incomplete" in result.summary()
+
+    def test_worker_death_mid_campaign_recovers_full_path_set(self):
+        """Killing a worker once, mid-campaign, loses no paths: the held
+        item is requeued and a respawned worker completes it."""
+        import os
+
+        from repro.core import BinSymExecutor
+        from repro.spec import rv32im
+
+        isa = rv32im()
+
+        class KillOnceExecutor(BinSymExecutor):
+            def execute(self, assignment, capture_from=None, resume=None):
+                flag = os.environ.get("_TEST_KILL_ONCE")
+                if flag and not os.path.exists(flag):
+                    with open(flag, "w") as handle:
+                        handle.write("dead")
+                    os._exit(9)
+                return super().execute(
+                    assignment, capture_from=capture_from, resume=resume
+                )
+
+        import tempfile
+
+        baseline = Explorer(build_executor(PIN_CHECK), jobs=1).explore()
+        with tempfile.TemporaryDirectory() as tmp:
+            os.environ["_TEST_KILL_ONCE"] = os.path.join(tmp, "killed")
+            try:
+                executor = KillOnceExecutor(isa, assemble(PIN_CHECK, isa=isa))
+                result = ProcessPoolExplorer(executor, jobs=2).explore()
+            finally:
+                del os.environ["_TEST_KILL_ONCE"]
+        assert result.path_set() == baseline.path_set()
+        assert result.worker_deaths == 1
+        assert result.incomplete_paths == 0
 
 
 @needs_fork

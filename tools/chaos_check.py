@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""CI chaos gate: the fault-tolerance invariant on the Fig. 6 workloads.
+
+Each workload is explored twice — once clean, once under a seeded
+``FaultPlan`` (worker kills, solver give-ups, snapshot eviction storms,
+queue hiccups) — in serial and on a 4-worker pool.  The gate asserts
+the PR 7 degradation contract on every run:
+
+* the faulted path set is a subset of the clean one (a chaos run must
+  never *invent* paths), and
+* any shortfall is explicitly accounted: ``unknown_queries`` +
+  ``incomplete_paths`` must be positive whenever the subset is proper
+  (silent path loss is the one forbidden outcome), and
+* a schedule that reports no degradation found the identical path set.
+
+Schedules are deterministic (``blake2b(seed, kind, site)``), so a
+failure here reproduces locally with the printed seed.
+
+Usage::
+
+    python tools/chaos_check.py [--seeds N] [--jobs N] [--self-test]
+
+``--self-test`` drops a path from a clean result in memory and asserts
+the invariant check trips — proving the gate can actually fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import Explorer, FaultPlan  # noqa: E402
+from repro.eval.engines import make_engine  # noqa: E402
+from repro.eval.workloads import WORKLOADS  # noqa: E402
+from repro.spec import rv32im  # noqa: E402
+
+#: The paper's Fig. 6 workload set, at scales small enough for CI.
+WORKLOAD_SCALES = {
+    "bubble-sort": 4,
+    "insertion-sort": 4,
+    "base64-encode": 1,
+    "uri-parser": 3,
+    "clif-parser": 3,
+}
+
+#: Base chaos schedule; the per-run seed varies the fault sites.
+RATES = {"kill_rate": 20, "unknown_rate": 15, "evict_rate": 50, "hiccup_rate": 10}
+
+
+def build_explorer(workload: str, jobs: int = 1, faults=None) -> Explorer:
+    spec = WORKLOADS[workload]
+    engine = make_engine("binsym", rv32im(), spec.image(WORKLOAD_SCALES[workload]))
+    return Explorer(engine, jobs=jobs, use_cache=True, faults=faults)
+
+
+def check_invariant(workload: str, clean, faulted, label: str) -> list[str]:
+    """Return the violated invariants (empty = contract held)."""
+    errors = []
+    clean_set = clean.path_set()
+    faulted_set = faulted.path_set()
+    invented = faulted_set - clean_set
+    if invented:
+        errors.append(
+            f"{workload} [{label}]: chaos run invented {len(invented)} "
+            f"path(s) not in the clean set"
+        )
+    degraded = faulted.unknown_queries + faulted.incomplete_paths
+    missing = len(clean_set - faulted_set)
+    if missing and not degraded:
+        errors.append(
+            f"{workload} [{label}]: {missing} path(s) silently lost — "
+            f"no unknown_queries / incomplete_paths reported"
+        )
+    if not missing and not invented and degraded and faulted_set != clean_set:
+        errors.append(f"{workload} [{label}]: inconsistent path accounting")
+    return errors
+
+
+def run_gate(seeds: int, jobs: int) -> int:
+    failures: list[str] = []
+    for workload in WORKLOAD_SCALES:
+        start = time.perf_counter()
+        clean = build_explorer(workload).explore()
+        for seed in range(seeds):
+            plan = FaultPlan(seed=seed, **RATES)
+            for label, n_jobs in (("serial", 1), (f"jobs={jobs}", jobs)):
+                faulted = build_explorer(workload, jobs=n_jobs, faults=plan).explore()
+                errors = check_invariant(workload, clean, faulted, f"{label} seed={seed}")
+                failures.extend(errors)
+                status = "FAIL" if errors else "ok"
+                print(
+                    f"  {status:4s} {workload:16s} {label:8s} seed={seed} "
+                    f"paths={faulted.num_paths}/{clean.num_paths} "
+                    f"unknown={faulted.unknown_queries} "
+                    f"incomplete={faulted.incomplete_paths} "
+                    f"deaths={faulted.worker_deaths}"
+                )
+        print(
+            f"{workload}: {clean.num_paths} clean paths, "
+            f"{time.perf_counter() - start:.1f}s"
+        )
+    if failures:
+        print(f"\nchaos gate FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nchaos gate passed: every fault schedule degraded soundly")
+    return 0
+
+
+def self_test() -> int:
+    """Prove the gate trips: a 'faulted' result that lost a path while
+    reporting zero degradation must be flagged."""
+    clean = build_explorer("clif-parser").explore()
+    broken = build_explorer("clif-parser").explore()
+    assert broken.unknown_queries == 0 and broken.incomplete_paths == 0
+    # Silent loss: drop one path-set identity with no counter accounting.
+    victim = next(iter(broken.path_set()))
+    broken.paths = [
+        p
+        for p in broken.paths
+        if (p.halt_reason, p.exit_code, p.trace_length, p.stdout, p.final_pc)
+        != victim
+    ]
+    errors = check_invariant("clif-parser", clean, broken, "self-test")
+    if not errors:
+        print("self-test FAILED: silent path loss was not detected")
+        return 1
+    print(f"self-test passed: gate trips on silent loss ({errors[0]})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="fault schedules per workload (default 3)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool width for the parallel runs (default 4)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate detects silent path loss")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return run_gate(args.seeds, args.jobs)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
