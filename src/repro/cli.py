@@ -114,6 +114,8 @@ def _cmd_explore(args) -> int:
         conflict_budget=args.conflict_budget,
         propagation_budget=args.propagation_budget,
         core_budget=args.core_budget,
+        certify=args.certify,
+        proof_log=args.proof_log,
     )
     faults = None
     if args.inject_faults:
@@ -139,6 +141,18 @@ def _cmd_explore(args) -> int:
         faults=faults,
     ).explore()
     print(result.summary())
+    if args.certify:
+        stats = result.solver_stats
+        print(
+            f"certified results: {result.certified_paths} paths replayed "
+            f"({result.certificate_failures} failed), "
+            f"{stats.get('certified_sat', 0)} SAT models evaluated, "
+            f"{stats.get('certified_unsat', 0)} UNSAT proofs checked, "
+            f"{stats.get('certify_failures', 0)} certification failures, "
+            f"{stats.get('cache_quarantines', 0)} cache quarantines"
+        )
+        for message in result.certificate_errors:
+            print(f"  CERTIFICATE FAILURE: {message}")
     if args.stats:
         print("query pipeline statistics:")
         print(f"  queries answered     : {result.num_queries} solved, "
@@ -280,11 +294,23 @@ def main(argv=None) -> int:
                            help="resume a killed campaign from DIR's "
                                 "journal (implies --checkpoint DIR); "
                                 "completed paths are not re-executed")
+    p_explore.add_argument("--certify", action="store_true", default=False,
+                           help="certify every reported answer: UNSAT "
+                                "answers are DRAT-checked, SAT models "
+                                "re-evaluated, and every path replayed "
+                                "under the unstaged reference evaluator; "
+                                "failures are counted and downgraded, "
+                                "never trusted")
+    p_explore.add_argument("--no-proof-log", dest="proof_log",
+                           action="store_false", default=True,
+                           help="disable DRAT clause logging in the CDCL "
+                                "core (ablation; --certify then falls "
+                                "back to re-derivation where possible)")
     p_explore.add_argument("--inject-faults", metavar="SPEC", default=None,
                            help="deterministic chaos schedule, e.g. "
                                 "'kill=30,unknown=20,evict=50,hiccup=10,"
-                                "stop=5,seed=1' (rates in percent; stop "
-                                "interrupts after N paths)")
+                                "corrupt=30,stop=5,seed=1' (rates in "
+                                "percent; stop interrupts after N paths)")
     p_explore.add_argument("--stats", action="store_true",
                            help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)

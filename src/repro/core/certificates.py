@@ -1,0 +1,181 @@
+"""Per-path certificates: replayable evidence for every reported path.
+
+An exploration result is a *claim*: "these inputs drive the SUT down a
+path with this halt reason, exit code, output and path condition".  The
+claim is cheap to state and — because the exploring run may have gone
+through staged plans, superblocks and snapshot resumption — worth
+checking against something simpler.  A :class:`PathCertificate` pins
+down everything observable about one path:
+
+* the concrete **inputs** (the solver model that selected the path),
+  serialized by variable name so a certificate survives process and
+  checkpoint boundaries;
+* the **observable outcome**: halt reason, exit code, architectural
+  instruction count, final PC, and a digest of the captured stdout;
+* the **path-condition digest chain**: the order-sensitive fold of
+  :func:`repro.core.scheduler.query_digest` over the trace's branch
+  conditions and assumptions, which identifies the logical path, not
+  just its observable effects.
+
+Verification is replay under the *reference evaluator*: staging and
+superblocks off, no snapshot resumption — the plain recursive
+interpretation of the formal ISA semantics.  Every field must match
+exactly; the condition digest in particular certifies that the staged
+plan compiler, the superblock stitcher and the snapshot layer produced
+byte-for-byte the same path conditions the reference interpretation
+derives from scratch.  A mismatch is counted and reported, never
+silently dropped (same contract as the solver-side certification in
+:mod:`repro.smt.solver`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from .scheduler import deserialize_assignment, query_digest, serialize_assignment
+
+__all__ = [
+    "PathCertificate",
+    "certificate_for",
+    "replay_mismatches",
+    "verify_result",
+    "reference_mode",
+    "stdout_digest",
+]
+
+
+def stdout_digest(data: bytes) -> str:
+    """Short stable digest of a path's captured output."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class PathCertificate:
+    """Independently checkable claim about one explored path.
+
+    ``inputs`` is the name-keyed serialized assignment (see
+    :func:`repro.core.scheduler.serialize_assignment`), so the
+    certificate is self-contained: any process holding the same SUT
+    image can replay it.  ``condition_digest`` is ``None`` when the
+    exploring driver did not record condition chains (certify mode
+    off, or a path restored from a pre-certify checkpoint) — replay
+    then checks the observable fields only.
+    """
+
+    index: int
+    inputs: tuple
+    halt_reason: Optional[str]
+    exit_code: Optional[int]
+    instret: int
+    trace_length: int
+    stdout_digest: str
+    final_pc: int
+    condition_digest: Optional[int] = None
+
+
+def certificate_for(path) -> PathCertificate:
+    """Build the certificate a recorded :class:`PathInfo` claims."""
+    return PathCertificate(
+        index=path.index,
+        inputs=serialize_assignment(path.assignment),
+        halt_reason=path.halt_reason,
+        exit_code=path.exit_code,
+        instret=path.instret,
+        trace_length=path.trace_length,
+        stdout_digest=stdout_digest(path.stdout),
+        final_pc=path.final_pc,
+        condition_digest=path.condition_digest,
+    )
+
+
+def replay_mismatches(cert: PathCertificate, executor) -> list[str]:
+    """Replay ``cert``'s inputs on ``executor``; list every mismatch.
+
+    An empty list means the certificate checked.  The caller is
+    responsible for putting the executor into reference configuration
+    first (see :class:`reference_mode`) — this function only replays
+    and compares.
+    """
+    run = executor.execute(deserialize_assignment(cert.inputs))
+    checks = [
+        ("halt_reason", cert.halt_reason, run.halt_reason),
+        ("exit_code", cert.exit_code, run.exit_code),
+        ("instret", cert.instret, run.instret),
+        ("trace_length", cert.trace_length, len(run.trace)),
+        ("stdout_digest", cert.stdout_digest, stdout_digest(run.stdout)),
+        ("final_pc", cert.final_pc, run.final_pc),
+    ]
+    if cert.condition_digest is not None:
+        checks.append(
+            (
+                "condition_digest",
+                cert.condition_digest,
+                query_digest(run.trace.conditions()),
+            )
+        )
+    return [
+        f"path {cert.index}: {name} mismatch (claimed {claimed!r}, replay {got!r})"
+        for name, claimed, got in checks
+        if claimed != got
+    ]
+
+
+class reference_mode:
+    """Temporarily drop an executor to the reference evaluator.
+
+    Staging and superblocks go off for the duration (engines without
+    those knobs are left untouched); the previous configuration is
+    restored on exit, so a certify pass does not perturb whatever runs
+    the caller does next.  Replay always goes through ``execute()``
+    from the entry point, so snapshot resumption is out of the picture
+    by construction.
+    """
+
+    def __init__(self, executor):
+        self.executor = executor
+        self._staging: Optional[bool] = None
+        self._superblocks: Optional[bool] = None
+
+    def __enter__(self):
+        executor = self.executor
+        interpreter = getattr(executor, "interpreter", None)
+        if hasattr(executor, "set_staging"):
+            self._staging = getattr(interpreter, "staging", None)
+            executor.set_staging(False)
+        if hasattr(executor, "set_superblocks"):
+            self._superblocks = getattr(executor, "superblocks_enabled", None)
+            executor.set_superblocks(False)
+        return executor
+
+    def __exit__(self, *exc_info):
+        if self._staging is not None:
+            self.executor.set_staging(self._staging)
+        if self._superblocks is not None:
+            self.executor.set_superblocks(self._superblocks)
+        return False
+
+
+def verify_result(result, executor) -> list[str]:
+    """Replay-verify every recorded path of an exploration result.
+
+    Builds one certificate per path, replays each under the reference
+    evaluator, and folds the outcome into the result's accounting:
+    ``certified_paths`` / ``certificate_failures`` counters, the
+    ``certificates`` list, and ``certificate_errors`` carrying one
+    message per mismatching field.  Returns the error list.
+    """
+    certificates = [certificate_for(path) for path in result.paths]
+    failures: list[str] = []
+    with reference_mode(executor):
+        for cert in certificates:
+            problems = replay_mismatches(cert, executor)
+            if problems:
+                failures.extend(problems)
+                result.certificate_failures += 1
+            else:
+                result.certified_paths += 1
+    result.certificates = certificates
+    result.certificate_errors.extend(failures)
+    return failures

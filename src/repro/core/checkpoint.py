@@ -8,6 +8,14 @@ directory.  Writes go through a temp file + ``os.replace``, so a crash
 at any instant leaves either the previous checkpoint or the new one,
 never a torn file.
 
+The journal carries its own **integrity digest**: the state object is
+canonically serialized and a ``blake2b`` digest of those bytes is
+stored alongside it.  ``load()`` recomputes the digest before trusting
+anything — a truncated, bit-flipped or hand-edited journal fails with
+a clear error instead of silently resuming a corrupted campaign (the
+same never-trust-stored-answers contract the query cache enforces with
+its per-entry digests).
+
 ``--resume <dir>`` reloads the journal and continues the campaign:
 recorded paths are *not* re-executed (they are restored verbatim, with
 their counters), pending frontier items are re-pushed, and the
@@ -31,6 +39,7 @@ Two deliberate non-goals keep the journal small and sound:
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -42,7 +51,19 @@ __all__ = ["CheckpointManager", "CheckpointState", "CHECKPOINT_FILENAME"]
 
 CHECKPOINT_FILENAME = "checkpoint.json"
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+def _state_digest(state: dict) -> str:
+    """Digest of the canonical serialization of the journal state.
+
+    The state is re-serialized with sorted keys and fixed separators on
+    both the write and the verify side, so the digest is independent of
+    incidental formatting and survives a JSON round-trip (tuples come
+    back as lists, which serialize identically).
+    """
+    body = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(body.encode("utf-8"), digest_size=16).hexdigest()
 
 #: ExplorationResult counter attributes persisted verbatim.
 _COUNTER_FIELDS = (
@@ -82,7 +103,16 @@ class CheckpointState:
         from .explorer import PathInfo
 
         for payload in self.paths:
-            (halt, exit_code, instret, trace_len, assignment, stdout, pc) = payload
+            (
+                halt,
+                exit_code,
+                instret,
+                trace_len,
+                assignment,
+                stdout,
+                pc,
+                condition_digest,
+            ) = payload
             result.paths.append(
                 PathInfo(
                     index=len(result.paths),
@@ -93,6 +123,7 @@ class CheckpointState:
                     assignment=deserialize_assignment(assignment),
                     stdout=base64.b64decode(stdout),
                     final_pc=pc,
+                    condition_digest=condition_digest,
                 )
             )
         for name in _COUNTER_FIELDS:
@@ -149,12 +180,40 @@ class CheckpointManager:
     # ------------------------------------------------------------------
 
     def load(self) -> Optional[CheckpointState]:
-        """Decode the journal, or ``None`` when none was ever written."""
+        """Decode and integrity-check the journal (``None`` = never written).
+
+        Raises ``ValueError`` when the journal exists but cannot be
+        trusted: unreadable JSON (truncation), a missing or mismatching
+        content digest (bit flips, hand edits), or an incompatible
+        format version.  Resuming from a corrupt journal would silently
+        lose or duplicate paths, so it is always an error.
+        """
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 raw = json.load(handle)
         except FileNotFoundError:
             return None
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"checkpoint {self.path} is corrupt (unreadable JSON: {exc}) "
+                f"— the journal was truncated or damaged; delete it to start "
+                f"a fresh campaign"
+            ) from None
+        digest = raw.get("digest") if isinstance(raw, dict) else None
+        state_raw = raw.get("state") if isinstance(raw, dict) else None
+        if not isinstance(digest, str) or not isinstance(state_raw, dict):
+            raise ValueError(
+                f"checkpoint {self.path} is malformed (missing integrity "
+                f"digest or state) — it was not written by this version, or "
+                f"was damaged; delete it to start a fresh campaign"
+            )
+        if _state_digest(state_raw) != digest:
+            raise ValueError(
+                f"checkpoint {self.path} failed its integrity check "
+                f"(content digest mismatch) — the journal is truncated or "
+                f"bit-flipped; delete it to start a fresh campaign"
+            )
+        raw = state_raw
         if raw.get("version") != _FORMAT_VERSION:
             raise ValueError(
                 f"checkpoint {self.path} has unsupported version "
@@ -227,6 +286,7 @@ class CheckpointManager:
                     serialize_assignment(info.assignment),
                     base64.b64encode(info.stdout).decode("ascii"),
                     info.final_pc,
+                    info.condition_digest,
                 )
                 for info in result.paths
             ],
@@ -248,9 +308,13 @@ class CheckpointManager:
             "snapshot_stats": snapshot_stats or {},
             "superblock_stats": superblock_stats or {},
         }
+        # Digest over the canonical serialization, then the wrapper —
+        # load() recomputes the digest from the parsed state, so any
+        # bit flip in either part is caught.
+        journal = {"digest": _state_digest(state), "state": state}
         temp_path = self.path + ".tmp"
         with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(state, handle)
+            json.dump(journal, handle)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, self.path)

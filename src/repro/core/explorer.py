@@ -31,7 +31,7 @@ from ..smt.preprocess import PreprocessConfig
 from ..smt.solver import CachingSolver, Solver
 from ..spec.superblock import BRANCH_HOT_HITS
 from .executor import RunResult
-from .scheduler import Frontier, RunStats, WorkItem, expand_run
+from .scheduler import Frontier, RunStats, WorkItem, expand_run, query_digest
 from .state import ExploredPrefixTrie, InputAssignment
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "apply_staging",
     "apply_superblocks",
     "make_solver",
+    "install_fault_hooks",
 ]
 
 
@@ -61,7 +62,28 @@ def make_solver(use_cache: bool, preprocess: Optional[PreprocessConfig]):
         conflict_budget=preprocess.conflict_budget,
         propagation_budget=preprocess.propagation_budget,
         core_budget=preprocess.core_budget,
+        certify=preprocess.certify,
+        proof_log=preprocess.proof_log,
     )
+
+
+def install_fault_hooks(solver, faults, scope) -> None:
+    """Attach one driver's fault schedule to its solver (and cache).
+
+    Used identically by the serial driver and every pool worker:
+    ``unknown=`` give-ups go to the CDCL fault hook, ``corrupt=``
+    poisoning to the query cache's corruptor seam (a solver without a
+    cache simply has nothing to poison).
+    """
+    if faults is None:
+        return
+    hook = faults.solver_hook(scope)
+    if hook is not None and hasattr(solver, "set_fault_hook"):
+        solver.set_fault_hook(hook)
+    corruptor = faults.corruptor(scope)
+    cache = getattr(solver, "cache", None)
+    if corruptor is not None and cache is not None:
+        cache.set_corruptor(corruptor)
 
 
 def apply_staging(executor, staging: Optional[bool]) -> Optional[bool]:
@@ -105,6 +127,10 @@ class PathInfo:
     assignment: InputAssignment
     stdout: bytes
     final_pc: int = 0
+    #: Order-sensitive digest chain of the path's branch conditions and
+    #: assumptions (certify mode only; ``None`` otherwise) — the logical
+    #: path identity a certificate replay re-derives and compares.
+    condition_digest: Optional[int] = None
 
     @property
     def is_assertion_failure(self) -> bool:
@@ -173,6 +199,16 @@ class ExplorationResult:
     #: worker's executor; empty when the engine has no superblock
     #: support or superblocks are off.
     superblock_stats: dict = field(default_factory=dict)
+    #: Certify-mode replay accounting: paths whose certificates checked
+    #: under the reference evaluator, and paths with at least one
+    #: mismatching field (see :mod:`repro.core.certificates`).
+    certified_paths: int = 0
+    certificate_failures: int = 0
+    #: One :class:`repro.core.certificates.PathCertificate` per recorded
+    #: path (certify mode only), in path order.
+    certificates: list = field(default_factory=list)
+    #: Human-readable mismatch messages from the certify replay.
+    certificate_errors: list = field(default_factory=list)
 
     @property
     def num_paths(self) -> int:
@@ -279,6 +315,11 @@ class ExplorationResult:
             )
         if self.worker_deaths:
             text += f" [{self.worker_deaths} worker deaths]"
+        if self.certified_paths or self.certificate_failures:
+            text += (
+                f" [certified: {self.certified_paths} paths, "
+                f"{self.certificate_failures} failures]"
+            )
         if self.interrupted:
             text += " [interrupted]"
         return text
@@ -347,6 +388,10 @@ class Explorer:
         self.checkpoint_interval = checkpoint_interval
         self.resume = resume
         self.faults = faults if faults is not None and faults.active else None
+        #: Certify mode (``--certify``): record per-path condition
+        #: digests during exploration and replay-verify every path
+        #: under the reference evaluator once exploration finishes.
+        self.certify = preprocess is not None and preprocess.certify
 
     def explore(self) -> ExplorationResult:
         """Run the full exploration; returns all discovered paths."""
@@ -425,10 +470,7 @@ class Explorer:
         executor = self.executor
         snapshots = self.snapshots
         faults = self.faults
-        if faults is not None:
-            hook = faults.solver_hook("serial")
-            if hook is not None and hasattr(self.solver, "set_fault_hook"):
-                self.solver.set_fault_hook(hook)
+        install_fault_hooks(self.solver, faults, "serial")
         purge = getattr(executor, "purge_snapshots", None)
         # Superblock hotness feedback: accumulate per-PC flippable-branch
         # executions across runs; a PC crossing the threshold is reported
@@ -519,6 +561,10 @@ class Explorer:
                 snapshot_stats=result.snapshot_stats,
                 superblock_stats=result.superblock_stats,
             )
+        if self.certify:
+            from .certificates import verify_result
+
+            verify_result(result, executor)
         result.wall_time = time.perf_counter() - start
         return result
 
@@ -537,5 +583,8 @@ class Explorer:
                 assignment=run.assignment,
                 stdout=run.stdout,
                 final_pc=run.final_pc,
+                condition_digest=(
+                    query_digest(run.trace.conditions()) if self.certify else None
+                ),
             )
         )

@@ -19,7 +19,12 @@ on.  Four fault classes map onto the robustness machinery they probe:
   before a run, exercising the eviction → full-re-execution contract
   from PR 5;
 * **queue hiccups** (``hiccup=<rate>``) — a short sleep before a worker
-  posts its reply, exercising the parent's reply/death race handling.
+  posts its reply, exercising the parent's reply/death race handling;
+* **cache corruption** (``corrupt=<rate>``) — a freshly stored
+  :class:`repro.smt.solver.QueryCache` entry (SAT model, pooled model
+  or UNSAT core set) is bit-flipped *after* its integrity digest is
+  taken, exercising the verify-on-hit → quarantine → re-solve path:
+  the poisoned answer must be detected and re-derived, never served.
 
 Rates are percentages; each *potential* fault site draws an
 independent, stable pseudo-random decision from
@@ -64,6 +69,7 @@ class FaultPlan:
     unknown_rate: int = 0
     evict_rate: int = 0
     hiccup_rate: int = 0
+    corrupt_rate: int = 0
     interrupt_after: Optional[int] = None
 
     #: spec key -> field for :meth:`parse`.
@@ -73,6 +79,7 @@ class FaultPlan:
         "unknown": "unknown_rate",
         "evict": "evict_rate",
         "hiccup": "hiccup_rate",
+        "corrupt": "corrupt_rate",
         "stop": "interrupt_after",
     }
 
@@ -111,6 +118,7 @@ class FaultPlan:
             or self.unknown_rate
             or self.evict_rate
             or self.hiccup_rate
+            or self.corrupt_rate
             or self.interrupt_after is not None
         )
 
@@ -149,6 +157,23 @@ class FaultPlan:
             return 0.0
         # 1-5 ms, drawn from the same stable stream.
         return 0.001 * (1 + self._decide("hiccup-len", scope, ordinal) % 5)
+
+    def corruptor(self, scope):
+        """Cache-poisoning predicate for
+        :meth:`repro.smt.solver.QueryCache.set_corruptor`.
+
+        Returns ``None`` when corruption is disabled, else a callable
+        taking the entry kind (``"model"``, ``"core"``, ``"pool"``) and
+        the cache's store ordinal, answering whether that freshly
+        stored entry should be poisoned after its digest is taken.
+        """
+        if self.corrupt_rate <= 0:
+            return None
+
+        def hook(kind: str, ordinal: int) -> bool:
+            return self._chance(self.corrupt_rate, "corrupt", kind, scope, ordinal)
+
+        return hook
 
     def solver_hook(self, scope):
         """Give-up predicate for :attr:`repro.smt.sat.SatSolver.fault_hook`.

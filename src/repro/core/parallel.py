@@ -56,6 +56,7 @@ from .explorer import (
     PathInfo,
     apply_staging,
     apply_superblocks,
+    install_fault_hooks,
     make_solver,
 )
 from .faults import KILL_EXIT_CODE
@@ -65,6 +66,7 @@ from .scheduler import (
     WorkItem,
     deserialize_assignment,
     expand_run,
+    query_digest,
     serialize_assignment,
 )
 from .state import ExploredPrefixTrie, InputAssignment
@@ -126,10 +128,8 @@ def _worker_main(
     to widen the reply/death race window the supervisor must tolerate.
     """
     solver = make_solver(use_cache, preprocess)
-    if faults is not None:
-        hook = faults.solver_hook(worker_uid)
-        if hook is not None and hasattr(solver, "set_fault_hook"):
-            solver.set_fault_hook(hook)
+    install_fault_hooks(solver, faults, worker_uid)
+    certify = preprocess is not None and preprocess.certify
     purge = getattr(executor, "purge_snapshots", None)
     trie = ExploredPrefixTrie() if dedup_flips else None
     cross_worker_items = 0
@@ -187,6 +187,7 @@ def _worker_main(
                 run.stdout,
                 run.final_pc,
                 run.resumed_instret,
+                query_digest(run.trace.conditions()) if certify else None,
             )
             # child.divergence is not shipped: it always equals
             # bound - 1 for flip children, so the parent re-derives it.
@@ -663,6 +664,13 @@ class ProcessPoolExplorer:
                 snapshot_stats=result.snapshot_stats,
                 superblock_stats=result.superblock_stats,
             )
+        if self.preprocess is not None and self.preprocess.certify:
+            # The parent never executed the SUT, so its executor is a
+            # pristine replay vehicle for the certificates the workers'
+            # runs produced.
+            from .certificates import verify_result
+
+            verify_result(result, self.executor)
         result.wall_time = time.perf_counter() - start
         return result
 
@@ -676,6 +684,7 @@ class ProcessPoolExplorer:
             stdout,
             pc,
             resumed_instret,
+            condition_digest,
         ) = payload
         result.total_instructions += instret
         result.executed_instructions += instret - resumed_instret
@@ -689,6 +698,7 @@ class ProcessPoolExplorer:
                 assignment=deserialize_assignment(assignment),
                 stdout=stdout,
                 final_pc=pc,
+                condition_digest=condition_digest,
             )
         )
 

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.explorer import Explorer
-from ..smt.preprocess import slice_conditions
+from ..smt.preprocess import PreprocessConfig, slice_conditions
 from ..smt.solver import Solver
 from ..spec.isa import rv32im
 from .engines import make_engine
@@ -165,19 +165,28 @@ def render(comparison: dict[str, QueryStats], workload: str) -> str:
 
 
 def measure_pipeline(
-    key: str, workload: str, scale: Optional[int] = None, jobs: int = 1
+    key: str,
+    workload: str,
+    scale: Optional[int] = None,
+    jobs: int = 1,
+    certify: bool = False,
 ) -> dict:
     """Explore one workload; return the query-answer breakdown.
 
     The returned dict separates, exactly (summed across workers when
     ``jobs > 1``): queries the SAT core solved, queries the cross-path
     cache answered, queries the preprocessing fast path answered, and
-    the raw CDCL ``solve()`` calls behind the solved ones.
+    the raw CDCL ``solve()`` calls behind the solved ones.  With
+    ``certify`` the exploration runs in certify mode and the breakdown
+    additionally reports the evidence-layer counters.
     """
     spec = WORKLOADS[workload]
     image = spec.image(scale or spec.default_scale)
     engine = make_engine(key, rv32im(), image)
-    result = Explorer(engine, jobs=jobs, use_cache=True).explore()
+    preprocess = PreprocessConfig(certify=True) if certify else None
+    result = Explorer(
+        engine, jobs=jobs, use_cache=True, preprocess=preprocess
+    ).explore()
     return {
         "paths": result.num_paths,
         "solved": result.num_queries,
@@ -208,6 +217,17 @@ def measure_pipeline(
         "superblock_hits": result.superblock_stats.get("sb_hits", 0),
         "superblock_deopts": result.superblock_stats.get("sb_deopts", 0)
         + result.superblock_stats.get("sb_invalidations", 0),
+        # Evidence layer (all zero unless certify mode is on): answers
+        # certified (DRAT-checked UNSAT proofs plus re-evaluated SAT
+        # models), paths whose certificates replayed identically under
+        # the reference evaluator, and cache entries quarantined by a
+        # failed verify-on-hit integrity check.
+        "certified": result.solver_stats.get("certified_sat", 0)
+        + result.solver_stats.get("certified_unsat", 0),
+        "checked_paths": result.certified_paths,
+        "quarantined": result.solver_stats.get("cache_quarantines", 0),
+        "certify_failures": result.solver_stats.get("certify_failures", 0)
+        + result.certificate_failures,
     }
 
 
@@ -216,38 +236,54 @@ def compare_pipeline(
     scale: Optional[int] = None,
     jobs: int = 1,
     engines=("binsym", "binsec", "symex-vp", "angr"),
+    certify: bool = False,
 ) -> dict[str, dict]:
     return {
-        key: measure_pipeline(key, workload, scale, jobs) for key in engines
+        key: measure_pipeline(key, workload, scale, jobs, certify)
+        for key in engines
     }
 
 
-def render_pipeline(comparison: dict[str, dict], workload: str) -> str:
+def render_pipeline(
+    comparison: dict[str, dict], workload: str, certify: bool = False
+) -> str:
     rows = []
     for key, stats in comparison.items():
-        rows.append(
-            [
-                key,
-                stats["paths"],
-                stats["solved"],
-                stats["cache_hits"],
-                stats["subsumption_hits"],
-                stats["fast_path"],
-                stats["sat_core_solves"],
-                stats["unsat_cores"],
-                stats["unknown_queries"],
-                stats["slices"],
-                stats["resumed_runs"],
-                stats["saved_instructions"],
-                stats["pool_evictions"],
-                stats["superblock_hits"],
-                stats["superblock_deopts"],
-            ]
-        )
+        row = [
+            key,
+            stats["paths"],
+            stats["solved"],
+            stats["cache_hits"],
+            stats["subsumption_hits"],
+            stats["fast_path"],
+            stats["sat_core_solves"],
+            stats["unsat_cores"],
+            stats["unknown_queries"],
+            stats["slices"],
+            stats["resumed_runs"],
+            stats["saved_instructions"],
+            stats["pool_evictions"],
+            stats["superblock_hits"],
+            stats["superblock_deopts"],
+        ]
+        if certify:
+            row.extend(
+                [
+                    stats["certified"],
+                    stats["checked_paths"],
+                    stats["quarantined"],
+                ]
+            )
+        rows.append(row)
+    headers = [
+        "engine", "paths", "solved", "cache hits", "subsumed", "fast path",
+        "core solves", "min cores", "unknown", "slices", "resumed",
+        "instr saved", "evictions", "sb hits", "sb deopts",
+    ]
+    if certify:
+        headers.extend(["certified", "checked", "quarantined"])
     return format_table(
-        ["engine", "paths", "solved", "cache hits", "subsumed", "fast path",
-         "core solves", "min cores", "unknown", "slices", "resumed",
-         "instr saved", "evictions", "sb hits", "sb deopts"],
+        headers,
         rows,
         title=f"query pipeline breakdown on {workload}",
     )
@@ -273,10 +309,19 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="explore on N worker processes (breakdown sums exactly)",
     )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the pipeline breakdown in certify mode and report the "
+             "evidence-layer columns (certified answers, replay-checked "
+             "paths, quarantined cache entries)",
+    )
     args = parser.parse_args(argv)
     if args.pipeline:
-        breakdown = compare_pipeline(args.workload, args.scale, args.jobs)
-        print(render_pipeline(breakdown, args.workload))
+        breakdown = compare_pipeline(
+            args.workload, args.scale, args.jobs, certify=args.certify
+        )
+        print(render_pipeline(breakdown, args.workload, certify=args.certify))
         return 0
     from ..smt import terms
 

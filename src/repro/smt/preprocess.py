@@ -66,6 +66,16 @@ class PreprocessConfig:
     solves :meth:`repro.smt.sat.SatSolver.minimize_core` may spend
     shrinking an UNSAT core.  Fork inheritance keeps serial and
     parallel budget behaviour identical.
+
+    The *evidence* knobs control the certification layer:
+    ``proof_log`` (``--no-proof-log``) keeps the CDCL core's DRAT-style
+    clause log (learned additions + deletions) so UNSAT answers carry a
+    checkable derivation, and ``certify`` (``--certify``) turns on the
+    checks themselves — every UNSAT core is validated by the
+    independent RUP checker in :mod:`repro.smt.drat` and every SAT
+    model is evaluated against the original conjuncts before anything
+    is cached or reported.  A failed check is never trusted: the entry
+    is quarantined, the query re-solved, and the failure counted.
     """
 
     slicing: bool = True
@@ -76,6 +86,8 @@ class PreprocessConfig:
     conflict_budget: "int | None" = None
     propagation_budget: "int | None" = None
     core_budget: int = 8
+    certify: bool = False
+    proof_log: bool = True
 
 
 # ---------------------------------------------------------------------------

@@ -89,6 +89,7 @@ class SatSolver:
         trail_reuse: bool = True,
         conflict_budget: Optional[int] = None,
         propagation_budget: Optional[int] = None,
+        proof_log: bool = False,
     ) -> None:
         self._num_vars = 0
         # Indexed by variable (1-based): +1 true, -1 false, 0 unassigned.
@@ -132,6 +133,16 @@ class SatSolver:
         #: of every ``solve``; returning True simulates an immediately
         #: exhausted budget (see :mod:`repro.core.faults`).
         self.fault_hook: Optional[Callable[[int], bool]] = None
+        #: DRAT-style clause log (``None`` = disabled): ``("i", lits)``
+        #: input clauses as given to :meth:`add_clause`, ``("a", lits)``
+        #: learned additions — unit learnts and the terminal empty
+        #: clause included — and ``("d", lits)`` database-reduction
+        #: deletions, in derivation order.  Checked independently by
+        #: :mod:`repro.smt.drat`; the log only ever grows, so a checker
+        #: can consume it incrementally across ``solve`` calls.
+        self.proof: Optional[list[tuple[str, tuple[int, ...]]]] = (
+            [] if proof_log else None
+        )
         self.statistics = {
             "conflicts": 0,
             "decisions": 0,
@@ -189,6 +200,7 @@ class SatSolver:
         if not self._ok:
             return False
         seen: set[int] = set()
+        kept: list[int] = []
         out: list[int] = []
         for lit in lits:
             assert lit != 0 and abs(lit) <= self._num_vars, f"bad literal {lit}"
@@ -196,20 +208,31 @@ class SatSolver:
                 return True  # tautology
             if lit in seen:
                 continue
+            seen.add(lit)
             value = self._lit_value(lit)
             if value == 1:
                 return True  # already satisfied at level 0
+            kept.append(lit)
             if value == -1:
                 continue  # falsified at level 0: drop literal
-            seen.add(lit)
             out.append(lit)
+        # The proof logs the clause *before* level-0 simplification:
+        # the dropped literals' falsifying units are themselves logged
+        # inputs, so the checker's propagation re-derives the
+        # simplification instead of trusting it.
+        if self.proof is not None and kept:
+            self.proof.append(("i", tuple(kept)))
         if not out:
+            if self.proof is not None:
+                self.proof.append(("a", ()) if kept else ("i", ()))
             self._ok = False
             return False
         if len(out) == 1:
             self._enqueue(out[0], None)
             conflict = self._propagate()
             if conflict is not None:
+                if self.proof is not None:
+                    self.proof.append(("a", ()))
                 self._ok = False
                 return False
             return True
@@ -574,6 +597,9 @@ class SatSolver:
         self._learned = [c for c in self._learned if id(c) not in remove_ids]
         for watch_list in self._watches:
             watch_list[:] = [c for c in watch_list if id(c) not in remove_ids]
+        if self.proof is not None:
+            for clause in removed:
+                self.proof.append(("d", tuple(clause.lits)))
         self.statistics["learned_deleted"] += len(removed)
         self._max_learned = int(self._max_learned * 1.5)
 
@@ -669,6 +695,8 @@ class SatSolver:
                 conflict_budget_used += 1
                 conflicts_this_call += 1
                 if self._decision_level() == 0:
+                    if self.proof is not None:
+                        self.proof.append(("a", ()))
                     self._cancel_until(0)
                     self._ok = False
                     self._prev_assumptions = []
@@ -680,6 +708,8 @@ class SatSolver:
                     self._give_up()
                     return UNKNOWN
                 learned, backjump_level = self._analyze(conflict)
+                if self.proof is not None:
+                    self.proof.append(("a", tuple(learned)))
                 # Glue is computed before backjumping, while the levels
                 # of the learned literals are still meaningful.
                 lbd = self._clause_lbd(learned)

@@ -30,10 +30,11 @@ are stitched across slices (plus rewrite bindings) into one witness.
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections import deque
 from typing import Iterable, Mapping, Optional
 
-from . import terms
+from . import drat, terms
 from .bitblast import BitBlaster
 from .evalbv import EvalError, evaluate
 from .intervals import analyze_slice
@@ -127,11 +128,14 @@ class Solver:
         conflict_budget: Optional[int] = None,
         propagation_budget: Optional[int] = None,
         core_budget: int = 8,
+        certify: bool = False,
+        proof_log: bool = False,
     ) -> None:
         self._sat = SatSolver(
             trail_reuse=trail_reuse,
             conflict_budget=conflict_budget,
             propagation_budget=propagation_budget,
+            proof_log=proof_log,
         )
         self._core_budget = core_budget
         self._blaster = BitBlaster(self._sat)
@@ -152,6 +156,18 @@ class Solver:
         self.num_solves = 0
         #: ``check`` calls answered UNKNOWN (work budget exhausted).
         self.num_unknowns = 0
+        #: Certification mode (``--certify``): every UNSAT answer is
+        #: checked against the CDCL core's DRAT-style proof by the
+        #: independent RUP checker in :mod:`repro.smt.drat`, and every
+        #: SAT model is evaluated against the query terms with the
+        #: reference evaluator before it is reported.  An answer whose
+        #: evidence fails to check is *downgraded to UNKNOWN* — counted,
+        #: never trusted.
+        self._certify = certify
+        self._checker: Optional[drat.ProofChecker] = None
+        self.certified_sat = 0
+        self.certified_unsat = 0
+        self.certify_failures = 0
 
     # ------------------------------------------------------------------
     # Assertions and scopes
@@ -214,6 +230,9 @@ class Solver:
                 self.num_checks += 1
                 if self._unsat_cores:
                     self.last_core = frozenset((term,))
+                if self._certify:
+                    # The constant-false conjunct is its own evidence.
+                    self.certified_unsat += 1
                 return Result.UNSAT
             lit = self._blaster.lit(term)
             lit_terms.setdefault(lit, term)
@@ -229,6 +248,11 @@ class Solver:
         outcome = self._sat.solve(assumption_lits)
         if outcome is SAT:
             self._last_result = Result.SAT
+            if self._certify and not self._certify_sat_model(lit_terms.values()):
+                # The model fails its own query under the reference
+                # evaluator: never trusted — answer UNKNOWN, counted.
+                self.num_unknowns += 1
+                self._last_result = Result.UNKNOWN
             return self._last_result
         if outcome is UNKNOWN:
             # Budget exhausted: no model, no core, nothing cacheable.
@@ -236,13 +260,74 @@ class Solver:
             self._last_result = Result.UNKNOWN
             return self._last_result
         self._last_result = Result.UNSAT
+        attributed: Optional[list] = None
         if self._unsat_cores and not self._scopes:
             core = self._sat.unsat_core()
             if core and all(lit in lit_terms for lit in core):
                 if len(core) > 1:
                     core = self._sat.minimize_core(core, budget=self._core_budget)
-                self.last_core = frozenset(lit_terms[lit] for lit in core)
+                attributed = core
+        if self._certify and not self._scopes:
+            raw = attributed if attributed is not None else self._sat.unsat_core()
+            if not self._certify_unsat_answer(raw):
+                self.num_unknowns += 1
+                self._last_result = Result.UNKNOWN
+                return self._last_result
+        if attributed is not None:
+            self.last_core = frozenset(lit_terms[lit] for lit in attributed)
         return self._last_result
+
+    # ------------------------------------------------------------------
+    # Answer certification (--certify)
+    # ------------------------------------------------------------------
+
+    def _certify_sat_model(self, query_terms) -> bool:
+        """Check the fresh model against the query with ``evalbv``.
+
+        Only assumption-style queries are checkable — terms asserted
+        via :meth:`add` (or scoped) are not reconstructable here, so
+        those checks pass through unverified rather than failing.
+        """
+        if self._has_assertions or self._scopes:
+            return True
+        model = self.model()
+        try:
+            ok = all(model.eval(term) for term in query_terms)
+        except EvalError:  # pragma: no cover - defensive
+            ok = False
+        if ok:
+            self.certified_sat += 1
+        else:
+            self.certify_failures += 1
+        return ok
+
+    def _certify_unsat_answer(self, core_lits) -> bool:
+        """Check an UNSAT answer against the CDCL core's clause log.
+
+        The proof is replayed through the independent RUP checker in
+        :mod:`repro.smt.drat` (incrementally — only events since the
+        last check are verified); the answer is then certified either
+        by the verified empty clause (no surviving assumptions) or by
+        propagating the core literals to a conflict over the verified
+        clause database.  With proof logging disabled the answer passes
+        through unverified.
+        """
+        proof = self._sat.proof
+        if proof is None:
+            return True
+        if self._checker is None:
+            self._checker = drat.ProofChecker()
+        try:
+            self._checker.feed(proof)
+            if core_lits:
+                self._checker.check_core(core_lits)
+            else:
+                self._checker.check_unsat()
+        except drat.ProofError:
+            self.certify_failures += 1
+            return False
+        self.certified_unsat += 1
+        return True
 
     def model(self) -> Model:
         """Extract the model after a satisfiable :meth:`check`."""
@@ -294,6 +379,9 @@ class Solver:
         stats["checks"] = self.num_checks
         stats["solves"] = self.num_solves
         stats["unknowns"] = self.num_unknowns
+        stats["certified_sat"] = self.certified_sat
+        stats["certified_unsat"] = self.certified_unsat
+        stats["certify_failures"] = self.certify_failures
         for kind, hits in self._blaster.network_hits.items():
             stats[f"blaster_{kind}_reuse"] = hits
         return stats
@@ -323,6 +411,18 @@ class QueryCache:
     The cache is process-local: interned terms hash by identity, which
     makes the keys O(1) but meaningless across processes.  Each parallel
     exploration worker therefore owns one ``QueryCache``.
+
+    Entries carry blake2b *integrity digests* taken at store time and
+    re-checked on hit (every ``verify_period``-th verification
+    opportunity; the default of 1 checks every hit).  A hit whose
+    content no longer matches its digest is **quarantined**: the entry
+    is dropped, the lookup falls through to the remaining tiers (or a
+    fresh solve), and the event is counted in ``quarantines`` — a
+    poisoned answer is re-derived, never served.  Digests hash interned
+    term identities, which is exactly as process-local as the keys
+    themselves.  :meth:`set_corruptor` is the fault-injection seam that
+    poisons entries *after* digesting, so the chaos harness can prove
+    the detection path works.
     """
 
     def __init__(
@@ -330,6 +430,7 @@ class QueryCache:
         max_models: int = 8,
         max_unsat_sets: int = 512,
         max_entries: int = 100_000,
+        verify_period: int = 1,
     ):
         self._results: dict[frozenset, Result] = {}
         self._models: dict[frozenset, Model] = {}
@@ -343,17 +444,117 @@ class QueryCache:
         self._unsat_index: dict[Term, set[int]] = {}
         self._unsat_seq = 0
         self._max_unsat_sets = max_unsat_sets
+        #: Pool of ``(values, digest)`` pairs (digest taken at store).
         self._model_pool: deque = deque(maxlen=max_models)
         self._max_entries = max_entries
+        #: Integrity digests: per memo key and per UNSAT-set id.
+        self._digests: dict[frozenset, bytes] = {}
+        self._unsat_digests: dict[int, bytes] = {}
+        self._verify_period = max(0, verify_period)
+        self._verify_tick = 0
+        self._corruptor = None
+        self._store_seq = 0
         self.hits = 0
         self.exact_hits = 0
         self.subsumption_hits = 0
         self.model_reuse_hits = 0
         self.misses = 0
         self.evictions = 0
+        self.integrity_checks = 0
+        self.quarantines = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         return len(self._results)
+
+    # -- integrity ------------------------------------------------------
+
+    def set_corruptor(self, hook) -> None:
+        """Install a deterministic poisoning predicate (fault injection).
+
+        ``hook(kind, ordinal) -> bool`` with ``kind`` one of ``"model"``
+        (a stored SAT witness), ``"pool"`` (a reuse-pool assignment) or
+        ``"core"`` (an UNSAT conjunct set); a True answer mutates the
+        freshly stored entry *after* its digest was taken, so the
+        poison is detectable on the next verified hit.  ``None``
+        uninstalls.  See :meth:`repro.core.faults.FaultPlan.corruptor`.
+        """
+        self._corruptor = hook
+
+    @staticmethod
+    def _values_digest(tag: str, values) -> bytes:
+        """Digest of a ``(term, int)`` assignment (or an empty one)."""
+        hasher = hashlib.blake2b(tag.encode("ascii"), digest_size=16)
+        for term, value in sorted(values, key=lambda item: id(item[0])):
+            hasher.update(b"%d:%d;" % (id(term), value))
+        return hasher.digest()
+
+    @staticmethod
+    def _set_digest(conds: frozenset) -> bytes:
+        """Digest of an UNSAT conjunct set (identity-keyed, like keys)."""
+        hasher = hashlib.blake2b(b"core", digest_size=16)
+        for ident in sorted(id(term) for term in conds):
+            hasher.update(b"%d;" % ident)
+        return hasher.digest()
+
+    def _should_verify(self) -> bool:
+        """Sampling gate: verify every ``verify_period``-th opportunity."""
+        if self._verify_period <= 0:
+            return False
+        self._verify_tick += 1
+        return self._verify_tick % self._verify_period == 0
+
+    def _corrupt(self, kind: str) -> bool:
+        """Fault seam: should the entry just stored be poisoned?"""
+        if self._corruptor is None:
+            return False
+        self._store_seq += 1
+        if self._corruptor(kind, self._store_seq):
+            self.corruptions += 1
+            return True
+        return False
+
+    @staticmethod
+    def _poison_values(values: dict) -> None:
+        """Flip one bit of one binding (deterministic victim: max id)."""
+        if values:
+            victim = max(values, key=id)
+            values[victim] ^= 1
+
+    def _verify_entry(self, key: frozenset, cached: Result) -> bool:
+        """Digest-check a memo hit; quarantine and report False on rot."""
+        digest = self._digests.get(key)
+        if digest is None or not self._should_verify():
+            return True
+        self.integrity_checks += 1
+        if cached is Result.SAT:
+            model = self._models.get(key)
+            expect = (
+                self._values_digest("sat", model.items())
+                if model is not None
+                else None
+            )
+        else:
+            expect = self._values_digest("unsat", ())
+        if expect == digest:
+            return True
+        self.quarantines += 1
+        del self._results[key]
+        self._models.pop(key, None)
+        del self._digests[key]
+        return False
+
+    def _verify_unsat_set(self, set_id: int) -> bool:
+        """Digest-check one subsumption candidate; quarantine on rot."""
+        digest = self._unsat_digests.get(set_id)
+        if digest is None or not self._should_verify():
+            return True
+        self.integrity_checks += 1
+        if self._set_digest(self._unsat_sets[set_id]) == digest:
+            return True
+        self.quarantines += 1
+        self._drop_unsat_set(set_id)
+        return False
 
     # -- UNSAT-set index -----------------------------------------------
 
@@ -376,11 +577,30 @@ class QueryCache:
             if postings is None:
                 postings = index[term] = set()
             postings.add(set_id)
+        self._unsat_digests[set_id] = self._set_digest(conds)
+        if len(conds) > 1 and self._corrupt("core"):
+            # Poison: silently shrink the stored set (an unsound
+            # strengthening — it would subsume queries it must not).
+            # The digest above still describes the honest set, so the
+            # next verified subsumption hit quarantines this id.
+            poisoned = frozenset(sorted(conds, key=id)[:-1])
+            self._unsat_sets[set_id] = poisoned
+            if self._unsat_ids.get(conds) == set_id:
+                del self._unsat_ids[conds]
 
     def _drop_unsat_set(self, set_id: int) -> None:
-        """Evict one UNSAT set, scrubbing its inverted-index postings."""
-        conds = self._unsat_sets.pop(set_id)
-        self._unsat_ids.pop(conds, None)
+        """Evict one UNSAT set, scrubbing its inverted-index postings.
+
+        Defensive against poisoned state: the stored set may have been
+        mutated after indexing, so postings for vanished terms are left
+        to the ``.get`` guard in :meth:`_find_subsuming_unsat`.
+        """
+        conds = self._unsat_sets.pop(set_id, None)
+        self._unsat_digests.pop(set_id, None)
+        if conds is None:
+            return
+        if self._unsat_ids.get(conds) == set_id:
+            del self._unsat_ids[conds]
         index = self._unsat_index
         for term in conds:
             postings = index.get(term)
@@ -407,8 +627,11 @@ class QueryCache:
             if not postings:
                 continue
             for set_id in postings:
+                conds = sets.get(set_id)
+                if conds is None:
+                    continue  # stale posting from a quarantined set
                 seen = counts.get(set_id, 0) + 1
-                if seen == len(sets[set_id]):
+                if seen == len(conds):
                     return set_id
                 counts[set_id] = seen
         return None
@@ -420,6 +643,10 @@ class QueryCache:
     ) -> tuple[Optional[Result], Optional["Model"]]:
         """Try to answer ``conditions`` (canonicalized as ``key``)."""
         cached = self._results.get(key)
+        if cached is not None and not self._verify_entry(key, cached):
+            # Quarantined: pretend the entry never existed; the
+            # remaining tiers (or a fresh solve) re-derive the answer.
+            cached = None
         if cached is Result.UNSAT:
             self.hits += 1
             self.exact_hits += 1
@@ -434,11 +661,17 @@ class QueryCache:
                 return cached, model
             # SAT is known but no witness was ever extracted; a fresh
             # solve (or model-reuse below) must produce one.
-        if self._find_subsuming_unsat(key) is not None:
+        while True:
+            set_id = self._find_subsuming_unsat(key)
+            if set_id is None:
+                break
+            if not self._verify_unsat_set(set_id):
+                continue  # quarantined; another set may still subsume
             self.hits += 1
             self.subsumption_hits += 1
             self._evict_if_full()
             self._results[key] = Result.UNSAT
+            self._digests[key] = self._values_digest("unsat", ())
             return Result.UNSAT, None
         witness = self._reusable_model(key, conditions)
         if witness is not None:
@@ -447,6 +680,7 @@ class QueryCache:
             self._evict_if_full()
             self._results[key] = Result.SAT
             self._models[key] = witness
+            self._digests[key] = self._values_digest("sat", witness.items())
             return Result.SAT, witness
         self.misses += 1
         return None, None
@@ -472,7 +706,17 @@ class QueryCache:
         variables: set[Term] = set()
         for term in key:
             variables |= term.free_vars()
-        for values in self._model_pool:
+        for entry in list(self._model_pool):
+            values, digest = entry
+            if self._should_verify():
+                self.integrity_checks += 1
+                if self._values_digest("pool", values.items()) != digest:
+                    self.quarantines += 1
+                    try:
+                        self._model_pool.remove(entry)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    continue
             completed = {var: values.get(var, 0) for var in variables}
             try:
                 # Evaluate back-to-front: branch-flip queries put the
@@ -503,6 +747,7 @@ class QueryCache:
         oldest = next(iter(self._results))
         del self._results[oldest]
         self._models.pop(oldest, None)
+        self._digests.pop(oldest, None)
         self.evictions += 1
 
     def store_unsat(self, key: frozenset, core: Optional[frozenset] = None) -> None:
@@ -515,13 +760,21 @@ class QueryCache:
         """
         self._evict_if_full()
         self._results[key] = Result.UNSAT
+        self._digests[key] = self._values_digest("unsat", ())
         self._register_unsat_set(core if core is not None else key)
 
     def store_sat(self, key: frozenset, model: "Model") -> None:
         self._evict_if_full()
         self._results[key] = Result.SAT
         self._models[key] = model
-        self._model_pool.append(dict(model.items()))
+        self._digests[key] = self._values_digest("sat", model.items())
+        if self._corrupt("model"):
+            self._poison_values(model._values)
+        pool_values = dict(model.items())
+        pool_digest = self._values_digest("pool", pool_values.items())
+        if self._corrupt("pool"):
+            self._poison_values(pool_values)
+        self._model_pool.append((pool_values, pool_digest))
 
     @property
     def statistics(self) -> Mapping[str, int]:
@@ -534,6 +787,9 @@ class QueryCache:
             "model_reuse_hits": self.model_reuse_hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "integrity_checks": self.integrity_checks,
+            "quarantines": self.quarantines,
+            "corruptions": self.corruptions,
         }
 
 
@@ -609,6 +865,8 @@ class CachingSolver(Solver):
             conflict_budget=config.conflict_budget,
             propagation_budget=config.propagation_budget,
             core_budget=config.core_budget,
+            certify=config.certify,
+            proof_log=config.proof_log,
         )
         self.cache = cache if cache is not None else QueryCache()
         self.preprocess = config
@@ -636,6 +894,9 @@ class CachingSolver(Solver):
         stats["sat_cores_extracted"] = sat_stats["cores_extracted"]
         stats["sat_core_minimize_solves"] = sat_stats["core_minimize_solves"]
         stats["sat_budget_exhausted"] = sat_stats["budget_exhausted"]
+        stats["certified_sat"] = self.certified_sat
+        stats["certified_unsat"] = self.certified_unsat
+        stats["certify_failures"] = self.certify_failures
         return stats
 
     def add(self, term: Term) -> None:
@@ -731,24 +992,26 @@ class CachingSolver(Solver):
         if config.rewrite:
             rewritten = rewrite_slice(conds)
             if rewritten.unsat:
-                stats["rewrite_unsat"] += 1
                 core = rewritten.conflict_origin if use_cores else None
-                self._note_core(key, core, stats)
-                self.cache.store_unsat(key, core)
-                return None
+                if self._certified_unsat_store(key, core, stats, "rewrite_unsat"):
+                    return None
+                # Unconfirmed word-level verdict: hand the untouched
+                # slice to the fresh-solve path instead of trusting it.
+                return False, self._uncertified_pending(key, slice_conds)
             conds, bindings = rewritten.conditions, rewritten.bindings
             origin_map = dict(zip(conds, rewritten.origins))
             if not conds:
-                stats["rewrite_sat"] += 1
                 values = self._slice_values(slice_conds, bindings, None)
-                self.cache.store_sat(key, Model(values))
-                return True, values
+                if self._certified_sat_values(values, slice_conds):
+                    stats["rewrite_sat"] += 1
+                    self.cache.store_sat(key, Model(values))
+                    return True, values
+                return False, self._uncertified_pending(key, slice_conds)
 
         dropped: list = []
         if config.intervals:
             outcome = analyze_slice(conds)
             if outcome.verdict is False:
-                stats["interval_unsat"] += 1
                 # The interval pass names the conjunct subset that
                 # pinched the refuting box; mapped through the rewrite
                 # provenance it feeds the same minimal-UNSAT-set slot
@@ -764,14 +1027,16 @@ class CachingSolver(Solver):
                         mapped |= origin
                     if mapped is not None:
                         core = frozenset(mapped)
-                self._note_core(key, core, stats)
-                self.cache.store_unsat(key, core)
-                return None
+                if self._certified_unsat_store(key, core, stats, "interval_unsat"):
+                    return None
+                return False, self._uncertified_pending(key, slice_conds)
             if outcome.verdict is True:
-                stats["interval_sat"] += 1
                 values = self._slice_values(slice_conds, bindings, outcome.witness)
-                self.cache.store_sat(key, Model(values))
-                return True, values
+                if self._certified_sat_values(values, slice_conds):
+                    stats["interval_sat"] += 1
+                    self.cache.store_sat(key, Model(values))
+                    return True, values
+                return False, self._uncertified_pending(key, slice_conds)
             dropped = outcome.dropped
             stats["dropped_conjuncts"] += len(dropped)
             conds = outcome.residual
@@ -808,6 +1073,60 @@ class CachingSolver(Solver):
         if core is not None and len(core) < len(key):
             stats["unsat_cores"] += 1
             stats["core_conjuncts_dropped"] += len(key) - len(core)
+
+    @staticmethod
+    def _uncertified_pending(key: frozenset, slice_conds: list) -> "_PendingSlice":
+        """The fresh-solve fallback for an answer that failed to certify:
+        the untouched slice, with identity provenance."""
+        return _PendingSlice(
+            key,
+            slice_conds,
+            list(slice_conds),
+            {},
+            [],
+            {cond: frozenset((cond,)) for cond in slice_conds},
+        )
+
+    def _certified_unsat_store(
+        self, key: frozenset, core: Optional[frozenset], stats, counter: str
+    ) -> bool:
+        """Store an UNSAT verdict produced by a word-level stage.
+
+        Rewriting and interval analysis emit no checkable evidence, so
+        in certify mode the verdict is *re-derived* through the
+        proof-logging CDCL core first (solving just the claimed core
+        when one exists): the re-derivation is certified by the base
+        :meth:`Solver.check` and usually yields an even smaller,
+        certified core.  A verdict that fails to re-derive is never
+        cached — the caller falls back to a fresh solve of the whole
+        slice.  Returns True when the UNSAT answer stands.
+        """
+        if self.preprocess.certify:
+            conds = list(core) if core is not None else list(key)
+            confirm = super().check(conds)
+            if confirm is Result.SAT:
+                # The word-level pass contradicted the certified solver:
+                # a real certification failure, never trusted.
+                self.certify_failures += 1
+                return False
+            if confirm is not Result.UNSAT:
+                return False  # budget/certify UNKNOWN: let the caller decide
+            if self.last_core is not None:
+                core = self.last_core
+        stats[counter] += 1
+        self._note_core(key, core, stats)
+        self.cache.store_unsat(key, core)
+        return True
+
+    def _certified_sat_values(self, values: dict, slice_conds: list) -> bool:
+        """Certify a word-level SAT witness against its own conjuncts."""
+        if not self.preprocess.certify:
+            return True
+        if self._satisfied(values, slice_conds):
+            self.certified_sat += 1
+            return True
+        self.certify_failures += 1
+        return False
 
     def _solve_pending(
         self, pending: list, stitched: dict[Term, int]
@@ -849,12 +1168,22 @@ class CachingSolver(Solver):
         # Extract every slice from the joint assignment *before* any
         # verification fallback: a fallback re-solve replaces the SAT
         # core's assignment, which must not leak into other slices.
+        certify = self.preprocess.certify
         extracted = [(entry, self._extract_slice(entry)) for entry in pending]
         for entry, values in extracted:
-            if entry.dropped and not self._satisfied(values, entry.dropped):
+            fallback = entry.dropped and not self._satisfied(values, entry.dropped)
+            if certify and not fallback and not self._satisfied(
+                values, entry.original
+            ):
+                # The stitched slice model fails its own conjuncts under
+                # the reference evaluator: never trusted — re-solve.
+                self.certify_failures += 1
+                fallback = True
+            if fallback:
                 # The joint model ignored a conjunct the interval pass
                 # dropped from *this* slice (its justification involved
-                # other dropped conjuncts).  Re-solve the slice exactly.
+                # other dropped conjuncts), or failed certification.
+                # Re-solve the slice exactly.
                 stats["verify_fallbacks"] += 1
                 verdict = super().check(entry.residual + entry.dropped)
                 if verdict is Result.UNKNOWN:
@@ -866,6 +1195,14 @@ class CachingSolver(Solver):
                     self.cache.store_unsat(entry.key, core)
                     return Result.UNSAT
                 values = self._extract_slice(entry)
+                if certify and not self._satisfied(values, entry.original):
+                    # Even the dedicated re-solve fails the reference
+                    # evaluator: give the query up, explicitly counted.
+                    self.certify_failures += 1
+                    stats["unknown_queries"] += 1
+                    return Result.UNKNOWN
+            if certify:
+                self.certified_sat += 1
             self.cache.store_sat(entry.key, Model(values))
             stitched.update(values)
         self._last_result = Result.SAT

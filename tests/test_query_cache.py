@@ -135,6 +135,7 @@ class TestCachingSolverCorrectness:
         assert set(stats) == {
             "entries", "unsat_sets", "hits", "exact_hits", "subsumption_hits",
             "model_reuse_hits", "misses", "evictions",
+            "integrity_checks", "quarantines", "corruptions",
         }
 
     def test_entry_cap_bounds_memo(self):

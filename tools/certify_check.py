@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""CI certify gate: every reported answer on the Fig. 6 workloads checks.
+
+Each workload is explored in certify mode — serial and on a 4-worker
+pool — and the gate asserts the full evidence contract:
+
+* every UNSAT answer the SAT core produced was certified by the
+  independent DRAT checker (``certify_failures == 0``),
+* every SAT model was re-evaluated against its query before being
+  trusted,
+* every recorded path's certificate (inputs, observable outcome,
+  path-condition digest chain) replayed identically under the unstaged
+  reference evaluator (``certified_paths == num_paths``), and
+* the certified path set equals the uncertified baseline's — certify
+  mode observes the exploration, it must not change it.
+
+The ``--no-proof-log`` ablation is asserted too: with clause logging
+off the path set is unchanged (proof logging is pure evidence).
+
+Usage::
+
+    python tools/certify_check.py [--jobs N] [--self-test]
+
+``--self-test`` perturbs a valid certificate and asserts the replay
+check rejects it — proving the gate can actually fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import Explorer  # noqa: E402
+from repro.core.certificates import (  # noqa: E402
+    reference_mode,
+    replay_mismatches,
+)
+from repro.eval.engines import make_engine  # noqa: E402
+from repro.eval.workloads import WORKLOADS  # noqa: E402
+from repro.smt.preprocess import PreprocessConfig  # noqa: E402
+from repro.spec import rv32im  # noqa: E402
+
+#: The paper's Fig. 6 workload set, at scales small enough for CI.
+WORKLOAD_SCALES = {
+    "bubble-sort": 4,
+    "insertion-sort": 4,
+    "base64-encode": 1,
+    "uri-parser": 3,
+    "clif-parser": 3,
+}
+
+
+def build_explorer(
+    workload: str,
+    jobs: int = 1,
+    certify: bool = False,
+    proof_log: bool = True,
+) -> Explorer:
+    spec = WORKLOADS[workload]
+    engine = make_engine("binsym", rv32im(), spec.image(WORKLOAD_SCALES[workload]))
+    preprocess = PreprocessConfig(certify=certify, proof_log=proof_log)
+    return Explorer(engine, jobs=jobs, use_cache=True, preprocess=preprocess)
+
+
+def check_certified(workload: str, baseline, certified, label: str) -> list[str]:
+    """Return the violated certify invariants (empty = contract held)."""
+    errors = []
+    if certified.path_set() != baseline.path_set():
+        errors.append(
+            f"{workload} [{label}]: certify mode changed the path set "
+            f"({certified.num_paths} vs {baseline.num_paths} paths)"
+        )
+    if certified.certified_paths != certified.num_paths:
+        errors.append(
+            f"{workload} [{label}]: only {certified.certified_paths} of "
+            f"{certified.num_paths} path certificates replayed cleanly"
+        )
+    if certified.certificate_failures:
+        errors.append(
+            f"{workload} [{label}]: {certified.certificate_failures} "
+            f"certificate failure(s): {certified.certificate_errors[:3]}"
+        )
+    stats = certified.solver_stats
+    if stats.get("certify_failures", 0):
+        errors.append(
+            f"{workload} [{label}]: {stats['certify_failures']} solver "
+            f"answer(s) failed certification"
+        )
+    if not (stats.get("certified_sat", 0) or stats.get("certified_unsat", 0)):
+        errors.append(
+            f"{workload} [{label}]: no answer was ever certified — the "
+            f"evidence layer did not run"
+        )
+    return errors
+
+
+def run_gate(jobs: int) -> int:
+    failures: list[str] = []
+    for workload in WORKLOAD_SCALES:
+        start = time.perf_counter()
+        baseline = build_explorer(workload).explore()
+        for label, n_jobs in (("serial", 1), (f"jobs={jobs}", jobs)):
+            certified = build_explorer(
+                workload, jobs=n_jobs, certify=True
+            ).explore()
+            errors = check_certified(workload, baseline, certified, label)
+            failures.extend(errors)
+            stats = certified.solver_stats
+            status = "FAIL" if errors else "ok"
+            print(
+                f"  {status:4s} {workload:16s} {label:8s} "
+                f"paths={certified.certified_paths}/{certified.num_paths} "
+                f"sat={stats.get('certified_sat', 0)} "
+                f"unsat={stats.get('certified_unsat', 0)} "
+                f"failures={stats.get('certify_failures', 0)}"
+            )
+        # --no-proof-log ablation: clause logging is pure evidence, so
+        # turning it off must not perturb the exploration itself.
+        unlogged = build_explorer(workload, proof_log=False).explore()
+        if unlogged.path_set() != baseline.path_set():
+            failures.append(
+                f"{workload} [no-proof-log]: disabling clause logging "
+                f"changed the path set"
+            )
+            print(f"  FAIL {workload:16s} no-proof-log path-set mismatch")
+        print(
+            f"{workload}: {baseline.num_paths} paths, "
+            f"{time.perf_counter() - start:.1f}s"
+        )
+    if failures:
+        print(f"\ncertify gate FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\ncertify gate passed: every answer and every path carried "
+        "checkable evidence"
+    )
+    return 0
+
+
+def self_test() -> int:
+    """Prove the replay check rejects a perturbed certificate."""
+    explorer = build_explorer("clif-parser", certify=True)
+    result = explorer.explore()
+    assert result.certificates, "certify run produced no certificates"
+    cert = result.certificates[0]
+    tampered = [
+        ("exit_code", dataclasses.replace(cert, exit_code=(cert.exit_code or 0) ^ 1)),
+        ("instret", dataclasses.replace(cert, instret=cert.instret + 1)),
+        ("stdout_digest", dataclasses.replace(cert, stdout_digest="0" * 32)),
+        (
+            "condition_digest",
+            dataclasses.replace(
+                cert, condition_digest=(cert.condition_digest or 0) ^ 1
+            ),
+        ),
+    ]
+    with reference_mode(explorer.executor):
+        clean = replay_mismatches(cert, explorer.executor)
+        if clean:
+            print(f"self-test FAILED: pristine certificate rejected: {clean}")
+            return 1
+        for field_name, bad_cert in tampered:
+            problems = replay_mismatches(bad_cert, explorer.executor)
+            if not problems:
+                print(
+                    f"self-test FAILED: tampered {field_name} certificate "
+                    f"was accepted"
+                )
+                return 1
+            print(f"self-test: tampered {field_name} rejected ({problems[0]})")
+    print("self-test passed: replay rejects every tampered certificate")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool width for the parallel runs (default 4)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate rejects tampered certificates")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return run_gate(args.jobs)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,15 +13,30 @@ the PR 7 degradation contract on every run:
   (silent path loss is the one forbidden outcome), and
 * a schedule that reports no degradation found the identical path set.
 
+``--corrupt`` runs the *cache-corruption* gate instead: each workload
+is explored under a ``corrupt=`` schedule that bit-flips freshly stored
+query-cache entries after their integrity digest is taken.  The
+contract is stricter than the degradation one — corruption must be
+*absorbed*, not degraded around:
+
+* the path set is **identical** to the clean run (a poisoned cached
+  answer must be quarantined and re-solved, never served),
+* total query attribution is conserved (a poisoned hit becomes a miss
+  plus a fresh solve; no query disappears), and
+* at least one quarantine is observed per workload (summed over the
+  schedules), proving the fault actually fired and was detected.
+
 Schedules are deterministic (``blake2b(seed, kind, site)``), so a
 failure here reproduces locally with the printed seed.
 
 Usage::
 
-    python tools/chaos_check.py [--seeds N] [--jobs N] [--self-test]
+    python tools/chaos_check.py [--seeds N] [--jobs N] [--corrupt]
+    python tools/chaos_check.py --self-test
 
 ``--self-test`` drops a path from a clean result in memory and asserts
-the invariant check trips — proving the gate can actually fail.
+the invariant check trips, then perturbs a corruption-gate result and
+asserts that check trips too — proving both gates can actually fail.
 """
 
 from __future__ import annotations
@@ -49,6 +64,9 @@ WORKLOAD_SCALES = {
 
 #: Base chaos schedule; the per-run seed varies the fault sites.
 RATES = {"kill_rate": 20, "unknown_rate": 15, "evict_rate": 50, "hiccup_rate": 10}
+
+#: Cache-poisoning rate for the corruption gate (``--corrupt``).
+CORRUPT_RATE = 30
 
 
 def build_explorer(workload: str, jobs: int = 1, faults=None) -> Explorer:
@@ -78,6 +96,90 @@ def check_invariant(workload: str, clean, faulted, label: str) -> list[str]:
     if not missing and not invented and degraded and faulted_set != clean_set:
         errors.append(f"{workload} [{label}]: inconsistent path accounting")
     return errors
+
+
+def total_attribution(result) -> int:
+    """Every flip query lands in exactly one bucket; the total is a
+    structural invariant of the exploration, not of the cache's luck."""
+    return (
+        result.num_queries
+        + result.cache_hits
+        + result.fast_path_answers
+        + result.pruned_queries
+        + result.unknown_queries
+    )
+
+
+def check_corruption_invariant(workload, clean, corrupted, label: str) -> list[str]:
+    """Corruption must be absorbed: identical paths, conserved queries."""
+    errors = []
+    if corrupted.path_set() != clean.path_set():
+        errors.append(
+            f"{workload} [{label}]: corrupted run changed the path set "
+            f"({corrupted.num_paths} vs {clean.num_paths} paths) — a "
+            f"poisoned cache entry was served instead of quarantined"
+        )
+    if total_attribution(corrupted) != total_attribution(clean):
+        errors.append(
+            f"{workload} [{label}]: query attribution not conserved "
+            f"({total_attribution(corrupted)} vs {total_attribution(clean)})"
+        )
+    return errors
+
+
+def run_corruption_gate(seeds: int, jobs: int) -> int:
+    failures: list[str] = []
+    for workload in WORKLOAD_SCALES:
+        start = time.perf_counter()
+        clean = build_explorer(workload).explore()
+        quarantines = 0
+        corruptions = 0
+        for seed in range(seeds):
+            plan = FaultPlan(seed=seed, corrupt_rate=CORRUPT_RATE)
+            for label, n_jobs in (("serial", 1), (f"jobs={jobs}", jobs)):
+                corrupted = build_explorer(
+                    workload, jobs=n_jobs, faults=plan
+                ).explore()
+                errors = check_corruption_invariant(
+                    workload, clean, corrupted, f"{label} seed={seed}"
+                )
+                failures.extend(errors)
+                quarantines += corrupted.solver_stats.get("cache_quarantines", 0)
+                corruptions += corrupted.solver_stats.get("cache_corruptions", 0)
+                status = "FAIL" if errors else "ok"
+                print(
+                    f"  {status:4s} {workload:16s} {label:8s} seed={seed} "
+                    f"paths={corrupted.num_paths}/{clean.num_paths} "
+                    f"corruptions="
+                    f"{corrupted.solver_stats.get('cache_corruptions', 0)} "
+                    f"quarantines="
+                    f"{corrupted.solver_stats.get('cache_quarantines', 0)}"
+                )
+        if corruptions and not quarantines:
+            failures.append(
+                f"{workload}: {corruptions} injected corruption(s) but no "
+                f"quarantine — poisoned entries went undetected"
+            )
+        if not corruptions:
+            failures.append(
+                f"{workload}: corrupt schedule never fired — the gate "
+                f"proved nothing (raise CORRUPT_RATE or the seed count)"
+            )
+        print(
+            f"{workload}: {clean.num_paths} clean paths, "
+            f"{corruptions} corruptions / {quarantines} quarantines, "
+            f"{time.perf_counter() - start:.1f}s"
+        )
+    if failures:
+        print(f"\ncorruption gate FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\ncorruption gate passed: every poisoned entry was quarantined "
+        "and re-solved"
+    )
+    return 0
 
 
 def run_gate(seeds: int, jobs: int) -> int:
@@ -131,6 +233,30 @@ def self_test() -> int:
         print("self-test FAILED: silent path loss was not detected")
         return 1
     print(f"self-test passed: gate trips on silent loss ({errors[0]})")
+    # The corruption gate must trip on both of its invariants: a served
+    # poisoned answer (changed path set) and a vanished query.
+    served = build_explorer("clif-parser").explore()
+    lost = next(iter(served.path_set()))
+    served.paths = [
+        p
+        for p in served.paths
+        if (p.halt_reason, p.exit_code, p.trace_length, p.stdout, p.final_pc)
+        != lost
+    ]
+    errors = check_corruption_invariant("clif-parser", clean, served, "self-test")
+    if not errors:
+        print("self-test FAILED: a changed path set was not detected")
+        return 1
+    print(f"self-test passed: corruption gate trips on path change ({errors[0]})")
+    vanished = build_explorer("clif-parser").explore()
+    vanished.cache_hits += 1  # one query attributed twice
+    errors = check_corruption_invariant(
+        "clif-parser", clean, vanished, "self-test"
+    )
+    if not errors:
+        print("self-test FAILED: unconserved attribution was not detected")
+        return 1
+    print(f"self-test passed: corruption gate trips on attribution ({errors[0]})")
     return 0
 
 
@@ -140,11 +266,17 @@ def main(argv=None) -> int:
                         help="fault schedules per workload (default 3)")
     parser.add_argument("--jobs", type=int, default=4,
                         help="pool width for the parallel runs (default 4)")
+    parser.add_argument("--corrupt", action="store_true",
+                        help="run the cache-corruption gate instead of "
+                             "the degradation gate")
     parser.add_argument("--self-test", action="store_true",
-                        help="verify the gate detects silent path loss")
+                        help="verify the gates detect silent path loss, "
+                             "served corruption and lost attribution")
     args = parser.parse_args(argv)
     if args.self_test:
         return self_test()
+    if args.corrupt:
+        return run_corruption_gate(args.seeds, args.jobs)
     return run_gate(args.seeds, args.jobs)
 
 
