@@ -64,6 +64,12 @@ def test_exploration_jobs(benchmark, isa, image, jobs):
     assert result.path_set() == reference.path_set()
     benchmark.extra_info["paths"] = result.num_paths
     benchmark.extra_info["workers"] = result.workers
+    # Anytime counters: deterministically zero on a healthy benchmark
+    # run; bench_compare.py gates on them so a silently degraded run
+    # can never pass as a performance baseline.
+    benchmark.extra_info["deadline_expired"] = int(result.deadline_expired)
+    benchmark.extra_info["degradations"] = result.degradations
+    benchmark.extra_info["hung_workers"] = result.hung_workers
 
 
 @pytest.mark.parametrize("cache", [False, True], ids=["cache-off", "cache-on"])

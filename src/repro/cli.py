@@ -113,6 +113,7 @@ def _cmd_explore(args) -> int:
         trail_reuse=args.trail_reuse,
         conflict_budget=args.conflict_budget,
         propagation_budget=args.propagation_budget,
+        wall_budget=args.wall_budget,
         core_budget=args.core_budget,
         certify=args.certify,
         proof_log=args.proof_log,
@@ -139,6 +140,8 @@ def _cmd_explore(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         resume=bool(args.resume),
         faults=faults,
+        deadline=args.deadline,
+        memory_budget_mb=args.memory_budget,
     ).explore()
     print(result.summary())
     if args.certify:
@@ -180,6 +183,16 @@ def _cmd_explore(args) -> int:
                   f"({result.superblock_hits} block dispatches)")
             for key in sorted(result.superblock_stats):
                 print(f"  {key:21s}: {result.superblock_stats[key]}")
+        if result.governor_stats or result.degradations:
+            print("memory governor statistics:")
+            print(f"  degradation rungs    : {result.degradations}")
+            for key in sorted(result.governor_stats):
+                print(f"  {key:21s}: {result.governor_stats[key]}")
+        if result.hung_workers or result.deadline_expired:
+            print("anytime statistics:")
+            print(f"  hung workers killed  : {result.hung_workers}")
+            print(f"  deadline expired     : {result.deadline_expired}")
+            print(f"  incomplete paths     : {result.incomplete_paths}")
     for path in result.paths[: args.show_paths]:
         marker = "FAIL" if path.is_assertion_failure else f"exit={path.exit_code}"
         print(f"  path {path.index:4d}: {marker:10s} {path.assignment}")
@@ -280,9 +293,30 @@ def main(argv=None) -> int:
                            metavar="N",
                            help="per-query CDCL propagation budget (sound "
                                 "degradation, like --conflict-budget)")
+    p_explore.add_argument("--solver-wall-budget", dest="wall_budget",
+                           type=float, default=None, metavar="SECS",
+                           help="per-solve CDCL wall-clock budget in "
+                                "seconds: a solve exceeding it answers "
+                                "UNKNOWN (sound degradation, like "
+                                "--conflict-budget)")
     p_explore.add_argument("--core-budget", type=int, default=8, metavar="N",
                            help="extra solves UNSAT-core minimization may "
                                 "spend shrinking a core (default 8)")
+    p_explore.add_argument("--deadline", type=float, default=None,
+                           metavar="SECS",
+                           help="global exploration deadline in seconds: "
+                                "when it fires, unexplored frontier items "
+                                "are counted into incomplete_paths and "
+                                "checkpointed (a --resume continues the "
+                                "cut campaign to the full path set)")
+    p_explore.add_argument("--memory-budget", type=int, default=None,
+                           metavar="MB",
+                           help="per-process RSS budget in megabytes: "
+                                "under pressure the memory governor walks "
+                                "a degradation ladder (shrink snapshot "
+                                "pool, tighten caches, disable snapshot "
+                                "capture) — each rung counted, path set "
+                                "invariant")
     p_explore.add_argument("--checkpoint", metavar="DIR", default=None,
                            help="write a crash-safe exploration journal to "
                                 "DIR (atomic-rename checkpoint.json)")
@@ -309,8 +343,12 @@ def main(argv=None) -> int:
     p_explore.add_argument("--inject-faults", metavar="SPEC", default=None,
                            help="deterministic chaos schedule, e.g. "
                                 "'kill=30,unknown=20,evict=50,hiccup=10,"
-                                "corrupt=30,stop=5,seed=1' (rates in "
-                                "percent; stop interrupts after N paths)")
+                                "corrupt=30,hang=10,memhog=20,stop=5,"
+                                "seed=1' (rates in percent; stop "
+                                "interrupts after N paths; hang wedges "
+                                "pool workers for the watchdog to kill, "
+                                "memhog leaks memory to drive the "
+                                "governor)")
     p_explore.add_argument("--stats", action="store_true",
                            help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)

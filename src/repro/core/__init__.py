@@ -15,6 +15,7 @@ offline (concolic) exploration driver.
 * :mod:`repro.core.strategy` — DFS/BFS/random/coverage path selection
 * :mod:`repro.core.checkpoint` — crash-safe exploration journal
 * :mod:`repro.core.faults` — deterministic fault-injection schedules
+* :mod:`repro.core.governor` — memory-budget degradation ladder
 """
 
 from .checkpoint import CheckpointManager, CheckpointState
@@ -22,6 +23,7 @@ from .concretize import ConcretizationPolicy
 from .executor import BinSymExecutor, RunResult
 from .explorer import ExplorationResult, Explorer, PathInfo
 from .faults import FaultPlan
+from .governor import MemoryGovernor, build_exploration_governor
 from .interpreter import SymbolicInterpreter
 from .parallel import ProcessPoolExplorer
 from .scheduler import Frontier, RunStats, WorkItem
@@ -47,6 +49,8 @@ __all__ = [
     "CheckpointManager",
     "CheckpointState",
     "FaultPlan",
+    "MemoryGovernor",
+    "build_exploration_governor",
     "SymbolicInterpreter",
     "SymValue",
     "SymDomain",

@@ -76,6 +76,8 @@ _COUNTER_FIELDS = (
     "unknown_queries",
     "incomplete_paths",
     "worker_deaths",
+    "hung_workers",
+    "degradations",
     "total_instructions",
     "executed_instructions",
     "solver_time",
@@ -97,6 +99,7 @@ class CheckpointState:
     solver_stats: dict = field(default_factory=dict)
     snapshot_stats: dict = field(default_factory=dict)
     superblock_stats: dict = field(default_factory=dict)
+    governor_stats: dict = field(default_factory=dict)
 
     def restore_result(self, result) -> None:
         """Seed an ``ExplorationResult`` with the persisted campaign."""
@@ -132,6 +135,12 @@ class CheckpointState:
         result.merge_solver_stats(self.solver_stats)
         result.merge_snapshot_stats(self.snapshot_stats)
         result.merge_superblock_stats(self.superblock_stats)
+        # Governor counters are restored directly (not via
+        # merge_governor_stats): the ``degradations`` total already came
+        # back through _COUNTER_FIELDS above, and merging would re-add
+        # the persisted ``gov_rungs_applied`` on top of it.
+        for key, value in self.governor_stats.items():
+            result.governor_stats[key] = result.governor_stats.get(key, 0) + value
 
     def frontier_items(self) -> list:
         """Pending :class:`WorkItem`s (snapshot-free, per module doc)."""
@@ -238,6 +247,7 @@ class CheckpointManager:
             solver_stats=raw["solver_stats"],
             snapshot_stats=raw["snapshot_stats"],
             superblock_stats=raw["superblock_stats"],
+            governor_stats=raw.get("governor_stats", {}),
         )
         self._saved_paths = len(state.paths)
         return state
@@ -262,6 +272,7 @@ class CheckpointManager:
         solver_stats: Optional[dict] = None,
         snapshot_stats: Optional[dict] = None,
         superblock_stats: Optional[dict] = None,
+        governor_stats: Optional[dict] = None,
     ) -> None:
         """Atomically write the journal (temp file + ``os.replace``).
 
@@ -307,6 +318,7 @@ class CheckpointManager:
             "solver_stats": solver_stats or {},
             "snapshot_stats": snapshot_stats or {},
             "superblock_stats": superblock_stats or {},
+            "governor_stats": governor_stats or {},
         }
         # Digest over the canonical serialization, then the wrapper —
         # load() recomputes the digest from the parsed state, so any

@@ -213,6 +213,29 @@ class BinSymExecutor:
         stats["snap_fallback_runs"] = self.fallback_runs
         return stats
 
+    def tighten_caches(self, factor: int = 2) -> None:
+        """Shrink the staged-plan and superblock memo caches (governor rung).
+
+        All of these are pure per-word memos: trimming costs a re-record
+        or re-stitch on the next miss, never a different answer.  The
+        staged caches get their (instance-shadowed) capacity halved and
+        are trimmed FIFO down to it; the superblock engine's step-info
+        and block caches are trimmed to half their current population
+        (their capacity caps are module constants, so the trim itself is
+        the pressure relief).
+        """
+        isa = self.interpreter.isa
+        isa.STAGED_CACHE_CAPACITY = max(256, isa.STAGED_CACHE_CAPACITY // factor)
+        for cache in (isa._plan_cache, isa._compiled_cache):
+            while len(cache) > isa.STAGED_CACHE_CAPACITY:
+                del cache[next(iter(cache))]
+        engine = isa._superblock_engine
+        if engine is not None:
+            for cache in (engine._step_info, engine._blocks):
+                keep = len(cache) // factor
+                while len(cache) > keep:
+                    del cache[next(iter(cache))]
+
     def purge_snapshots(self) -> None:
         """Drop every pooled snapshot (fault injection: eviction storm).
 

@@ -61,6 +61,7 @@ def make_solver(use_cache: bool, preprocess: Optional[PreprocessConfig]):
         trail_reuse=preprocess.trail_reuse,
         conflict_budget=preprocess.conflict_budget,
         propagation_budget=preprocess.propagation_budget,
+        wall_budget=preprocess.wall_budget,
         core_budget=preprocess.core_budget,
         certify=preprocess.certify,
         proof_log=preprocess.proof_log,
@@ -165,11 +166,23 @@ class ExplorationResult:
     #: fault-tolerance contract: ``path_set()`` shrinks only by
     #: explicitly counted causes, never silently.
     unknown_queries: int = 0
-    #: Work items abandoned after repeated worker deaths (each is one
+    #: Work items abandoned after repeated worker deaths, plus frontier
+    #: items drained when a ``--deadline`` expired (each is one
     #: unexplored path plus its would-be subtree).
     incomplete_paths: int = 0
     #: Worker processes that died mid-item and were respawned.
     worker_deaths: int = 0
+    #: Worker seats the heartbeat watchdog declared hung and killed
+    #: (each also counts as a worker death once the kill lands).
+    hung_workers: int = 0
+    #: Memory-governor ladder rungs applied under RSS pressure, summed
+    #: over every process.  Non-zero means the run traded speed (cache
+    #: capacity, snapshot reuse) for memory — never paths.
+    degradations: int = 0
+    #: The global ``--deadline`` fired: the frontier was drained into
+    #: ``incomplete_paths`` and the run checkpointed for ``--resume``.
+    #: Not persisted — a resumed run gets a fresh deadline.
+    deadline_expired: bool = False
     #: Exploration ended by Ctrl-C (or an injected interrupt) — the
     #: result is a valid partial campaign, resumable via checkpoints.
     interrupted: bool = False
@@ -209,6 +222,10 @@ class ExplorationResult:
     certificates: list = field(default_factory=list)
     #: Human-readable mismatch messages from the certify replay.
     certificate_errors: list = field(default_factory=list)
+    #: Flat memory-governor counters (samples, pressure events, per-rung
+    #: applications), summed over every process; empty without
+    #: ``--memory-budget``.
+    governor_stats: dict = field(default_factory=dict)
 
     @property
     def num_paths(self) -> int:
@@ -265,6 +282,12 @@ class ExplorationResult:
         for key, value in stats.items():
             self.superblock_stats[key] = self.superblock_stats.get(key, 0) + value
 
+    def merge_governor_stats(self, stats: dict) -> None:
+        """Key-wise sum of one process's flat governor counter dict."""
+        for key, value in stats.items():
+            self.governor_stats[key] = self.governor_stats.get(key, 0) + value
+        self.degradations += stats.get("gov_rungs_applied", 0)
+
     @property
     def superblock_hits(self) -> int:
         """Step-loop dispatches that executed a superblock."""
@@ -315,6 +338,12 @@ class ExplorationResult:
             )
         if self.worker_deaths:
             text += f" [{self.worker_deaths} worker deaths]"
+        if self.hung_workers:
+            text += f" [{self.hung_workers} hung workers]"
+        if self.degradations:
+            text += f" [{self.degradations} memory degradations]"
+        if self.deadline_expired:
+            text += " [deadline expired]"
         if self.certified_paths or self.certificate_failures:
             text += (
                 f" [certified: {self.certified_paths} paths, "
@@ -363,6 +392,9 @@ class Explorer:
         checkpoint_interval: int = 1,
         resume: bool = False,
         faults=None,
+        deadline: Optional[float] = None,
+        memory_budget_mb: Optional[int] = None,
+        hang_timeout: float = 5.0,
     ):
         self._solver_provided = solver is not None
         if solver is None:
@@ -388,6 +420,14 @@ class Explorer:
         self.checkpoint_interval = checkpoint_interval
         self.resume = resume
         self.faults = faults if faults is not None and faults.active else None
+        #: Anytime knobs (PR 9): a global wall-clock deadline in seconds
+        #: (frontier drains into ``incomplete_paths`` when it fires, the
+        #: checkpoint stays resumable), a per-process RSS budget in MB
+        #: driving the degradation ladder, and the missed-heartbeat
+        #: threshold after which the pool supervisor kills a seat.
+        self.deadline = deadline
+        self.memory_budget_mb = memory_budget_mb
+        self.hang_timeout = hang_timeout
         #: Certify mode (``--certify``): record per-path condition
         #: digests during exploration and replay-verify every path
         #: under the reference evaluator once exploration finishes.
@@ -414,6 +454,9 @@ class Explorer:
                 checkpoint_interval=self.checkpoint_interval,
                 resume=self.resume,
                 faults=self.faults,
+                deadline=self.deadline,
+                memory_budget_mb=self.memory_budget_mb,
+                hang_timeout=self.hang_timeout,
             ).explore()
         return self._explore_serial()
 
@@ -471,6 +514,22 @@ class Explorer:
         snapshots = self.snapshots
         faults = self.faults
         install_fault_hooks(self.solver, faults, "serial")
+        # Anytime layer: the deadline is absolute (monotonic clock), and
+        # the governor reads/flips ``capture_state`` — its bottom rung
+        # disables snapshot capture, which the loop below re-reads every
+        # run, so degradation takes effect immediately.
+        deadline_at = (
+            time.monotonic() + self.deadline if self.deadline is not None else None
+        )
+        capture_state = {"snapshots": snapshots}
+        governor = None
+        if self.memory_budget_mb is not None:
+            from .governor import build_exploration_governor
+
+            governor = build_exploration_governor(
+                self.memory_budget_mb, executor, self.solver, capture_state
+            )
+        memhog_leaks: list = []  # memhog= fault ballast, freed on return
         purge = getattr(executor, "purge_snapshots", None)
         # Superblock hotness feedback: accumulate per-PC flippable-branch
         # executions across runs; a PC crossing the threshold is reported
@@ -483,17 +542,28 @@ class Explorer:
         runs = 0
         try:
             while frontier and result.num_paths < self.max_paths:
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    result.interrupted = True
+                    result.deadline_expired = True
+                    break
                 item = frontier.pop()
-                if faults is not None and purge is not None and snapshots:
+                capturing = capture_state["snapshots"]
+                if faults is not None and purge is not None and capturing:
                     if faults.should_evict("serial", runs):
                         purge()
+                if faults is not None:
+                    ballast = faults.memhog_bytes("serial", runs)
+                    if ballast:
+                        memhog_leaks.append(bytearray(ballast))
                 runs += 1
-                if snapshots:
+                if capturing:
                     run = executor.execute_from(
                         item.snapshot, item.assignment, capture_from=item.bound
                     )
                 else:
                     run = executor.execute(item.assignment)
+                if governor is not None:
+                    governor.maybe_step()
                 self._record_path(result, run)
                 stats = RunStats()
                 children = expand_run(
@@ -540,9 +610,12 @@ class Explorer:
                         raise KeyboardInterrupt
         except KeyboardInterrupt:
             result.interrupted = True
+        del memhog_leaks[:]
         result.truncated = bool(frontier)
         result.frontier_peak = max(frontier.peak, result.frontier_peak)
         result.merge_solver_stats(self._live_solver_stats())
+        if governor is not None:
+            result.merge_governor_stats(governor.statistics)
         snapshot_stats = getattr(executor, "snapshot_statistics", None)
         if snapshot_stats is not None and snapshots:
             result.merge_snapshot_stats(dict(snapshot_stats))
@@ -560,7 +633,15 @@ class Explorer:
                 solver_stats=result.solver_stats,
                 snapshot_stats=result.snapshot_stats,
                 superblock_stats=result.superblock_stats,
+                governor_stats=result.governor_stats,
             )
+        if result.deadline_expired:
+            # Anytime accounting: every drained frontier item is one
+            # explicitly counted unexplored path.  Counted only AFTER
+            # the final checkpoint save — a ``--resume`` restores these
+            # items into its frontier and re-explores them, so
+            # persisting the count too would double-book them.
+            result.incomplete_paths += len(frontier.drain())
         if self.certify:
             from .certificates import verify_result
 

@@ -24,7 +24,16 @@ on.  Four fault classes map onto the robustness machinery they probe:
   :class:`repro.smt.solver.QueryCache` entry (SAT model, pooled model
   or UNSAT core set) is bit-flipped *after* its integrity digest is
   taken, exercising the verify-on-hit → quarantine → re-solve path:
-  the poisoned answer must be detected and re-derived, never served.
+  the poisoned answer must be detected and re-derived, never served;
+* **worker hangs** (``hang=<rate>``) — a worker parks in an infinite
+  sleep loop (heartbeats stop) the moment it receives a task,
+  exercising the supervisor's heartbeat watchdog: the seat must be
+  declared hung, killed, and its item requeued.  Pool-only: the serial
+  driver has no supervisor, so it ignores hang schedules;
+* **memory hogs** (``memhog=<rate>``) — a driver leaks a large
+  allocation before a run, exercising the RSS governor's degradation
+  ladder (:mod:`repro.core.governor`): capacity rungs fire, but the
+  eviction → recompute contracts keep the path set invariant.
 
 Rates are percentages; each *potential* fault site draws an
 independent, stable pseudo-random decision from
@@ -47,11 +56,16 @@ import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FaultPlan", "KILL_EXIT_CODE"]
+__all__ = ["FaultPlan", "KILL_EXIT_CODE", "MEMHOG_BYTES"]
 
 #: Exit code of a fault-injected worker kill (distinguishable from real
 #: crashes in logs; the supervisor treats every nonzero exit the same).
 KILL_EXIT_CODE = 113
+
+#: Size of one injected ``memhog=`` leak.  Large enough to push a
+#: driver past a tests-sized ``--memory-budget``, small enough that a
+#: chaos run never threatens the host.
+MEMHOG_BYTES = 8 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -70,6 +84,8 @@ class FaultPlan:
     evict_rate: int = 0
     hiccup_rate: int = 0
     corrupt_rate: int = 0
+    hang_rate: int = 0
+    memhog_rate: int = 0
     interrupt_after: Optional[int] = None
 
     #: spec key -> field for :meth:`parse`.
@@ -80,6 +96,8 @@ class FaultPlan:
         "evict": "evict_rate",
         "hiccup": "hiccup_rate",
         "corrupt": "corrupt_rate",
+        "hang": "hang_rate",
+        "memhog": "memhog_rate",
         "stop": "interrupt_after",
     }
 
@@ -119,6 +137,8 @@ class FaultPlan:
             or self.evict_rate
             or self.hiccup_rate
             or self.corrupt_rate
+            or self.hang_rate
+            or self.memhog_rate
             or self.interrupt_after is not None
         )
 
@@ -150,6 +170,27 @@ class FaultPlan:
     def should_evict(self, scope, ordinal: int) -> bool:
         """Purge the snapshot pool before run ``ordinal``?"""
         return self._chance(self.evict_rate, "evict", scope, ordinal)
+
+    def should_hang(self, scope, ordinal: int) -> bool:
+        """Wedge (infinite sleep, heartbeats stopped) on task ``ordinal``?
+
+        Pool workers only: the serial driver has no supervising parent
+        to recover a wedged loop, so it never consults this predicate.
+        Keyed by incarnation uid like ``should_kill``, so a respawned
+        seat draws a fresh schedule and the retried item usually runs.
+        """
+        return self._chance(self.hang_rate, "hang", scope, ordinal)
+
+    def memhog_bytes(self, scope, ordinal: int) -> int:
+        """Bytes to deliberately leak before run ``ordinal`` (0 = none).
+
+        The leak is retained for the driver's lifetime, so repeated
+        fires ratchet RSS upward — the deterministic pressure source
+        the :mod:`repro.core.governor` ladder is tested against.
+        """
+        if not self._chance(self.memhog_rate, "memhog", scope, ordinal):
+            return 0
+        return MEMHOG_BYTES
 
     def hiccup_delay(self, scope, ordinal: int) -> float:
         """Seconds to stall before posting reply ``ordinal`` (0 = none)."""

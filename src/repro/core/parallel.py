@@ -40,8 +40,10 @@ single-process explorer, which discovers the identical path set.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from collections import deque
@@ -71,16 +73,60 @@ from .scheduler import (
 )
 from .state import ExploredPrefixTrie, InputAssignment
 
-__all__ = ["ProcessPoolExplorer", "default_jobs", "MAX_ITEM_FAILURES"]
+__all__ = [
+    "ProcessPoolExplorer",
+    "default_jobs",
+    "MAX_ITEM_FAILURES",
+    "HEARTBEAT_INTERVAL",
+    "DEFAULT_HANG_TIMEOUT",
+]
 
 #: Worker deaths while holding the *same* item before the supervisor
 #: abandons it as an ``incomplete`` path instead of retrying.
 MAX_ITEM_FAILURES = 3
 
+#: Seconds between worker liveness beats on the private reply pipe.
+#: Sent from a daemon thread, so a worker grinding through a long run
+#: (or a long CDCL solve) keeps beating — only a *wedged process* (hung
+#: syscall, C-level spin, injected ``hang=`` fault) goes silent.
+HEARTBEAT_INTERVAL = 0.25
+
+#: Seconds of heartbeat silence before the supervisor declares a live
+#: seat hung and kills it (>> HEARTBEAT_INTERVAL, so scheduler jitter
+#: on a loaded machine never trips it).
+DEFAULT_HANG_TIMEOUT = 5.0
+
+#: First element of a liveness message on the reply pipe.  Real replies
+#: lead with an integer task id, so the tag can never collide.
+_HEARTBEAT = "__heartbeat__"
+
+
+class _DeadlineExpired(Exception):
+    """Internal control flow: the global ``--deadline`` fired."""
+
 
 def default_jobs() -> int:
     """Worker count when none is requested: one per CPU, capped at 8."""
     return min(os.cpu_count() or 1, 8)
+
+
+def _backoff_delay(seed: int, uid: int, respawns: int) -> float:
+    """Respawn delay for a seat's ``respawns``-th revival (seconds).
+
+    Exponential in the respawn count (capped at 2s) with deterministic
+    multiplicative jitter in [0.5, 1.5) derived from ``(seed, uid,
+    respawns)`` — crash loops back off fast without every seat of a
+    mass-death event retrying in lockstep, and the schedule is
+    reproducible for a given campaign seed.
+    """
+    if respawns <= 0:
+        return 0.0
+    base = min(0.02 * (2 ** (respawns - 1)), 2.0)
+    digest = hashlib.blake2b(
+        f"backoff|{seed}|{uid}|{respawns}".encode("ascii"), digest_size=8
+    ).digest()
+    jitter = 0.5 + int.from_bytes(digest, "big") / 2**64
+    return base * jitter
 
 
 def _worker_main(
@@ -93,6 +139,7 @@ def _worker_main(
     task_queue,
     reply_conn,
     faults,
+    memory_budget_mb,
 ):
     """Worker loop: execute runs and expand their branch flips.
 
@@ -122,16 +169,51 @@ def _worker_main(
 
     ``faults`` (a :class:`repro.core.faults.FaultPlan` or None) drives
     deterministic chaos: a scheduled *kill* exits the process the
-    moment the task is received (the parent requeues it), *evictions*
+    moment the task is received (the parent requeues it), a *hang*
+    stops the heartbeat thread and parks the worker in an infinite
+    sleep (a wedged process the watchdog must detect and kill),
+    *memhogs* leak ballast to drive the memory governor, *evictions*
     purge the snapshot pool before the run, *give-ups* make scheduled
     CDCL solves answer UNKNOWN, and *hiccups* stall the reply briefly
     to widen the reply/death race window the supervisor must tolerate.
+
+    **Liveness.**  A daemon thread beats every
+    :data:`HEARTBEAT_INTERVAL` seconds on the reply pipe (tagged
+    :data:`_HEARTBEAT`, distinguishable from replies by its string
+    first element).  The GIL guarantees the thread gets scheduled even
+    while the main thread grinds through pure-Python work, so a long
+    run never reads as a hang — only a genuinely wedged process goes
+    silent.  Both threads send under one lock so messages never
+    interleave on the pipe.
     """
     solver = make_solver(use_cache, preprocess)
     install_fault_hooks(solver, faults, worker_uid)
     certify = preprocess is not None and preprocess.certify
     purge = getattr(executor, "purge_snapshots", None)
     trie = ExploredPrefixTrie() if dedup_flips else None
+    send_lock = threading.Lock()
+    hb_stop = threading.Event()
+
+    def _heartbeat_loop():
+        while not hb_stop.wait(HEARTBEAT_INTERVAL):
+            try:
+                with send_lock:
+                    reply_conn.send((_HEARTBEAT, worker_uid))
+            except (OSError, ValueError, BrokenPipeError):
+                return  # parent went away; the process is exiting
+
+    threading.Thread(target=_heartbeat_loop, daemon=True).start()
+    # Per-worker memory governor: RSS is per-process, so every worker
+    # walks its own degradation ladder over its own caches and pool.
+    capture_state = {"snapshots": snapshots}
+    governor = None
+    if memory_budget_mb is not None:
+        from .governor import build_exploration_governor
+
+        governor = build_exploration_governor(
+            memory_budget_mb, executor, solver, capture_state
+        )
+    memhog_leaks: list = []
     cross_worker_items = 0
     tasks_done = 0
     note_hot = getattr(executor, "note_hot_pcs", None)
@@ -139,9 +221,17 @@ def _worker_main(
     while True:
         task = task_queue.get()
         if task is None:
+            hb_stop.set()
             return
         if faults is not None and faults.should_kill(worker_uid, tasks_done):
             os._exit(KILL_EXIT_CODE)
+        if faults is not None and faults.should_hang(worker_uid, tasks_done):
+            # Simulate a fully wedged process (hung syscall, C-level
+            # spin): heartbeats stop, the task is never answered, and
+            # only the supervisor's watchdog can recover the seat.
+            hb_stop.set()
+            while True:
+                time.sleep(60)
         task_id, assignment_payload, bound, snapshot_ref, hot_pcs = task
         try:
             if note_hot is not None and hot_pcs:
@@ -151,11 +241,16 @@ def _worker_main(
                 if fresh:
                     hot_applied.update(fresh)
                     note_hot(fresh)
-            if faults is not None and purge is not None and snapshots:
+            if faults is not None:
+                ballast = faults.memhog_bytes(worker_uid, tasks_done)
+                if ballast:
+                    memhog_leaks.append(bytearray(ballast))
+            capturing = capture_state["snapshots"]
+            if faults is not None and purge is not None and capturing:
                 if faults.should_evict(worker_uid, tasks_done):
                     purge()
             assignment = deserialize_assignment(assignment_payload)
-            if snapshots:
+            if capturing:
                 resume = None
                 if snapshot_ref is not None:
                     if snapshot_ref[0] == worker_uid:
@@ -167,6 +262,8 @@ def _worker_main(
                 )
             else:
                 run = executor.execute(assignment)
+            if governor is not None:
+                governor.maybe_step()
             stats = RunStats()
             children = expand_run(
                 run,
@@ -231,14 +328,19 @@ def _worker_main(
                 tuple(stats.pc_hits.items()),
                 superblock_stats,
                 stats.unknown_queries,
+                governor.statistics if governor is not None else {},
             )
             if faults is not None:
                 delay = faults.hiccup_delay(worker_uid, tasks_done)
                 if delay:
                     time.sleep(delay)
-            reply_conn.send((task_id, path_payload, child_payloads, stats_payload))
+            with send_lock:
+                reply_conn.send(
+                    (task_id, path_payload, child_payloads, stats_payload)
+                )
         except Exception:
-            reply_conn.send((task_id, None, traceback.format_exc(), None))
+            with send_lock:
+                reply_conn.send((task_id, None, traceback.format_exc(), None))
         tasks_done += 1
 
 
@@ -252,7 +354,15 @@ class _WorkerSlot:
     backoff.
     """
 
-    __slots__ = ("uid", "process", "queue", "reply", "task_id", "respawns")
+    __slots__ = (
+        "uid",
+        "process",
+        "queue",
+        "reply",
+        "task_id",
+        "respawns",
+        "last_beat",
+    )
 
     def __init__(self, uid, process, queue, reply):
         self.uid = uid
@@ -263,6 +373,10 @@ class _WorkerSlot:
         #: Task id the seat's worker currently holds (None = idle).
         self.task_id: Optional[int] = None
         self.respawns = 0
+        #: Monotonic time of the incarnation's last message (heartbeat
+        #: or reply); seeded at spawn so a fresh seat gets a full
+        #: hang-timeout window before the watchdog may judge it.
+        self.last_beat = time.monotonic()
 
 
 class ProcessPoolExplorer:
@@ -297,6 +411,9 @@ class ProcessPoolExplorer:
         checkpoint_interval: int = 1,
         resume: bool = False,
         faults=None,
+        deadline: Optional[float] = None,
+        memory_budget_mb: Optional[int] = None,
+        hang_timeout: float = DEFAULT_HANG_TIMEOUT,
     ):
         self.executor = executor
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -323,6 +440,9 @@ class ProcessPoolExplorer:
         self.checkpoint_interval = checkpoint_interval
         self.resume = resume
         self.faults = faults if faults is not None and faults.active else None
+        self.deadline = deadline
+        self.memory_budget_mb = memory_budget_mb
+        self.hang_timeout = hang_timeout
 
     def explore(self) -> ExplorationResult:
         if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -346,6 +466,9 @@ class ProcessPoolExplorer:
             checkpoint_interval=self.checkpoint_interval,
             resume=self.resume,
             faults=self.faults,
+            deadline=self.deadline,
+            memory_budget_mb=self.memory_budget_mb,
+            hang_timeout=self.hang_timeout,
         ).explore()
 
     # ------------------------------------------------------------------
@@ -368,6 +491,7 @@ class ProcessPoolExplorer:
                 task_queue,
                 send_conn,
                 self.faults,
+                self.memory_budget_mb,
             ),
             daemon=True,
         )
@@ -377,7 +501,7 @@ class ProcessPoolExplorer:
         send_conn.close()
         return _WorkerSlot(uid, process, task_queue, recv_conn)
 
-    def _await_replies(self, slots):
+    def _await_replies(self, slots, result, deadline_at):
         """Block until replies arrive or a worker death is detected.
 
         Returns ``(replies, dead_slots)``.  ``_worker_main`` converts
@@ -389,20 +513,42 @@ class ProcessPoolExplorer:
         death are drained and processed, a torn trailing message is
         discarded (its item will be requeued), and no shared lock
         exists for a dying writer to wedge the survivors with.
+
+        **Watchdog.**  Every drained message (heartbeat or reply)
+        refreshes the seat's ``last_beat``; a *live* seat silent for
+        longer than ``hang_timeout`` is declared hung: the supervisor
+        kills it (SIGKILL — a wedged process may ignore SIGTERM),
+        counts it in ``hung_workers``, and lets the ordinary death path
+        requeue its item and respawn the seat.  The global deadline is
+        also enforced here, since heartbeats keep this loop turning
+        even when no worker ever finishes its task.
         """
         while True:
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise _DeadlineExpired
             ready = mp_connection.wait(
                 [slot.reply for slot in slots], timeout=0.2
             )
+            now = time.monotonic()
             replies = []
             for slot in slots:
                 if slot.reply not in ready:
                     continue
                 try:
                     while slot.reply.poll():
-                        replies.append(slot.reply.recv())
+                        message = slot.reply.recv()
+                        slot.last_beat = now
+                        if message[0] != _HEARTBEAT:
+                            replies.append(message)
                 except (EOFError, OSError):
                     pass  # EOF or torn message: the death check decides
+            for slot in slots:
+                if slot.process.exitcode is not None:
+                    continue
+                if now - slot.last_beat > self.hang_timeout:
+                    result.hung_workers += 1
+                    slot.process.kill()
+                    slot.process.join()
             dead = [
                 slot for slot in slots if slot.process.exitcode is not None
             ]
@@ -441,10 +587,12 @@ class ProcessPoolExplorer:
                     result.incomplete_paths += 1
                 else:
                     frontier.push(item)
-        # Linear backoff per seat: repeated respawns slow down, one-off
-        # crashes restart almost immediately.
-        if slot.respawns:
-            time.sleep(min(0.02 * slot.respawns, 0.2))
+        # Seeded-jitter exponential backoff per seat: repeated respawns
+        # slow down (capped), one-off crashes restart almost
+        # immediately, and simultaneous seat deaths desynchronize.
+        delay = _backoff_delay(self.seed, slot.uid, slot.respawns)
+        if delay:
+            time.sleep(delay)
         slot.respawns += 1
         self._next_uid += 1
         fresh = self._spawn(context, self._next_uid)
@@ -452,6 +600,7 @@ class ProcessPoolExplorer:
         slot.process = fresh.process
         slot.queue = fresh.queue
         slot.reply = fresh.reply
+        slot.last_beat = fresh.last_beat
 
     # ------------------------------------------------------------------
     # The supervised pool loop
@@ -494,6 +643,9 @@ class ProcessPoolExplorer:
             frontier.push(WorkItem(InputAssignment(), 0))
         resumed_complete = restored is not None and restored.complete
         faults = self.faults
+        deadline_at = (
+            time.monotonic() + self.deadline if self.deadline is not None else None
+        )
         next_task = 0
         dropped = False
         #: task id -> WorkItem currently held by some worker.
@@ -506,6 +658,7 @@ class ProcessPoolExplorer:
         worker_solver_stats: dict[int, dict] = {}
         worker_snapshot_stats: dict[int, dict] = {}
         worker_superblock_stats: dict[int, dict] = {}
+        worker_governor_stats: dict[int, dict] = {}
         # Global superblock hotness: per-PC flippable-branch executions
         # accumulate across all workers' runs; PCs past the threshold
         # are broadcast with every task (cumulative tuple — workers
@@ -518,6 +671,8 @@ class ProcessPoolExplorer:
             while not resumed_complete and (
                 frontier or in_flight or pending_replies
             ):
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    raise _DeadlineExpired
                 for slot in slots:
                     if slot.task_id is not None:
                         continue
@@ -541,7 +696,9 @@ class ProcessPoolExplorer:
                 if not in_flight and not pending_replies:
                     break  # path budget exhausted with work left over
                 if not pending_replies:
-                    replies, dead = self._await_replies(slots)
+                    replies, dead = self._await_replies(
+                        slots, result, deadline_at
+                    )
                     pending_replies.extend(replies)
                     if dead:
                         replied_ids = {reply[0] for reply in pending_replies}
@@ -585,6 +742,8 @@ class ProcessPoolExplorer:
                 worker_snapshot_stats[origin_uid] = stats_payload[10]
                 if stats_payload[12]:
                     worker_superblock_stats[origin_uid] = stats_payload[12]
+                if stats_payload[14]:
+                    worker_governor_stats[origin_uid] = stats_payload[14]
                 if superblocks_on and stats_payload[11]:
                     new_hot = False
                     for pc, count in stats_payload[11]:
@@ -634,7 +793,13 @@ class ProcessPoolExplorer:
                         raise KeyboardInterrupt
         except KeyboardInterrupt:
             result.interrupted = True
+        except _DeadlineExpired:
+            result.interrupted = True
+            result.deadline_expired = True
         finally:
+            # Bounded shutdown escalation: a cooperative join first,
+            # then SIGTERM, then SIGKILL — close() can never hang the
+            # parent on a worker wedged past its shutdown sentinel.
             for slot in slots:
                 slot.queue.put(None)
             for slot in slots:
@@ -642,6 +807,9 @@ class ProcessPoolExplorer:
             for slot in slots:
                 if slot.process.is_alive():  # pragma: no cover - defensive
                     slot.process.terminate()
+                    slot.process.join(timeout=2)
+                if slot.process.is_alive():  # pragma: no cover - defensive
+                    slot.process.kill()
                     slot.process.join(timeout=5)
                 slot.reply.close()
         result.truncated = dropped or bool(frontier)
@@ -652,6 +820,8 @@ class ProcessPoolExplorer:
             result.merge_snapshot_stats(stats_dict)
         for stats_dict in worker_superblock_stats.values():
             result.merge_superblock_stats(stats_dict)
+        for stats_dict in worker_governor_stats.values():
+            result.merge_governor_stats(stats_dict)
         if manager is not None and not resumed_complete:
             manager.save(
                 result,
@@ -663,7 +833,15 @@ class ProcessPoolExplorer:
                 solver_stats=result.solver_stats,
                 snapshot_stats=result.snapshot_stats,
                 superblock_stats=result.superblock_stats,
+                governor_stats=result.governor_stats,
             )
+        if result.deadline_expired:
+            # Anytime accounting: drained frontier plus still-in-flight
+            # items are the explicitly counted unexplored paths.  Added
+            # only AFTER the final checkpoint save — ``--resume``
+            # restores those items and re-explores them, so persisting
+            # the count too would double-book them.
+            result.incomplete_paths += len(frontier.drain()) + len(in_flight)
         if self.preprocess is not None and self.preprocess.certify:
             # The parent never executed the SUT, so its executor is a
             # pristine replay vehicle for the certificates the workers'

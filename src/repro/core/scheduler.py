@@ -222,6 +222,15 @@ class Frontier:
         """Non-destructive snapshot of the queued items (checkpointing)."""
         return self._strategy.items()
 
+    def drain(self) -> list:
+        """Pop every queued item (deadline expiry: the drivers count the
+        drained items into ``incomplete_paths`` after checkpointing them,
+        so an anytime run's unexplored remainder is explicit)."""
+        drained = []
+        while self._strategy:
+            drained.append(self.pop())
+        return drained
+
     def __len__(self) -> int:
         return len(self._strategy)
 

@@ -203,6 +203,14 @@ def measure_pipeline(
         "unknown_queries": result.unknown_queries,
         "incomplete_paths": result.incomplete_paths,
         "workers": result.workers,
+        # Anytime layer (PR 9; all zero on a healthy unbudgeted run):
+        # worker seats the heartbeat watchdog killed, memory-governor
+        # degradation rungs applied, and whether a --deadline cut the
+        # exploration short (its drained frontier is already counted in
+        # incomplete_paths above).
+        "hung_workers": result.hung_workers,
+        "degradations": result.degradations,
+        "deadline_expired": int(result.deadline_expired),
         # Snapshot layer (all zero for engines without snapshot support
         # or with --no-snapshots): how many runs resumed at their
         # divergence point, the prefix instructions that saved, and the
@@ -265,6 +273,9 @@ def render_pipeline(
             stats["pool_evictions"],
             stats["superblock_hits"],
             stats["superblock_deopts"],
+            stats["hung_workers"],
+            stats["degradations"],
+            stats["deadline_expired"],
         ]
         if certify:
             row.extend(
@@ -278,7 +289,8 @@ def render_pipeline(
     headers = [
         "engine", "paths", "solved", "cache hits", "subsumed", "fast path",
         "core solves", "min cores", "unknown", "slices", "resumed",
-        "instr saved", "evictions", "sb hits", "sb deopts",
+        "instr saved", "evictions", "sb hits", "sb deopts", "hung",
+        "degraded", "deadline",
     ]
     if certify:
         headers.extend(["certified", "checked", "quarantined"])

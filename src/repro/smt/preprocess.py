@@ -62,10 +62,13 @@ class PreprocessConfig:
     (``--conflict-budget`` / ``--propagation-budget``, None =
     unlimited): an exhausted budget makes ``check`` answer UNKNOWN,
     which the exploration layer counts explicitly instead of flipping
-    the branch.  ``core_budget`` (``--core-budget``) caps the extra
-    solves :meth:`repro.smt.sat.SatSolver.minimize_core` may spend
-    shrinking an UNSAT core.  Fork inheritance keeps serial and
-    parallel budget behaviour identical.
+    the branch.  ``wall_budget`` (``--solver-wall-budget``, seconds)
+    bounds *wall time* per CDCL ``solve`` the same way — the anytime
+    guarantee for queries whose conflict count stays low while each
+    propagation round is expensive.  ``core_budget`` (``--core-budget``)
+    caps the extra solves :meth:`repro.smt.sat.SatSolver.minimize_core`
+    may spend shrinking an UNSAT core.  Fork inheritance keeps serial
+    and parallel budget behaviour identical.
 
     The *evidence* knobs control the certification layer:
     ``proof_log`` (``--no-proof-log``) keeps the CDCL core's DRAT-style
@@ -85,6 +88,7 @@ class PreprocessConfig:
     trail_reuse: bool = True
     conflict_budget: "int | None" = None
     propagation_budget: "int | None" = None
+    wall_budget: "float | None" = None
     core_budget: int = 8
     certify: bool = False
     proof_log: bool = True

@@ -22,7 +22,7 @@ appears as ``v`` (positive) or ``-v`` (negated).  The solver supports
   whose assumption lists share an ordered prefix keep the trail
   segment that prefix justifies instead of cancelling to level 0,
 * VSIDS variable activities with exponential decay and phase saving,
-* per-call conflict/propagation *budgets*: ``solve`` returns
+* per-call conflict/propagation/wall-clock *budgets*: ``solve`` returns
   :data:`UNKNOWN` instead of running forever on an adversarial query,
   leaving the solver consistent for the next call (sound degradation —
   the caller must treat UNKNOWN as "no answer", never as SAT or UNSAT).
@@ -30,6 +30,7 @@ appears as ``v`` (positive) or ``-v`` (negated).  The solver supports
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
 from typing import Callable, Iterable, Optional, Sequence
@@ -89,6 +90,7 @@ class SatSolver:
         trail_reuse: bool = True,
         conflict_budget: Optional[int] = None,
         propagation_budget: Optional[int] = None,
+        wall_budget: Optional[float] = None,
         proof_log: bool = False,
     ) -> None:
         self._num_vars = 0
@@ -129,6 +131,13 @@ class SatSolver:
         #: to a consistent level-0 state.
         self.conflict_budget = conflict_budget
         self.propagation_budget = propagation_budget
+        #: Per-``solve``-call wall-clock budget in seconds (None =
+        #: unlimited).  The monotonic-clock check piggybacks on the
+        #: existing per-conflict budget checks, so even a budget-free
+        #: conflict/propagation configuration stays anytime: a solve
+        #: exceeding the budget answers :data:`UNKNOWN` like any other
+        #: exhausted budget.
+        self.wall_budget = wall_budget
         #: Test/chaos seam: called with the solve ordinal at the start
         #: of every ``solve``; returning True simulates an immediately
         #: exhausted budget (see :mod:`repro.core.faults`).
@@ -682,12 +691,22 @@ class SatSolver:
             propagation_limit = (
                 self.statistics["propagations"] + self.propagation_budget
             )
+        # Monotonic wall-clock deadline for this call, checked at the
+        # same sites as the counter budgets (once per propagate return
+        # and per conflict) — cheap, and frequent enough that no solve
+        # overshoots its budget by more than one propagation round.
+        wall_limit = None
+        if self.wall_budget is not None:
+            wall_limit = time.monotonic() + self.wall_budget
         while True:
             conflict = self._propagate()
             if (
                 propagation_limit is not None
                 and self.statistics["propagations"] > propagation_limit
             ):
+                self._give_up()
+                return UNKNOWN
+            if wall_limit is not None and time.monotonic() > wall_limit:
                 self._give_up()
                 return UNKNOWN
             if conflict is not None:

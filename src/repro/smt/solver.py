@@ -127,6 +127,7 @@ class Solver:
         unsat_cores: bool = False,
         conflict_budget: Optional[int] = None,
         propagation_budget: Optional[int] = None,
+        wall_budget: Optional[float] = None,
         core_budget: int = 8,
         certify: bool = False,
         proof_log: bool = False,
@@ -135,6 +136,7 @@ class Solver:
             trail_reuse=trail_reuse,
             conflict_budget=conflict_budget,
             propagation_budget=propagation_budget,
+            wall_budget=wall_budget,
             proof_log=proof_log,
         )
         self._core_budget = core_budget
@@ -466,6 +468,28 @@ class QueryCache:
 
     def __len__(self) -> int:
         return len(self._results)
+
+    def tighten(self, factor: int = 2) -> None:
+        """Shrink every capacity by ``factor`` (memory-governor rung).
+
+        Sound by the same argument as ordinary eviction: the cache is a
+        pure memo, so a dropped entry costs a re-solve, never an answer.
+        Floors keep the cache functional under repeated tightening —
+        the governor may call this on every pressure sample.
+        """
+        self._max_entries = max(64, self._max_entries // factor)
+        self._max_unsat_sets = max(16, self._max_unsat_sets // factor)
+        while len(self._results) > self._max_entries:
+            oldest = next(iter(self._results))
+            del self._results[oldest]
+            self._models.pop(oldest, None)
+            self._digests.pop(oldest, None)
+            self.evictions += 1
+        while len(self._unsat_sets) > self._max_unsat_sets:
+            self._drop_unsat_set(next(iter(self._unsat_sets)))
+        pool_cap = max(2, (self._model_pool.maxlen or 2) // factor)
+        # deque(iterable, maxlen) keeps the *newest* maxlen entries.
+        self._model_pool = deque(self._model_pool, maxlen=pool_cap)
 
     # -- integrity ------------------------------------------------------
 
@@ -864,6 +888,7 @@ class CachingSolver(Solver):
             unsat_cores=config.unsat_cores,
             conflict_budget=config.conflict_budget,
             propagation_budget=config.propagation_budget,
+            wall_budget=config.wall_budget,
             core_budget=config.core_budget,
             certify=config.certify,
             proof_log=config.proof_log,

@@ -43,6 +43,13 @@ DETERMINISTIC_KEYS = (
     "instructions",
     "sb_hits",
     "sb_block_instructions",
+    # Anytime counters (PR 9): all exactly zero on a healthy run with
+    # no deadline / memory budget / fault schedule — any non-zero value
+    # in a CI benchmark means the run degraded and must not pass as a
+    # performance baseline.
+    "deadline_expired",
+    "degradations",
+    "hung_workers",
 )
 
 _BASELINE_PATTERN = re.compile(r"BENCH_PR(\d+)\.json$")

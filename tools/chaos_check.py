@@ -26,12 +26,28 @@ contract is stricter than the degradation one — corruption must be
 * at least one quarantine is observed per workload (summed over the
   schedules), proving the fault actually fired and was detected.
 
+``--hang`` runs the PR 9 *liveness* gate: pool workers are wedged by a
+``hang=`` schedule (heartbeats stop, the task is never answered) and
+the heartbeat watchdog must detect, kill and recover every one of them
+— the run terminates with the subset-plus-counters invariant intact
+and ``hung_workers`` counting the recoveries.  A final
+watchdog-recovery self-test wedges *every* task (``hang=100``) and
+asserts the pool still drains: zero paths, everything accounted as
+``incomplete_paths``, no wedged parent.
+
+``--deadline-gate`` runs the PR 9 *anytime* gate: each workload is cut
+by a global ``--deadline`` (immediately, and mid-run) into a
+checkpointed partial result whose shortfall is explicitly counted,
+then ``--resume``d — the resumed campaign must complete exactly the
+uninterrupted run's path set, serial and pooled.
+
 Schedules are deterministic (``blake2b(seed, kind, site)``), so a
 failure here reproduces locally with the printed seed.
 
 Usage::
 
     python tools/chaos_check.py [--seeds N] [--jobs N] [--corrupt]
+    python tools/chaos_check.py [--hang | --deadline-gate]
     python tools/chaos_check.py --self-test
 
 ``--self-test`` drops a path from a clean result in memory and asserts
@@ -43,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -68,11 +85,24 @@ RATES = {"kill_rate": 20, "unknown_rate": 15, "evict_rate": 50, "hiccup_rate": 1
 #: Cache-poisoning rate for the corruption gate (``--corrupt``).
 CORRUPT_RATE = 30
 
+#: Worker-wedging rate for the liveness gate (``--hang``), and the
+#: missed-heartbeat threshold it runs with — short, so a full gate run
+#: stays inside the CI chaos-job time limit while every hang still
+#: costs the watchdog a real detection.
+HANG_RATE = 15
+HANG_TIMEOUT = 1.0
 
-def build_explorer(workload: str, jobs: int = 1, faults=None) -> Explorer:
+#: Mid-run cut for the deadline gate: long enough for partial progress,
+#: short enough that the cut usually lands mid-campaign.
+DEADLINE_CUTS = (0.0, 0.3)
+
+
+def build_explorer(
+    workload: str, jobs: int = 1, faults=None, **kwargs
+) -> Explorer:
     spec = WORKLOADS[workload]
     engine = make_engine("binsym", rv32im(), spec.image(WORKLOAD_SCALES[workload]))
-    return Explorer(engine, jobs=jobs, use_cache=True, faults=faults)
+    return Explorer(engine, jobs=jobs, use_cache=True, faults=faults, **kwargs)
 
 
 def check_invariant(workload: str, clean, faulted, label: str) -> list[str]:
@@ -182,6 +212,160 @@ def run_corruption_gate(seeds: int, jobs: int) -> int:
     return 0
 
 
+def run_hang_gate(seeds: int, jobs: int) -> int:
+    """Liveness gate: wedged workers must be recovered, never waited on.
+
+    ``hang=`` is pool-only (a wedged serial driver has no supervisor),
+    so every faulted run here is pooled.  Beyond the standard
+    subset-plus-counters invariant, the gate requires the schedule to
+    have actually fired (``hung_workers`` summed over all runs) and
+    finishes with a watchdog-recovery self-test: a ``hang=100``
+    schedule wedges every task, and the pool must still drain — zero
+    paths, the initial item abandoned as an ``incomplete`` path after
+    :data:`repro.core.parallel.MAX_ITEM_FAILURES` recoveries.
+    """
+    failures: list[str] = []
+    total_hung = 0
+    for workload in WORKLOAD_SCALES:
+        start = time.perf_counter()
+        clean = build_explorer(workload).explore()
+        for seed in range(seeds):
+            plan = FaultPlan(seed=seed, hang_rate=HANG_RATE)
+            faulted = build_explorer(
+                workload, jobs=jobs, faults=plan, hang_timeout=HANG_TIMEOUT
+            ).explore()
+            errors = check_invariant(
+                workload, clean, faulted, f"hang jobs={jobs} seed={seed}"
+            )
+            failures.extend(errors)
+            total_hung += faulted.hung_workers
+            status = "FAIL" if errors else "ok"
+            print(
+                f"  {status:4s} {workload:16s} jobs={jobs} seed={seed} "
+                f"paths={faulted.num_paths}/{clean.num_paths} "
+                f"hung={faulted.hung_workers} "
+                f"incomplete={faulted.incomplete_paths} "
+                f"deaths={faulted.worker_deaths}"
+            )
+        print(
+            f"{workload}: {clean.num_paths} clean paths, "
+            f"{time.perf_counter() - start:.1f}s"
+        )
+    if not total_hung:
+        failures.append(
+            "hang schedule never fired — the gate proved nothing "
+            "(raise HANG_RATE or the seed count)"
+        )
+    # Watchdog-recovery self-test: every task hangs; the pool must
+    # still terminate with everything explicitly accounted.
+    plan = FaultPlan(seed=0, hang_rate=100)
+    wedged = build_explorer(
+        "clif-parser", jobs=jobs, faults=plan, hang_timeout=HANG_TIMEOUT
+    ).explore()
+    if wedged.num_paths != 0:
+        failures.append(
+            f"hang=100 run completed {wedged.num_paths} path(s) — the "
+            f"schedule did not wedge every task"
+        )
+    if wedged.hung_workers == 0 or wedged.incomplete_paths == 0:
+        failures.append(
+            f"hang=100 run terminated without accounting: "
+            f"hung={wedged.hung_workers} "
+            f"incomplete={wedged.incomplete_paths}"
+        )
+    print(
+        f"watchdog recovery: hang=100 drained with "
+        f"{wedged.hung_workers} hung workers killed, "
+        f"{wedged.incomplete_paths} incomplete path(s)"
+    )
+    if failures:
+        print(f"\nhang gate FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\nhang gate passed: every wedged worker was detected, killed "
+        "and its item recovered or accounted"
+    )
+    return 0
+
+
+def run_deadline_gate(jobs: int) -> int:
+    """Anytime gate: deadline-cut + resume == the uninterrupted run.
+
+    Cuts each workload at each :data:`DEADLINE_CUTS` deadline (0 = cut
+    before any run; the rest land mid-campaign) into a checkpoint, then
+    resumes without a deadline.  The cut run must report
+    ``deadline_expired`` with its shortfall counted, never invent
+    paths, and the resumed campaign must finish exactly the clean path
+    set — serial and pooled.
+    """
+    failures: list[str] = []
+    for workload in WORKLOAD_SCALES:
+        start = time.perf_counter()
+        clean = build_explorer(workload).explore()
+        for label, n_jobs in (("serial", 1), (f"jobs={jobs}", jobs)):
+            for deadline in DEADLINE_CUTS:
+                before = len(failures)
+                with tempfile.TemporaryDirectory() as ckpt:
+                    cut = build_explorer(
+                        workload,
+                        jobs=n_jobs,
+                        deadline=deadline,
+                        checkpoint_dir=ckpt,
+                    ).explore()
+                    tag = f"{label} deadline={deadline}"
+                    if cut.path_set() - clean.path_set():
+                        failures.append(
+                            f"{workload} [{tag}]: cut run invented paths"
+                        )
+                    complete = cut.path_set() == clean.path_set()
+                    if cut.deadline_expired:
+                        if not complete and cut.incomplete_paths == 0:
+                            failures.append(
+                                f"{workload} [{tag}]: deadline shortfall "
+                                f"not counted (incomplete_paths=0)"
+                            )
+                    elif not complete:
+                        failures.append(
+                            f"{workload} [{tag}]: paths missing without "
+                            f"deadline_expired"
+                        )
+                    resumed = build_explorer(
+                        workload,
+                        jobs=n_jobs,
+                        checkpoint_dir=ckpt,
+                        resume=True,
+                    ).explore()
+                    if resumed.path_set() != clean.path_set():
+                        failures.append(
+                            f"{workload} [{tag}]: resumed campaign found "
+                            f"{resumed.num_paths} path(s), clean run "
+                            f"found {clean.num_paths}"
+                        )
+                    status = "FAIL" if len(failures) > before else "ok"
+                    print(
+                        f"  {status:4s} {workload:16s} {tag:22s} "
+                        f"cut={cut.num_paths} "
+                        f"incomplete={cut.incomplete_paths} "
+                        f"resumed={resumed.num_paths}/{clean.num_paths}"
+                    )
+        print(
+            f"{workload}: {clean.num_paths} clean paths, "
+            f"{time.perf_counter() - start:.1f}s"
+        )
+    if failures:
+        print(f"\ndeadline gate FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\ndeadline gate passed: every cut was counted and every resume "
+        "completed the full path set"
+    )
+    return 0
+
+
 def run_gate(seeds: int, jobs: int) -> int:
     failures: list[str] = []
     for workload in WORKLOAD_SCALES:
@@ -269,6 +453,14 @@ def main(argv=None) -> int:
     parser.add_argument("--corrupt", action="store_true",
                         help="run the cache-corruption gate instead of "
                              "the degradation gate")
+    parser.add_argument("--hang", action="store_true",
+                        help="run the liveness gate: wedged pool workers "
+                             "must be watchdog-recovered, plus a "
+                             "hang=100 recovery self-test")
+    parser.add_argument("--deadline-gate", action="store_true",
+                        help="run the anytime gate: deadline-cut + "
+                             "resume must equal the uninterrupted "
+                             "path set")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gates detect silent path loss, "
                              "served corruption and lost attribution")
@@ -277,6 +469,10 @@ def main(argv=None) -> int:
         return self_test()
     if args.corrupt:
         return run_corruption_gate(args.seeds, args.jobs)
+    if args.hang:
+        return run_hang_gate(args.seeds, args.jobs)
+    if args.deadline_gate:
+        return run_deadline_gate(args.jobs)
     return run_gate(args.seeds, args.jobs)
 
 
