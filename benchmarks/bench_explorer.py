@@ -70,6 +70,11 @@ def test_exploration_jobs(benchmark, isa, image, jobs):
     benchmark.extra_info["deadline_expired"] = int(result.deadline_expired)
     benchmark.extra_info["degradations"] = result.degradations
     benchmark.extra_info["hung_workers"] = result.hung_workers
+    # Persistent-store health: benchmarks run without --store, so both
+    # must be exactly zero — non-zero means a store tier leaked into
+    # the benchmark configuration or an artifact failed verification.
+    benchmark.extra_info["store_quarantines"] = result.store_quarantines
+    benchmark.extra_info["store_disabled"] = result.store_disabled
 
 
 @pytest.mark.parametrize("cache", [False, True], ids=["cache-off", "cache-on"])

@@ -142,8 +142,18 @@ def _cmd_explore(args) -> int:
         faults=faults,
         deadline=args.deadline,
         memory_budget_mb=args.memory_budget,
+        store_dir=args.store,
     ).explore()
     print(result.summary())
+    if args.store:
+        stats = result.solver_stats
+        print(
+            f"persistent store: {stats.get('store_hits', 0)} warm hits, "
+            f"{stats.get('store_stores', 0)} artifacts written, "
+            f"{stats.get('store_quarantines', 0)} quarantined, "
+            f"{stats.get('store_skews', 0)} version-skewed, "
+            f"{stats.get('store_disabled', 0)} tiers disabled"
+        )
     if args.certify:
         stats = result.solver_stats
         print(
@@ -328,6 +338,16 @@ def main(argv=None) -> int:
                            help="resume a killed campaign from DIR's "
                                 "journal (implies --checkpoint DIR); "
                                 "completed paths are not re-executed")
+    p_explore.add_argument("--store", metavar="DIR", default=None,
+                           help="persistent cross-run artifact store: "
+                                "query verdicts (models, UNSAT cores) "
+                                "and path certificates are written to "
+                                "DIR and verified warm hits served from "
+                                "it on later runs; any torn/corrupt/"
+                                "skewed file is quarantined and "
+                                "re-solved, any I/O failure disables "
+                                "the tier for the run (see "
+                                "tools/store_fsck.py)")
     p_explore.add_argument("--certify", action="store_true", default=False,
                            help="certify every reported answer: UNSAT "
                                 "answers are DRAT-checked, SAT models "
@@ -343,12 +363,13 @@ def main(argv=None) -> int:
     p_explore.add_argument("--inject-faults", metavar="SPEC", default=None,
                            help="deterministic chaos schedule, e.g. "
                                 "'kill=30,unknown=20,evict=50,hiccup=10,"
-                                "corrupt=30,hang=10,memhog=20,stop=5,"
-                                "seed=1' (rates in percent; stop "
-                                "interrupts after N paths; hang wedges "
-                                "pool workers for the watchdog to kill, "
-                                "memhog leaks memory to drive the "
-                                "governor)")
+                                "corrupt=30,hang=10,memhog=20,torn=20,"
+                                "iofail=5,stop=5,seed=1' (rates in "
+                                "percent; stop interrupts after N "
+                                "paths; hang wedges pool workers for "
+                                "the watchdog to kill, memhog leaks "
+                                "memory to drive the governor, torn/"
+                                "iofail tear and fail --store I/O)")
     p_explore.add_argument("--stats", action="store_true",
                            help="print detailed solver/pipeline statistics")
     p_explore.add_argument("--max-paths", type=int, default=100_000)

@@ -16,6 +16,7 @@ offline (concolic) exploration driver.
 * :mod:`repro.core.checkpoint` — crash-safe exploration journal
 * :mod:`repro.core.faults` — deterministic fault-injection schedules
 * :mod:`repro.core.governor` — memory-budget degradation ladder
+* :mod:`repro.core.store` — crash-safe persistent cross-run artifact store
 """
 
 from .checkpoint import CheckpointManager, CheckpointState
@@ -27,6 +28,7 @@ from .governor import MemoryGovernor, build_exploration_governor
 from .interpreter import SymbolicInterpreter
 from .parallel import ProcessPoolExplorer
 from .scheduler import Frontier, RunStats, WorkItem
+from .store import ArtifactStore
 from .state import (
     BranchRecord,
     ExploredPrefixTrie,
@@ -49,6 +51,7 @@ __all__ = [
     "CheckpointManager",
     "CheckpointState",
     "FaultPlan",
+    "ArtifactStore",
     "MemoryGovernor",
     "build_exploration_governor",
     "SymbolicInterpreter",

@@ -39,6 +39,8 @@ from .scheduler import deserialize_assignment, query_digest, serialize_assignmen
 __all__ = [
     "PathCertificate",
     "certificate_for",
+    "certificate_to_state",
+    "certificate_from_state",
     "replay_mismatches",
     "verify_result",
     "reference_mode",
@@ -88,6 +90,64 @@ def certificate_for(path) -> PathCertificate:
         final_pc=path.final_pc,
         condition_digest=path.condition_digest,
     )
+
+
+def certificate_to_state(cert: PathCertificate) -> dict:
+    """JSON-able state block for the persistent artifact store.
+
+    Pure data translation — ``inputs`` tuples become lists, everything
+    else is already a scalar — so a certificate written by one process
+    reads back bit-identically in another.
+    """
+    return {
+        "index": cert.index,
+        "inputs": [list(binding) for binding in cert.inputs],
+        "halt_reason": cert.halt_reason,
+        "exit_code": cert.exit_code,
+        "instret": cert.instret,
+        "trace_length": cert.trace_length,
+        "stdout_digest": cert.stdout_digest,
+        "final_pc": cert.final_pc,
+        "condition_digest": cert.condition_digest,
+    }
+
+
+def certificate_from_state(state: dict) -> PathCertificate:
+    """Rebuild a certificate from its store state; ``ValueError`` on rot."""
+    if not isinstance(state, dict):
+        raise ValueError("certificate state is not an object")
+    try:
+        inputs = state["inputs"]
+        if not isinstance(inputs, list):
+            raise ValueError("malformed certificate inputs")
+        bindings = []
+        for binding in inputs:
+            name, width, value = binding
+            if not (
+                isinstance(name, str)
+                and isinstance(width, int)
+                and isinstance(value, int)
+            ):
+                raise ValueError(f"malformed input binding {binding!r}")
+            bindings.append((name, width, value))
+        cert = PathCertificate(
+            index=state["index"],
+            inputs=tuple(bindings),
+            halt_reason=state["halt_reason"],
+            exit_code=state["exit_code"],
+            instret=state["instret"],
+            trace_length=state["trace_length"],
+            stdout_digest=state["stdout_digest"],
+            final_pc=state["final_pc"],
+            condition_digest=state.get("condition_digest"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed certificate state: {exc}") from None
+    if not isinstance(cert.index, int) or not isinstance(cert.stdout_digest, str):
+        raise ValueError("malformed certificate scalar fields")
+    if not isinstance(cert.instret, int) or not isinstance(cert.final_pc, int):
+        raise ValueError("malformed certificate scalar fields")
+    return cert
 
 
 def replay_mismatches(cert: PathCertificate, executor) -> list[str]:

@@ -45,16 +45,36 @@ __all__ = [
 ]
 
 
-def make_solver(use_cache: bool, preprocess: Optional[PreprocessConfig]):
+def make_solver(
+    use_cache: bool,
+    preprocess: Optional[PreprocessConfig],
+    store_dir: Optional[str] = None,
+):
     """Build the exploration solver for one driver (or one worker).
 
     ``use_cache`` selects the pipelined :class:`CachingSolver`; without
     it the plain :class:`Solver` still honours the solver-layer knobs
     (trail reuse) carried by the preprocess config, so the ablation
     flags behave identically in cached and uncached runs.
+
+    ``store_dir`` (``--store DIR``) attaches the persistent artifact
+    tier behind the query cache — each driver/worker owns its own
+    :class:`repro.core.store.ArtifactStore` handle on the shared
+    directory (reads are per-call, writes single-writer-per-process),
+    so the handle is safe to construct before a fork.  A store implies
+    the query layer: persisting answers requires the cache pipeline, so
+    ``store_dir`` selects :class:`CachingSolver` even when ``use_cache``
+    is off (asking to persist answers that are never collected would be
+    a silent no-op).
     """
-    if use_cache:
-        return CachingSolver(preprocess=preprocess)
+    if use_cache or store_dir is not None:
+        solver = CachingSolver(preprocess=preprocess)
+        if store_dir is not None:
+            from .store import ArtifactStore
+
+            certify = bool(preprocess is not None and preprocess.certify)
+            solver.cache.attach_store(ArtifactStore(store_dir, certify=certify))
+        return solver
     if preprocess is None:
         return Solver()
     return Solver(
@@ -85,6 +105,13 @@ def install_fault_hooks(solver, faults, scope) -> None:
     cache = getattr(solver, "cache", None)
     if corruptor is not None and cache is not None:
         cache.set_corruptor(corruptor)
+    store = getattr(cache, "store", None)
+    if store is not None:
+        store_hook = faults.store_hook(scope)
+        if store_hook is not None:
+            store.set_fault_hook(store_hook)
+        if corruptor is not None:
+            store.set_corruptor(corruptor)
 
 
 def apply_staging(executor, staging: Optional[bool]) -> Optional[bool]:
@@ -299,6 +326,21 @@ class ExplorationResult:
         return self.superblock_stats.get("sb_block_instructions", 0)
 
     @property
+    def store_hits(self) -> int:
+        """Verified warm hits served by the persistent store (``--store``)."""
+        return self.solver_stats.get("store_hits", 0)
+
+    @property
+    def store_quarantines(self) -> int:
+        """Store files that failed verification and were renamed aside."""
+        return self.solver_stats.get("store_quarantines", 0)
+
+    @property
+    def store_disabled(self) -> int:
+        """Processes whose store tier disabled itself after an I/O failure."""
+        return self.solver_stats.get("store_disabled", 0)
+
+    @property
     def resumed_runs(self) -> int:
         """Runs that resumed from a snapshot instead of ``pc = entry``."""
         return self.snapshot_stats.get("snap_resumed_runs", 0)
@@ -342,6 +384,12 @@ class ExplorationResult:
             text += f" [{self.hung_workers} hung workers]"
         if self.degradations:
             text += f" [{self.degradations} memory degradations]"
+        if self.store_hits or self.store_quarantines or self.store_disabled:
+            text += (
+                f" [store: {self.store_hits} warm hits, "
+                f"{self.store_quarantines} quarantined, "
+                f"{self.store_disabled} disabled]"
+            )
         if self.deadline_expired:
             text += " [deadline expired]"
         if self.certified_paths or self.certificate_failures:
@@ -395,10 +443,14 @@ class Explorer:
         deadline: Optional[float] = None,
         memory_budget_mb: Optional[int] = None,
         hang_timeout: float = 5.0,
+        store_dir: Optional[str] = None,
     ):
         self._solver_provided = solver is not None
+        #: Persistent artifact store directory (``--store DIR``); every
+        #: driver/worker attaches its own handle on the shared tree.
+        self.store_dir = store_dir
         if solver is None:
-            solver = make_solver(use_cache, preprocess)
+            solver = make_solver(use_cache, preprocess, store_dir)
         self.executor = executor
         self.solver = solver
         self.strategy_name = strategy
@@ -457,6 +509,7 @@ class Explorer:
                 deadline=self.deadline,
                 memory_budget_mb=self.memory_budget_mb,
                 hang_timeout=self.hang_timeout,
+                store_dir=self.store_dir,
             ).explore()
         return self._explore_serial()
 
@@ -646,8 +699,26 @@ class Explorer:
             from .certificates import verify_result
 
             verify_result(result, executor)
+            self._persist_certificates(result)
         result.wall_time = time.perf_counter() - start
         return result
+
+    def _persist_certificates(self, result: ExplorationResult) -> None:
+        """Write replay-checked certificates to the persistent store.
+
+        Only certificates that just *passed* replay are persisted — the
+        store holds evidence, not claims.  Content-addressed, so
+        re-running the same campaign rewrites nothing.
+        """
+        store = getattr(getattr(self.solver, "cache", None), "store", None)
+        if store is None or not result.certificates:
+            return
+        from .certificates import certificate_to_state
+
+        if result.certificate_failures:
+            return
+        for cert in result.certificates:
+            store.save_certificate(certificate_to_state(cert))
 
     # ------------------------------------------------------------------
 

@@ -33,7 +33,15 @@ on.  Four fault classes map onto the robustness machinery they probe:
 * **memory hogs** (``memhog=<rate>``) — a driver leaks a large
   allocation before a run, exercising the RSS governor's degradation
   ladder (:mod:`repro.core.governor`): capacity rungs fire, but the
-  eviction → recompute contracts keep the path set invariant.
+  eviction → recompute contracts keep the path set invariant;
+* **torn store writes** (``torn=<rate>``) — a persistent-store file
+  (:mod:`repro.core.store`) is truncated right after its atomic
+  rename, simulating a barrier-less power cut; the *next* run's
+  verify-on-read must quarantine the stump and re-solve;
+* **store I/O failures** (``iofail=<rate>``) — an ``OSError`` is
+  raised at a store read/write site (disk full, permission flap),
+  exercising the fail-soft contract: the tier disables itself for the
+  rest of the run (``store_disabled``), the campaign never errors.
 
 Rates are percentages; each *potential* fault site draws an
 independent, stable pseudo-random decision from
@@ -86,6 +94,8 @@ class FaultPlan:
     corrupt_rate: int = 0
     hang_rate: int = 0
     memhog_rate: int = 0
+    torn_rate: int = 0
+    iofail_rate: int = 0
     interrupt_after: Optional[int] = None
 
     #: spec key -> field for :meth:`parse`.
@@ -98,6 +108,8 @@ class FaultPlan:
         "corrupt": "corrupt_rate",
         "hang": "hang_rate",
         "memhog": "memhog_rate",
+        "torn": "torn_rate",
+        "iofail": "iofail_rate",
         "stop": "interrupt_after",
     }
 
@@ -139,6 +151,8 @@ class FaultPlan:
             or self.corrupt_rate
             or self.hang_rate
             or self.memhog_rate
+            or self.torn_rate
+            or self.iofail_rate
             or self.interrupt_after is not None
         )
 
@@ -213,6 +227,32 @@ class FaultPlan:
 
         def hook(kind: str, ordinal: int) -> bool:
             return self._chance(self.corrupt_rate, "corrupt", kind, scope, ordinal)
+
+        return hook
+
+    def store_hook(self, scope):
+        """Torn-write / I/O-failure schedule for
+        :meth:`repro.core.store.ArtifactStore.set_fault_hook`.
+
+        Returns ``None`` when both fault classes are disabled, else a
+        callable taking the store's I/O site (``"read"``/``"write"``)
+        and its per-op ordinal, answering ``"iofail"`` (raise
+        ``OSError`` there — the tier must disable itself and the run
+        continue), ``"torn"`` (truncate the just-renamed file — a
+        *later* run must quarantine it) or ``None``.  ``iofail`` wins
+        when both fire: it is the stronger failure.
+        """
+        if self.torn_rate <= 0 and self.iofail_rate <= 0:
+            return None
+
+        def hook(op: str, ordinal: int):
+            if self._chance(self.iofail_rate, "iofail", op, scope, ordinal):
+                return "iofail"
+            if op == "write" and self._chance(
+                self.torn_rate, "torn", scope, ordinal
+            ):
+                return "torn"
+            return None
 
         return hook
 

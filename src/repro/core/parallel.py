@@ -140,6 +140,7 @@ def _worker_main(
     reply_conn,
     faults,
     memory_budget_mb,
+    store_dir,
 ):
     """Worker loop: execute runs and expand their branch flips.
 
@@ -186,7 +187,7 @@ def _worker_main(
     silent.  Both threads send under one lock so messages never
     interleave on the pipe.
     """
-    solver = make_solver(use_cache, preprocess)
+    solver = make_solver(use_cache, preprocess, store_dir)
     install_fault_hooks(solver, faults, worker_uid)
     certify = preprocess is not None and preprocess.certify
     purge = getattr(executor, "purge_snapshots", None)
@@ -414,6 +415,7 @@ class ProcessPoolExplorer:
         deadline: Optional[float] = None,
         memory_budget_mb: Optional[int] = None,
         hang_timeout: float = DEFAULT_HANG_TIMEOUT,
+        store_dir: Optional[str] = None,
     ):
         self.executor = executor
         self.jobs = jobs if jobs is not None else default_jobs()
@@ -443,6 +445,9 @@ class ProcessPoolExplorer:
         self.deadline = deadline
         self.memory_budget_mb = memory_budget_mb
         self.hang_timeout = hang_timeout
+        # Persistent artifact store (--store): the directory path is
+        # what crosses the fork; every worker opens its own handle.
+        self.store_dir = store_dir
 
     def explore(self) -> ExplorationResult:
         if self.jobs <= 1 or "fork" not in multiprocessing.get_all_start_methods():
@@ -469,6 +474,7 @@ class ProcessPoolExplorer:
             deadline=self.deadline,
             memory_budget_mb=self.memory_budget_mb,
             hang_timeout=self.hang_timeout,
+            store_dir=self.store_dir,
         ).explore()
 
     # ------------------------------------------------------------------
@@ -492,6 +498,7 @@ class ProcessPoolExplorer:
                 send_conn,
                 self.faults,
                 self.memory_budget_mb,
+                self.store_dir,
             ),
             daemon=True,
         )
@@ -849,6 +856,16 @@ class ProcessPoolExplorer:
             from .certificates import verify_result
 
             verify_result(result, self.executor)
+            if self.store_dir is not None and not result.certificate_failures:
+                # Replay-checked evidence goes to the persistent store
+                # through the parent's own handle (workers only persist
+                # query verdicts; certificates are a campaign artifact).
+                from .certificates import certificate_to_state
+                from .store import ArtifactStore
+
+                store = ArtifactStore(self.store_dir, certify=True)
+                for cert in result.certificates:
+                    store.save_certificate(certificate_to_state(cert))
         result.wall_time = time.perf_counter() - start
         return result
 

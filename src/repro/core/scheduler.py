@@ -26,7 +26,6 @@ and plain (name, width, value) tuples.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -81,115 +80,16 @@ class WorkItem:
     failures: int = 0
 
 
-# Structural digests are memoized per process.  The digest function is
-# deliberately independent of the interpreter's randomized string hash
-# seed (blake2b for strings, a fixed 64-bit mixer for structure), so
-# digests agree not only between a parent and its forked workers but
-# across *restarts* — checkpoint resume (core/checkpoint.py) persists
-# explored-flip digests and replays them into a fresh process.
-# Keyed by the term object (identity hash, O(1)) rather than id() so a
-# term can never alias a stale entry after an interner reset.  Bounded
-# like the decoder cache: true-LRU via dict reinsertion, evicting the
-# oldest entry at capacity so a long exploration over many distinct
-# terms cannot grow the memo without limit.
-_DIGEST_MEMO: dict = {}
-
-_MASK64 = (1 << 64) - 1
-
-#: Per-process memo of string digests (variable names, opcodes recur).
-_STRING_DIGESTS: dict[str, int] = {}
-
-
-def _mix64(value: int) -> int:
-    """splitmix64 finalizer: a fixed, seed-free 64-bit bijection."""
-    value &= _MASK64
-    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return value ^ (value >> 31)
-
-
-def _string_digest(text: str) -> int:
-    cached = _STRING_DIGESTS.get(text)
-    if cached is None:
-        cached = int.from_bytes(
-            hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "little"
-        )
-        _STRING_DIGESTS[text] = cached
-    return cached
-
-
-def _payload_digest(payload) -> int:
-    """Restart-stable digest of a term's payload (name/const/indices)."""
-    if payload is None:
-        return 0x9E3779B97F4A7C15
-    if isinstance(payload, str):
-        return _string_digest(payload)
-    if isinstance(payload, int):  # bools included
-        return _mix64(payload ^ 0x632BE59BD9B4E019)
-    if isinstance(payload, tuple):
-        digest = 0x1F83D9ABFB41BD6B
-        for part in payload:
-            digest = _mix64(digest ^ _payload_digest(part))
-        return digest
-    return _string_digest(repr(payload))  # pragma: no cover - defensive
-
-#: Backstop for the digest memo, matching the decoder/plan caches.
-DIGEST_MEMO_CAPACITY = 1 << 17
-
-
-def term_digest(term: T.Term) -> int:
-    """Restart-stable structural hash of a term DAG.
-
-    Interned-term identity is only meaningful within one process, so
-    the parallel driver cannot compare conditions across workers
-    directly; this digest depends only on (op, width, payload,
-    children) and never on the interpreter's randomized hash seed, so
-    it agrees across forked workers *and* across separate invocations —
-    the property checkpoint resume relies on to skip already-explored
-    flips after a restart.
-    """
-    memo = _DIGEST_MEMO
-    cached = memo.get(term)
-    if cached is not None:
-        # Move-to-end keeps insertion order = recency order, so the
-        # eviction below always removes the least recently used digest.
-        del memo[term]
-        memo[term] = cached
-        return cached
-    stack = [(term, False)]
-    while stack:
-        node, ready = stack.pop()
-        if node in memo:
-            continue
-        if not ready:
-            stack.append((node, True))
-            for arg in node.args:
-                if arg not in memo:
-                    stack.append((arg, False))
-            continue
-        digest = _string_digest(node.op)
-        digest = _mix64(digest ^ _payload_digest(node.width))
-        digest = _mix64(digest ^ _payload_digest(node.payload))
-        for arg in node.args:
-            digest = _mix64(digest ^ memo[arg])
-        memo[node] = digest
-    digest = memo[term]
-    # Trim after the traversal, not during it: evicting mid-walk could
-    # drop a subterm digest a pending parent still needs.  Oldest-first
-    # eviction never touches the entries this call just inserted until
-    # everything older is gone.
-    while len(memo) > DIGEST_MEMO_CAPACITY:
-        del memo[next(iter(memo))]
-    return digest
-
-
-def query_digest(conditions) -> int:
-    """Order-sensitive digest of a full flip query (prefix + negation)."""
-    digest = 0x2545F4914F6CDD1D
-    for term in conditions:
-        digest = _mix64(digest ^ term_digest(term))
-        digest = _mix64(digest + 0xD1B54A32D192ED03)
-    return digest
+# Structural digests live in repro.smt.digest — one restart-stable
+# content-hash scheme shared by flip dedup (here), the query-cache
+# integrity digests (repro.smt.solver.QueryCache) and the persistent
+# artifact store (repro.core.store).  Re-exported under their historic
+# names; callers and tests may keep importing them from this module.
+from ..smt.digest import (  # noqa: E402  (re-export)
+    DIGEST_MEMO_CAPACITY,  # noqa: F401
+    query_digest,
+    term_digest,
+)
 
 
 class Frontier:

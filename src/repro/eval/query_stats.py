@@ -170,6 +170,7 @@ def measure_pipeline(
     scale: Optional[int] = None,
     jobs: int = 1,
     certify: bool = False,
+    store_dir: Optional[str] = None,
 ) -> dict:
     """Explore one workload; return the query-answer breakdown.
 
@@ -178,14 +179,20 @@ def measure_pipeline(
     cache answered, queries the preprocessing fast path answered, and
     the raw CDCL ``solve()`` calls behind the solved ones.  With
     ``certify`` the exploration runs in certify mode and the breakdown
-    additionally reports the evidence-layer counters.
+    additionally reports the evidence-layer counters.  ``store_dir``
+    attaches the persistent artifact store (``--store``), so the warm
+    hit / quarantine / disabled columns show cross-run payoff.
     """
     spec = WORKLOADS[workload]
     image = spec.image(scale or spec.default_scale)
     engine = make_engine(key, rv32im(), image)
     preprocess = PreprocessConfig(certify=True) if certify else None
     result = Explorer(
-        engine, jobs=jobs, use_cache=True, preprocess=preprocess
+        engine,
+        jobs=jobs,
+        use_cache=True,
+        preprocess=preprocess,
+        store_dir=store_dir,
     ).explore()
     return {
         "paths": result.num_paths,
@@ -236,6 +243,15 @@ def measure_pipeline(
         "quarantined": result.solver_stats.get("cache_quarantines", 0),
         "certify_failures": result.solver_stats.get("certify_failures", 0)
         + result.certificate_failures,
+        # Persistent store tier (all zero without --store): verified
+        # warm hits served from disk, files that failed verification
+        # and were renamed aside, and processes whose store tier
+        # disabled itself after an I/O failure.  On a healthy warm
+        # start, warm hits land in "cache hits" attribution, so the
+        # solved column drops while the totals stay conserved.
+        "store_hits": result.store_hits,
+        "store_quarantines": result.store_quarantines,
+        "store_disabled": result.store_disabled,
     }
 
 
@@ -245,9 +261,10 @@ def compare_pipeline(
     jobs: int = 1,
     engines=("binsym", "binsec", "symex-vp", "angr"),
     certify: bool = False,
+    store_dir: Optional[str] = None,
 ) -> dict[str, dict]:
     return {
-        key: measure_pipeline(key, workload, scale, jobs, certify)
+        key: measure_pipeline(key, workload, scale, jobs, certify, store_dir)
         for key in engines
     }
 
@@ -276,6 +293,9 @@ def render_pipeline(
             stats["hung_workers"],
             stats["degradations"],
             stats["deadline_expired"],
+            stats["store_hits"],
+            stats["store_quarantines"],
+            stats["store_disabled"],
         ]
         if certify:
             row.extend(
@@ -290,7 +310,7 @@ def render_pipeline(
         "engine", "paths", "solved", "cache hits", "subsumed", "fast path",
         "core solves", "min cores", "unknown", "slices", "resumed",
         "instr saved", "evictions", "sb hits", "sb deopts", "hung",
-        "degraded", "deadline",
+        "degraded", "deadline", "warm hits", "store quar", "store off",
     ]
     if certify:
         headers.extend(["certified", "checked", "quarantined"])
@@ -322,6 +342,12 @@ def main(argv=None) -> int:
         help="explore on N worker processes (breakdown sums exactly)",
     )
     parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="attach the persistent artifact store at DIR for the "
+             "pipeline breakdown (warm hits appear in the warm-hit "
+             "column; see repro.core.store)",
+    )
+    parser.add_argument(
         "--certify",
         action="store_true",
         help="run the pipeline breakdown in certify mode and report the "
@@ -331,7 +357,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.pipeline:
         breakdown = compare_pipeline(
-            args.workload, args.scale, args.jobs, certify=args.certify
+            args.workload,
+            args.scale,
+            args.jobs,
+            certify=args.certify,
+            store_dir=args.store,
         )
         print(render_pipeline(breakdown, args.workload, certify=args.certify))
         return 0

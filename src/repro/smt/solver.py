@@ -36,6 +36,7 @@ from typing import Iterable, Mapping, Optional
 
 from . import drat, terms
 from .bitblast import BitBlaster
+from .digest import term_digest
 from .evalbv import EvalError, evaluate
 from .intervals import analyze_slice
 from .preprocess import PreprocessConfig, rewrite_slice, slice_conditions
@@ -456,6 +457,9 @@ class QueryCache:
         self._verify_tick = 0
         self._corruptor = None
         self._store_seq = 0
+        #: Optional persistent tier (:class:`repro.core.store.ArtifactStore`);
+        #: attached by the drivers under ``--store``, never constructed here.
+        self.store = None
         self.hits = 0
         self.exact_hits = 0
         self.subsumption_hits = 0
@@ -505,20 +509,40 @@ class QueryCache:
         """
         self._corruptor = hook
 
+    def attach_store(self, store) -> None:
+        """Attach the persistent artifact tier (``--store DIR``).
+
+        The store answers only after every in-memory tier missed; its
+        verified answers are *admitted* into the in-memory structures
+        (memo, models, UNSAT subsumption window) so one disk read warms
+        all subsequent in-process lookups.  Freshly solved verdicts are
+        written through (see :meth:`store_sat` / :meth:`store_unsat`).
+        ``None`` detaches.
+        """
+        self.store = store
+
     @staticmethod
     def _values_digest(tag: str, values) -> bytes:
-        """Digest of a ``(term, int)`` assignment (or an empty one)."""
+        """Digest of a ``(term, int)`` assignment (or an empty one).
+
+        Content-keyed via :func:`repro.smt.digest.term_digest` — not
+        ``id(term)`` — so the digest taken when an entry was stored is
+        still meaningful after a restart, which is what lets the
+        persistent artifact store re-verify warmed entries with the
+        exact scheme the in-memory tier uses.
+        """
         hasher = hashlib.blake2b(tag.encode("ascii"), digest_size=16)
-        for term, value in sorted(values, key=lambda item: id(item[0])):
-            hasher.update(b"%d:%d;" % (id(term), value))
+        pairs = sorted((term_digest(term), value) for term, value in values)
+        for digest, value in pairs:
+            hasher.update(b"%d:%d;" % (digest, value))
         return hasher.digest()
 
     @staticmethod
     def _set_digest(conds: frozenset) -> bytes:
-        """Digest of an UNSAT conjunct set (identity-keyed, like keys)."""
+        """Digest of an UNSAT conjunct set (content-keyed, like above)."""
         hasher = hashlib.blake2b(b"core", digest_size=16)
-        for ident in sorted(id(term) for term in conds):
-            hasher.update(b"%d;" % ident)
+        for digest in sorted(term_digest(term) for term in conds):
+            hasher.update(b"%d;" % digest)
         return hasher.digest()
 
     def _should_verify(self) -> bool:
@@ -706,6 +730,24 @@ class QueryCache:
             self._models[key] = witness
             self._digests[key] = self._values_digest("sat", witness.items())
             return Result.SAT, witness
+        if self.store is not None:
+            warm = self.store.load_query(key, conditions)
+            if warm is not None:
+                # Verified on disk (digest + semantic re-check, see
+                # ArtifactStore.load_query); admit into the in-memory
+                # tiers and count as a cache hit so query attribution
+                # is conserved between cold and warm runs.
+                verdict, model, core = warm
+                self.hits += 1
+                self._evict_if_full()
+                self._results[key] = verdict
+                if verdict is Result.SAT:
+                    self._models[key] = model
+                    self._digests[key] = self._values_digest("sat", model.items())
+                    return verdict, model
+                self._digests[key] = self._values_digest("unsat", ())
+                self._register_unsat_set(core if core is not None else key)
+                return verdict, None
         self.misses += 1
         return None, None
 
@@ -785,6 +827,8 @@ class QueryCache:
         self._evict_if_full()
         self._results[key] = Result.UNSAT
         self._digests[key] = self._values_digest("unsat", ())
+        if self.store is not None:
+            self.store.save_query(key, Result.UNSAT, core=core)
         self._register_unsat_set(core if core is not None else key)
 
     def store_sat(self, key: frozenset, model: "Model") -> None:
@@ -792,6 +836,10 @@ class QueryCache:
         self._results[key] = Result.SAT
         self._models[key] = model
         self._digests[key] = self._values_digest("sat", model.items())
+        if self.store is not None:
+            # Write-through before the fault seams below: the disk copy
+            # always holds the honest, freshly solved content.
+            self.store.save_query(key, Result.SAT, model=model)
         if self._corrupt("model"):
             self._poison_values(model._values)
         pool_values = dict(model.items())
@@ -922,6 +970,10 @@ class CachingSolver(Solver):
         stats["certified_sat"] = self.certified_sat
         stats["certified_unsat"] = self.certified_unsat
         stats["certify_failures"] = self.certify_failures
+        if self.cache.store is not None:
+            # Persistent-tier counters ride along unprefixed (they are
+            # already namespaced ``store_*``) and sum across workers.
+            stats.update(self.cache.store.statistics)
         return stats
 
     def add(self, term: Term) -> None:

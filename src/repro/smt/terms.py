@@ -75,6 +75,9 @@ __all__ = [
     "implies",
     "conjoin",
     "disjoin",
+    # canonical serialization
+    "serialize_terms",
+    "deserialize_terms",
 ]
 
 # Sort marker used in Term.width for boolean-sorted terms.
@@ -757,3 +760,95 @@ def disjoin(terms: Iterable[Term]) -> Term:
     for term in terms:
         result = bor(result, term)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization
+# ---------------------------------------------------------------------------
+#
+# Interned terms cannot be pickled across process or run boundaries
+# (identity hashing would no longer match the receiving interner), so
+# artifacts that must outlive a process — the persistent store's UNSAT
+# cores — travel as a flat, JSON-able node table instead and are
+# re-interned on arrival.  The encoding is the raw structural identity
+# (op, width, payload, children): re-interning goes through ``_mk``
+# directly, not the smart constructors, so a round trip reproduces the
+# exact DAG bit for bit (stored terms were already built through the
+# smart constructors; simplification is a fixed point on them).
+
+
+def serialize_terms(roots: Iterable[Term]) -> dict:
+    """Encode a collection of term DAGs as a shared JSON-able table.
+
+    Returns ``{"nodes": [[op, width, payload, [child indices]], ...],
+    "roots": [indices]}`` with nodes in child-before-parent order and
+    tuple payloads (``extract``) encoded as lists.  Shared subterms are
+    emitted once.
+    """
+    index: dict[Term, int] = {}
+    nodes: list = []
+    for root in roots:
+        stack = [(root, False)]
+        while stack:
+            node, ready = stack.pop()
+            if node in index:
+                continue
+            if not ready:
+                stack.append((node, True))
+                for arg in node.args:
+                    if arg not in index:
+                        stack.append((arg, False))
+                continue
+            payload = node.payload
+            if isinstance(payload, tuple):
+                payload = list(payload)
+            nodes.append(
+                [node.op, node.width, payload, [index[arg] for arg in node.args]]
+            )
+            index[node] = len(nodes) - 1
+    return {"nodes": nodes, "roots": [index[root] for root in roots]}
+
+
+def deserialize_terms(payload) -> list:
+    """Re-intern a :func:`serialize_terms` table; the exact inverse.
+
+    Defensive by design — the persistent store feeds this bytes read
+    from disk, so *any* malformed shape (wrong types, forward or
+    out-of-range child references, non-canonical payloads) raises
+    ``ValueError`` rather than building a corrupt term.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("term table: not a mapping")
+    nodes = payload.get("nodes")
+    roots = payload.get("roots")
+    if not isinstance(nodes, list) or not isinstance(roots, list):
+        raise ValueError("term table: missing nodes/roots lists")
+    built: list[Term] = []
+    for position, entry in enumerate(nodes):
+        if not (isinstance(entry, list) and len(entry) == 4):
+            raise ValueError(f"term table: malformed node {position}")
+        op, width, raw, arg_ids = entry
+        if not isinstance(op, str) or not isinstance(width, int):
+            raise ValueError(f"term table: bad op/width at node {position}")
+        if isinstance(raw, list):
+            if not all(isinstance(part, int) for part in raw):
+                raise ValueError(f"term table: bad tuple payload at node {position}")
+            raw = tuple(raw)
+        elif not (raw is None or isinstance(raw, (int, str))):
+            raise ValueError(f"term table: bad payload at node {position}")
+        if not isinstance(arg_ids, list):
+            raise ValueError(f"term table: bad child list at node {position}")
+        args = []
+        for arg_id in arg_ids:
+            # Child-before-parent order makes forward references (and
+            # therefore cycles) unrepresentable; reject them explicitly.
+            if not isinstance(arg_id, int) or not 0 <= arg_id < position:
+                raise ValueError(f"term table: bad child reference at node {position}")
+            args.append(built[arg_id])
+        built.append(_mk(op, width, raw, tuple(args)))
+    terms = []
+    for root in roots:
+        if not isinstance(root, int) or not 0 <= root < len(built):
+            raise ValueError("term table: bad root reference")
+        terms.append(built[root])
+    return terms

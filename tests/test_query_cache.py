@@ -263,3 +263,104 @@ class TestCachedExploration:
         assert with_trie.path_set() == without.path_set()
         assert with_trie.num_queries == without.num_queries
         assert with_trie.pruned_queries == 0
+
+
+class TestCacheConsistencyFuzz:
+    """Structural-consistency fuzz over random cache interleavings.
+
+    Every reachable interleaving of store_sat / store_unsat / lookup /
+    tighten — including the evictions they trigger at tiny caps — must
+    leave the side tables exactly consistent with the primary maps:
+
+    - ``_digests`` covers exactly the memoized keys;
+    - ``_models`` binds witnesses only to keys memoized SAT;
+    - ``_unsat_digests`` covers exactly the live UNSAT-set window;
+    - ``_unsat_ids`` is the exact inverse of ``_unsat_sets``;
+    - ``_unsat_index`` postings are exactly the live sets containing
+      each term, with no empty posting lists left behind.
+
+    A drifted side table is how quarantine/eviction bugs manifest:
+    stale digests turn healthy hits into quarantines, stale postings
+    resurrect evicted UNSAT sets.  No corruptor is installed — this
+    pins the *clean* state machine; poisoned-state recovery is pinned
+    by the chaos tests.
+    """
+
+    @staticmethod
+    def check_invariants(cache: QueryCache) -> None:
+        assert set(cache._digests) == set(cache._results)
+        assert set(cache._models) <= set(cache._results)
+        for key in cache._models:
+            assert cache._results[key] is Result.SAT
+        assert set(cache._unsat_digests) == set(cache._unsat_sets)
+        assert cache._unsat_ids == {
+            conds: set_id for set_id, conds in cache._unsat_sets.items()
+        }
+        assert len(cache._unsat_ids) == len(cache._unsat_sets)
+        expected_index = {}
+        for set_id, conds in cache._unsat_sets.items():
+            for term in conds:
+                expected_index.setdefault(term, set()).add(set_id)
+        assert cache._unsat_index == expected_index
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_interleavings_stay_consistent(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        variables = [bvv(name) for name in "abcd"]
+        pool = [
+            term
+            for var in variables
+            for k in (3, 9, 27)
+            for term in (
+                T.ult(var, T.bv(k, 8)),
+                T.ugt(var, T.bv(k, 8)),
+                T.eq(var, T.bv(k, 8)),
+            )
+        ]
+        # Stores must be semantically honest (a sound solver never
+        # answers both verdicts for one key), so a real solver acts as
+        # the oracle; its answers are memoized across iterations.
+        oracle = Solver()
+        answers: dict[frozenset, tuple] = {}
+
+        def solve(key):
+            answer = answers.get(key)
+            if answer is None:
+                verdict = oracle.check(list(key))
+                model = oracle.model() if verdict is Result.SAT else None
+                answer = answers[key] = (verdict, model)
+            return answer
+
+        # Tiny caps so every operation class triggers eviction paths.
+        cache = QueryCache(max_models=2, max_unsat_sets=4, max_entries=8)
+        self.check_invariants(cache)
+        for _ in range(400):
+            conditions = rng.sample(pool, rng.randint(1, 4))
+            key = frozenset(conditions)
+            op = rng.randrange(6)
+            if op in (0, 1, 2):
+                verdict, model = solve(key)
+                if verdict is Result.SAT:
+                    cache.store_sat(key, model)
+                elif op == 2:
+                    # A random subset only enters the subsumption
+                    # window as a core when it is genuinely UNSAT.
+                    core = frozenset(
+                        rng.sample(conditions, rng.randint(1, len(conditions)))
+                    )
+                    if solve(core)[0] is not Result.UNSAT:
+                        core = None
+                    cache.store_unsat(key, core=core)
+                else:
+                    cache.store_unsat(key)
+            elif op == 5 and rng.random() < 0.25:
+                cache.tighten()
+            else:
+                cache.lookup(key, conditions)
+            self.check_invariants(cache)
+        # The run must have exercised all the interesting transitions.
+        assert cache.evictions > 0
+        assert cache.hits > 0
+        assert cache.misses > 0

@@ -230,27 +230,31 @@ class TestSnapshotPool:
 
 
 def test_digest_memo_bounded_and_stable(monkeypatch):
-    monkeypatch.setattr(scheduler, "DIGEST_MEMO_CAPACITY", 8)
-    monkeypatch.setattr(scheduler, "_DIGEST_MEMO", {})
+    from repro.smt import digest
+
+    monkeypatch.setattr(digest, "DIGEST_MEMO_CAPACITY", 8)
+    monkeypatch.setattr(digest, "_DIGEST_MEMO", {})
     variables = [T.bv_var(f"digest_lru_{i}", 32) for i in range(40)]
     terms = [T.eq(v, T.bv(i, 32)) for i, v in enumerate(variables)]
     first = [scheduler.term_digest(t) for t in terms]
-    assert len(scheduler._DIGEST_MEMO) <= 8
+    assert len(digest._DIGEST_MEMO) <= 8
     # Evicted digests recompute to the same value (pure structural hash).
     again = [scheduler.term_digest(t) for t in terms]
     assert first == again
-    assert len(scheduler._DIGEST_MEMO) <= 8
+    assert len(digest._DIGEST_MEMO) <= 8
 
 
 def test_digest_memo_lru_keeps_hot_entries(monkeypatch):
-    monkeypatch.setattr(scheduler, "DIGEST_MEMO_CAPACITY", 4)
-    monkeypatch.setattr(scheduler, "_DIGEST_MEMO", {})
+    from repro.smt import digest
+
+    monkeypatch.setattr(digest, "DIGEST_MEMO_CAPACITY", 4)
+    monkeypatch.setattr(digest, "_DIGEST_MEMO", {})
     hot = T.bv_var("digest_hot", 8)
     scheduler.term_digest(hot)
     for i in range(16):
         scheduler.term_digest(T.bv_var(f"digest_cold_{i}", 8))
         scheduler.term_digest(hot)  # touch: must survive the churn
-    assert hot in scheduler._DIGEST_MEMO
+    assert hot in digest._DIGEST_MEMO
 
 
 # ---------------------------------------------------------------------------

@@ -50,6 +50,12 @@ DETERMINISTIC_KEYS = (
     "deadline_expired",
     "degradations",
     "hung_workers",
+    # Persistent-store health (PR 10): benchmarks run without --store,
+    # so both are exactly zero on a healthy run — any non-zero value
+    # means a store tier leaked into the benchmark configuration or an
+    # artifact failed verification mid-benchmark.
+    "store_quarantines",
+    "store_disabled",
 )
 
 _BASELINE_PATTERN = re.compile(r"BENCH_PR(\d+)\.json$")

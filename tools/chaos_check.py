@@ -41,13 +41,23 @@ checkpointed partial result whose shortfall is explicitly counted,
 then ``--resume``d — the resumed campaign must complete exactly the
 uninterrupted run's path set, serial and pooled.
 
+``--store`` runs the PR 10 *persistent-store* gate: every workload is
+explored cold into a ``--store`` directory and warm out of it — the
+warm run must find the bit-identical path set with conserved query
+attribution, strictly fewer CDCL solves and ``store_hits > 0`` (serial
+and pooled); dirty campaigns under ``torn=``/``corrupt=`` schedules
+killed mid-flight must be *healed* by the next clean run (quarantines
+counted, never a wrong answer); ``iofail=`` must disable the tier
+fail-soft; and a full store wipe mid-campaign must degrade to cold-run
+behaviour, never an error.
+
 Schedules are deterministic (``blake2b(seed, kind, site)``), so a
 failure here reproduces locally with the printed seed.
 
 Usage::
 
     python tools/chaos_check.py [--seeds N] [--jobs N] [--corrupt]
-    python tools/chaos_check.py [--hang | --deadline-gate]
+    python tools/chaos_check.py [--hang | --deadline-gate | --store]
     python tools/chaos_check.py --self-test
 
 ``--self-test`` drops a path from a clean result in memory and asserts
@@ -366,6 +376,183 @@ def run_deadline_gate(jobs: int) -> int:
     return 0
 
 
+#: Fault rates for the store gate's dirty campaign: torn writes and
+#: cache/store poisoning high enough to damage several files per run,
+#: plus the occasional injected I/O failure.
+STORE_DIRTY_RATES = {"torn_rate": 40, "corrupt_rate": 30}
+STORE_IOFAIL_RATE = 60
+
+
+def run_store_gate(seeds: int, jobs: int) -> int:
+    """Cross-run warm-start gate for the persistent store (``--store``).
+
+    Per workload, over one shared store directory (the interner is
+    reset between campaigns, so every warm run re-derives its keys
+    from content exactly as a fresh process would):
+
+    1. a cold ``--store`` run finds the clean path set and fills the
+       store;
+    2. a warm run finds the *bit-identical* path set with conserved
+       query attribution, strictly fewer CDCL solves, and
+       ``store_hits > 0`` — serial and pooled;
+    3. seeded dirty campaigns (``torn=``/``corrupt=`` torn writes and
+       poisoned files, killed mid-flight by ``stop=``) leave a damaged
+       store; the next *clean* warm run must still match the clean
+       path set with conserved attribution, quarantining the damage
+       (``store_quarantines > 0`` summed over the gate);
+    4. an ``iofail=`` run disables the tier mid-campaign and must
+       still complete the clean path set (fail-soft, never an error);
+    5. a full store wipe mid-campaign (deadline cut, ``rm -rf`` the
+       store, resume) degrades to cold-run behaviour, never an error.
+    """
+    import shutil
+
+    from repro.smt import terms as T
+
+    failures: list[str] = []
+    total_quarantines = 0
+    for workload in WORKLOAD_SCALES:
+        start = time.perf_counter()
+        clean = build_explorer(workload).explore()
+        clean_set = clean.path_set()
+        with tempfile.TemporaryDirectory() as store_dir:
+            cold = build_explorer(workload, store_dir=store_dir).explore()
+            if cold.path_set() != clean_set:
+                failures.append(
+                    f"{workload} [cold]: --store changed the path set"
+                )
+            cold_solves = cold.solver_stats.get("sat_core_solves", 0)
+            for label, n_jobs in (("warm", 1), (f"warm jobs={jobs}", jobs)):
+                T.reset_interner()
+                warm = build_explorer(
+                    workload, jobs=n_jobs, store_dir=store_dir
+                ).explore()
+                errors = check_corruption_invariant(workload, clean, warm, label)
+                warm_solves = warm.solver_stats.get("sat_core_solves", 0)
+                if warm.store_hits == 0:
+                    errors.append(
+                        f"{workload} [{label}]: no warm hits served"
+                    )
+                if cold_solves and warm_solves >= cold_solves:
+                    errors.append(
+                        f"{workload} [{label}]: warm run solved as much as "
+                        f"cold ({warm_solves} >= {cold_solves})"
+                    )
+                failures.extend(errors)
+                status = "FAIL" if errors else "ok"
+                print(
+                    f"  {status:4s} {workload:16s} {label:14s} "
+                    f"paths={warm.num_paths}/{clean.num_paths} "
+                    f"solves={warm_solves}/{cold_solves} "
+                    f"hits={warm.store_hits}"
+                )
+        # Dirty campaigns: torn/poisoned writes, killed mid-flight,
+        # then a clean warm run over the damaged store.
+        for seed in range(seeds):
+            with tempfile.TemporaryDirectory() as store_dir:
+                T.reset_interner()
+                plan = FaultPlan(
+                    seed=seed,
+                    interrupt_after=max(1, clean.num_paths // 2),
+                    **STORE_DIRTY_RATES,
+                )
+                dirty = build_explorer(
+                    workload, faults=plan, store_dir=store_dir
+                ).explore()
+                T.reset_interner()
+                healed = build_explorer(workload, store_dir=store_dir).explore()
+                errors = check_corruption_invariant(
+                    workload, clean, healed, f"healed seed={seed}"
+                )
+                failures.extend(errors)
+                total_quarantines += healed.store_quarantines
+                status = "FAIL" if errors else "ok"
+                print(
+                    f"  {status:4s} {workload:16s} dirty seed={seed}   "
+                    f"interrupted={dirty.interrupted} "
+                    f"healed={healed.num_paths}/{clean.num_paths} "
+                    f"quarantined={healed.store_quarantines}"
+                )
+        # Fail-soft: injected I/O failures disable the tier mid-run,
+        # the campaign still completes the clean path set.
+        with tempfile.TemporaryDirectory() as store_dir:
+            T.reset_interner()
+            plan = FaultPlan(seed=0, iofail_rate=STORE_IOFAIL_RATE)
+            soft = build_explorer(
+                workload, faults=plan, store_dir=store_dir
+            ).explore()
+            errors = check_corruption_invariant(workload, clean, soft, "iofail")
+            if soft.store_disabled == 0:
+                errors.append(
+                    f"{workload} [iofail]: schedule never fired "
+                    f"(store_disabled=0)"
+                )
+            failures.extend(errors)
+            status = "FAIL" if errors else "ok"
+            print(
+                f"  {status:4s} {workload:16s} iofail         "
+                f"paths={soft.num_paths}/{clean.num_paths} "
+                f"disabled={soft.store_disabled}"
+            )
+        # Store wipe mid-campaign: cut, destroy the store, resume.
+        with tempfile.TemporaryDirectory() as parent:
+            store_dir = str(Path(parent) / "store")
+            ckpt = str(Path(parent) / "ckpt")
+            T.reset_interner()
+            build_explorer(
+                workload,
+                deadline=0.0,
+                checkpoint_dir=ckpt,
+                store_dir=store_dir,
+            ).explore()
+            shutil.rmtree(store_dir, ignore_errors=True)
+            T.reset_interner()
+            resumed = build_explorer(
+                workload,
+                checkpoint_dir=ckpt,
+                resume=True,
+                store_dir=store_dir,
+            ).explore()
+            errors = []
+            if resumed.path_set() != clean_set:
+                errors.append(
+                    f"{workload} [wiped]: resume over a wiped store found "
+                    f"{resumed.num_paths} path(s), clean run "
+                    f"{clean.num_paths}"
+                )
+            if resumed.store_disabled:
+                errors.append(
+                    f"{workload} [wiped]: wiped store disabled the tier "
+                    f"instead of restarting cold"
+                )
+            failures.extend(errors)
+            status = "FAIL" if errors else "ok"
+            print(
+                f"  {status:4s} {workload:16s} wiped          "
+                f"paths={resumed.num_paths}/{clean.num_paths} "
+                f"stores={resumed.solver_stats.get('store_stores', 0)}"
+            )
+        print(
+            f"{workload}: {clean.num_paths} clean paths, "
+            f"{time.perf_counter() - start:.1f}s"
+        )
+    if not total_quarantines:
+        failures.append(
+            "dirty campaigns produced no store quarantine — the gate "
+            "proved nothing (raise the rates or the seed count)"
+        )
+    if failures:
+        print(f"\nstore gate FAILED ({len(failures)} violation(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\nstore gate passed: warm starts are bit-identical and cheaper, "
+        "damage is quarantined, I/O failure and store loss degrade softly"
+    )
+    return 0
+
+
 def run_gate(seeds: int, jobs: int) -> int:
     failures: list[str] = []
     for workload in WORKLOAD_SCALES:
@@ -461,6 +648,11 @@ def main(argv=None) -> int:
                         help="run the anytime gate: deadline-cut + "
                              "resume must equal the uninterrupted "
                              "path set")
+    parser.add_argument("--store", action="store_true",
+                        help="run the persistent-store gate: warm "
+                             "starts are bit-identical and cheaper, "
+                             "torn/corrupt/iofail damage is "
+                             "quarantined or degrades softly")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gates detect silent path loss, "
                              "served corruption and lost attribution")
@@ -473,6 +665,8 @@ def main(argv=None) -> int:
         return run_hang_gate(args.seeds, args.jobs)
     if args.deadline_gate:
         return run_deadline_gate(args.jobs)
+    if args.store:
+        return run_store_gate(args.seeds, args.jobs)
     return run_gate(args.seeds, args.jobs)
 
 
